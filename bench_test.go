@@ -1,0 +1,420 @@
+package ccam
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 4) plus the repository's ablations and a
+// set of micro-benchmarks of the individual operations. The experiment
+// benchmarks drive the harness in internal/bench at paper scale and
+// report the headline numbers via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result. cmd/ccam-bench prints the full tables.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ccam/internal/bench"
+	"ccam/internal/netfile"
+)
+
+func paperSetup() bench.Setup { return bench.DefaultSetup() }
+
+// BenchmarkFig5CRRByBlockSize regenerates Figure 5: CRR per access
+// method per disk block size. The reported metric is CCAM-S's CRR at
+// the 1k block.
+func BenchmarkFig5CRRByBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig5(bench.Fig5Config{Setup: paperSetup()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CRR["ccam-s"][1024], "ccam-s-crr@1k")
+		b.ReportMetric(res.CRR["bfs-am"][1024], "bfs-am-crr@1k")
+	}
+}
+
+// BenchmarkTable5NetworkOps regenerates Table 5: the I/O cost of the
+// network operations. Reported metrics are CCAM's actual page accesses
+// per operation.
+func BenchmarkTable5NetworkOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable5(bench.Table5Config{Setup: paperSetup()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Method == "ccam-s" {
+				b.ReportMetric(row.GetSuccsActual, "get-succs-pages")
+				b.ReportMetric(row.GetASuccActual, "get-a-succ-pages")
+				b.ReportMetric(row.DeleteActual, "delete-pages")
+				b.ReportMetric(row.InsertActual, "insert-pages")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6RouteEvaluation regenerates Figure 6: route evaluation
+// I/O versus route length. The reported metric is CCAM-S's average
+// pages per route at L = 40.
+func BenchmarkFig6RouteEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig6(bench.Fig6Config{Setup: paperSetup()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.RouteLengths) - 1
+		b.ReportMetric(res.PagesPerRoute["ccam-s"][last], "ccam-s-pages@L40")
+		b.ReportMetric(res.PagesPerRoute["bfs-am"][last], "bfs-am-pages@L40")
+	}
+}
+
+// BenchmarkFig7ReorgPolicies regenerates Figure 7: per-insert I/O and
+// CRR under the three reorganization policies. Reported metrics are
+// the final average I/O per insert of the second- and higher-order
+// policies.
+func BenchmarkFig7ReorgPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7(bench.Fig7Config{Setup: paperSetup()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			last := len(s.AvgIO) - 1
+			switch s.Policy {
+			case netfile.SecondOrder:
+				b.ReportMetric(s.AvgIO[last], "second-order-io")
+				b.ReportMetric(s.CRR[last], "second-order-crr")
+			case netfile.HigherOrder:
+				b.ReportMetric(s.AvgIO[last], "higher-order-io")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPartitioners compares the partitioning heuristics
+// (ablation A1).
+func BenchmarkAblationPartitioners(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationPartitioners(paperSetup(), 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Name == "ratio-cut" {
+				b.ReportMetric(row.CRR, "ratio-cut-crr")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBufferSweep sweeps the route-evaluation buffer pool
+// (ablation A2).
+func BenchmarkAblationBufferSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationBufferSweep(paperSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res.PagesPerRoute["ccam-s"]
+		b.ReportMetric(s[0], "pool1-pages")
+		b.ReportMetric(s[len(s)-1], "pool16-pages")
+	}
+}
+
+// BenchmarkAblationScale sweeps the network size (ablation A3). Kept
+// to 4k nodes so the benchmark suite stays fast; cmd/ccam-bench runs
+// the 16k point.
+func BenchmarkAblationScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationScale(paperSetup(), []int{256, 1024, 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CRR["ccam-s"][len(res.Sizes)-1], "ccam-s-crr@4k-nodes")
+	}
+}
+
+// --- micro-benchmarks of the public API ---
+
+func benchStore(b *testing.B) (*Store, *Network) {
+	b.Helper()
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Open(Options{PageSize: 2048, PoolPages: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Build(g); err != nil {
+		b.Fatal(err)
+	}
+	return s, g
+}
+
+// BenchmarkBuildStatic measures the CCAM-S create over the paper-scale
+// map.
+func BenchmarkBuildStatic(b *testing.B) {
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(Options{PageSize: 2048, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Build(g); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkBuildDynamic measures the CCAM-D incremental create.
+func BenchmarkBuildDynamic(b *testing.B) {
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(Options{PageSize: 2048, Seed: int64(i), Dynamic: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Build(g); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkFind measures point lookups.
+func BenchmarkFind(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	ids := g.NodeIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetSuccessors measures adjacency retrieval.
+func BenchmarkGetSuccessors(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	ids := g.NodeIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.GetSuccessors(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateRoute measures a 20-hop route evaluation.
+func BenchmarkEvaluateRoute(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(8))
+	routes, err := RandomWalkRoutes(g, 64, 20, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EvaluateRoute(routes[i%len(routes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeQuery measures a 10%-of-map window query.
+func BenchmarkRangeQuery(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	bb := g.Bounds()
+	window := NewRect(
+		Point{X: bb.Min.X + bb.Width()*0.45, Y: bb.Min.Y + bb.Height()*0.45},
+		Point{X: bb.Min.X + bb.Width()*0.55, Y: bb.Min.Y + bb.Height()*0.55},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RangeQuery(window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertDeleteSecondOrder measures a node delete+insert round
+// trip under the second-order policy.
+func BenchmarkInsertDeleteSecondOrder(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	ids := g.NodeIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		op, err := InsertOpFromNode(g, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Delete(id, SecondOrder); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Insert(op, SecondOrder); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSetEdgeCost measures the IVHS travel-time update.
+func BenchmarkSetEdgeCost(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if err := s.SetEdgeCost(e.From, e.To, float32(e.Cost)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateRouteUnit measures an aggregate query over a
+// 20-segment route-unit (e.g. comparing bus-route ridership).
+func BenchmarkEvaluateRouteUnit(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(12))
+	routes, err := RandomWalkRoutes(g, 8, 21, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := make([][][2]NodeID, len(routes))
+	for i, r := range routes {
+		for j := 0; j+1 < len(r); j++ {
+			units[i] = append(units[i], [2]NodeID{r[j], r[j+1]})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EvaluateRouteUnit("u", units[i%len(units)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShortestPathAStar measures a file-resident A* query.
+func BenchmarkShortestPathAStar(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	ids := g.NodeIDs()
+	rng := rand.New(rand.NewSource(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if _, err := s.ShortestPathAStar(src, dst, 0.8); err != nil && !errors.Is(err, ErrNoPath) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNearest measures k-nearest-neighbor queries through the
+// Z-order index.
+func BenchmarkNearest(b *testing.B) {
+	s, g := benchStore(b)
+	defer s.Close()
+	bb := g.Bounds()
+	rng := rand.New(rand.NewSource(14))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := Point{X: bb.Min.X + rng.Float64()*bb.Width(), Y: bb.Min.Y + rng.Float64()*bb.Height()}
+		if _, err := s.Nearest(p, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSearchPaths runs the graph-search comparison
+// (ablation A4).
+func BenchmarkAblationSearchPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunSearchPaths(bench.SearchPathsConfig{Setup: paperSetup(), Pairs: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DijkstraReads["ccam-s"], "ccam-dijkstra-reads")
+		b.ReportMetric(res.AStarReads["ccam-s"], "ccam-astar-reads")
+	}
+}
+
+// BenchmarkAblationLazyPolicy runs the delayed-reorganization
+// comparison (ablation A5).
+func BenchmarkAblationLazyPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7(bench.Fig7Config{
+			Setup:     paperSetup(),
+			Policies:  []netfile.Policy{netfile.FirstOrder, netfile.Lazy},
+			LazyEvery: 4,
+			Points:    4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			if s.Policy == netfile.Lazy {
+				b.ReportMetric(s.AvgIO[len(s.AvgIO)-1], "lazy-io")
+				b.ReportMetric(s.CRR[len(s.CRR)-1], "lazy-crr")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTopology runs the network-family comparison
+// (ablation A6).
+func BenchmarkAblationTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationTopology(paperSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CRR["radial-city"]["ccam-s"], "radial-ccam-crr")
+		b.ReportMetric(res.CRR["random-geometric"]["ccam-s"], "geo-ccam-crr")
+	}
+}
+
+// BenchmarkAblationMixedWorkload runs the query/update mix (ablation
+// A7), shortened to 200 operations per fraction.
+func BenchmarkAblationMixedWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMixedWorkload(bench.MixedConfig{
+			Setup: paperSetup(), Ops: 200, UpdateFracs: []float64{0, 0.3},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PagesPerOp["ccam-s"][1], "ccam-pages-per-op@30pct")
+	}
+}
+
+// BenchmarkAblationSpatialOrder runs the proximity-ordering comparison
+// (ablation A8).
+func BenchmarkAblationSpatialOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationSpatialOrder(paperSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CRR["hilbert-am"][1024], "hilbert-crr@1k")
+		b.ReportMetric(res.CRR["zcurve-am"][1024], "zcurve-crr@1k")
+	}
+}

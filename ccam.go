@@ -1,0 +1,629 @@
+// Package ccam is a connectivity-clustered access method for aggregate
+// queries on transportation networks, reproducing Shekhar and Liu,
+// "CCAM: A Connectivity-Clustered Access Method for Aggregate Queries
+// on Transportation Networks" (ICDE 1995).
+//
+// A CCAM store keeps the nodes of a general network (e.g. a road map)
+// in disk pages clustered by connectivity: the nodes of the network are
+// assigned to pages via graph partitioning so that a pair of connected
+// nodes usually shares a page (a high Connectivity Residue Ratio). That
+// makes the operations behind aggregate network queries — Find,
+// Get-A-successor, Get-successors and route evaluation — cheap in data
+// page accesses, and Insert/Delete maintain the clustering through
+// incremental reorganization policies.
+//
+// # Quick start
+//
+//	net := ccam.NewNetwork()
+//	net.AddNode(ccam.Node{ID: 1, Pos: ccam.Point{X: 0, Y: 0}})
+//	net.AddNode(ccam.Node{ID: 2, Pos: ccam.Point{X: 1, Y: 0}})
+//	net.AddEdge(ccam.Edge{From: 1, To: 2, Cost: 2.5, Weight: 1})
+//
+//	store, err := ccam.Open(ccam.Options{PageSize: 2048})
+//	...
+//	err = store.Build(net)
+//	rec, err := store.Find(1)
+//	agg, err := store.EvaluateRoute(ccam.Route{1, 2})
+//
+// Baseline access methods from the paper's evaluation (DFS-AM, BFS-AM,
+// WDFS-AM and the Grid File) are available through NewBaseline for
+// comparison studies; the experiment harness behind cmd/ccam-bench
+// regenerates every table and figure of the paper.
+package ccam
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	iccam "ccam/internal/ccam"
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/gridfile"
+	"ccam/internal/netfile"
+	"ccam/internal/partition"
+	"ccam/internal/query"
+	"ccam/internal/storage"
+	"ccam/internal/topo"
+)
+
+// Core re-exported types. The network model lives in internal/graph,
+// records and operations in internal/netfile; these aliases make the
+// root package self-sufficient for library users.
+type (
+	// NodeID identifies a network node.
+	NodeID = graph.NodeID
+	// Node is a network node: id, planar position, attribute payload.
+	Node = graph.Node
+	// Edge is a directed edge with traversal cost and access weight.
+	Edge = graph.Edge
+	// Network is an in-memory directed network with successor- and
+	// predecessor-lists.
+	Network = graph.Network
+	// Route is a node sequence connected by directed edges.
+	Route = graph.Route
+	// Point is a position in the plane.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (for range queries).
+	Rect = geom.Rect
+	// Record is the stored form of a node: node data, successor-list,
+	// predecessor-list.
+	Record = netfile.Record
+	// SuccEntry is one successor-list element.
+	SuccEntry = netfile.SuccEntry
+	// InsertOp describes a node insertion with its edges.
+	InsertOp = netfile.InsertOp
+	// RouteAggregate is the result of a route evaluation query.
+	RouteAggregate = netfile.RouteAggregate
+	// Policy selects the reorganization behaviour of maintenance
+	// operations (paper Table 1).
+	Policy = netfile.Policy
+	// AccessMethod is the contract shared by CCAM and the baseline
+	// file organizations.
+	AccessMethod = netfile.AccessMethod
+	// IOStats counts physical page transfers.
+	IOStats = storage.Stats
+	// Placement maps nodes to their data pages.
+	Placement = graph.Placement
+)
+
+// Reorganization policies, in increasing order of overhead.
+const (
+	// FirstOrder avoids or delays reorganization (only underflow and
+	// overflow are handled).
+	FirstOrder = netfile.FirstOrder
+	// SecondOrder reorganizes the pages the update touches anyway.
+	SecondOrder = netfile.SecondOrder
+	// HigherOrder also reorganizes the PAG-neighbor pages.
+	HigherOrder = netfile.HigherOrder
+)
+
+// Common sentinel errors.
+var (
+	// ErrNotFound reports a missing node.
+	ErrNotFound = netfile.ErrNotFound
+	// ErrDuplicate reports an insert of an existing node.
+	ErrDuplicate = netfile.ErrDuplicate
+	// ErrNoPath reports an unreachable shortest-path destination.
+	ErrNoPath = query.ErrNoPath
+)
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network { return graph.NewNetwork() }
+
+// NewRect returns the rectangle spanning two corner points.
+func NewRect(a, b Point) Rect { return geom.NewRect(a, b) }
+
+// InsertOpFromNode builds the InsertOp that re-inserts node id of g
+// with all its current edges.
+func InsertOpFromNode(g *Network, id NodeID) (*InsertOp, error) {
+	return netfile.InsertOpFromNode(g, id)
+}
+
+// CRR returns the Connectivity Residue Ratio of a placement: the
+// fraction of edges whose endpoints share a data page.
+func CRR(g *Network, p Placement) float64 { return graph.CRR(g, p) }
+
+// WCRR returns the Weighted Connectivity Residue Ratio of a placement.
+func WCRR(g *Network, p Placement) float64 { return graph.WCRR(g, p) }
+
+// Options configures a CCAM store.
+type Options struct {
+	// PageSize is the disk block size in bytes (default 2048).
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages (default 32).
+	PoolPages int
+	// Dynamic selects the incremental create (CCAM-D): Build loads the
+	// network as a sequence of Add-node operations with incremental
+	// reclustering, which handles networks too large to partition in
+	// one pass. The default is the static create (CCAM-S).
+	Dynamic bool
+	// Seed drives the partitioner's randomized restarts; equal seeds
+	// give identical files.
+	Seed int64
+	// Path, when non-empty, stores data pages in an os.File-backed page
+	// store at that location instead of in memory.
+	Path string
+	// Spatial selects the secondary spatial index: SpatialZOrder (the
+	// paper's Z-ordered B+-tree, the default) or SpatialRTree.
+	Spatial SpatialIndexKind
+}
+
+// SpatialIndexKind selects the secondary spatial index structure.
+type SpatialIndexKind = netfile.SpatialKind
+
+// Spatial index kinds.
+const (
+	// SpatialZOrder is the paper's Z-ordered B+-tree.
+	SpatialZOrder = netfile.SpatialZOrder
+	// SpatialRTree is Guttman's R-tree.
+	SpatialRTree = netfile.SpatialRTree
+)
+
+// Store is a CCAM file: the paper's access method behind a convenience
+// facade. All methods are safe for concurrent use; operations are
+// serialized by an internal lock (the underlying file machinery is
+// single-threaded, matching the one-query-at-a-time cost model of the
+// paper).
+type Store struct {
+	mu sync.Mutex
+	m  *iccam.Method
+	fs *storage.FileStore
+}
+
+// Open creates a new, empty CCAM store.
+func Open(opts Options) (*Store, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = 2048
+	}
+	cfg := iccam.Config{
+		PageSize:  opts.PageSize,
+		PoolPages: opts.PoolPages,
+		Seed:      opts.Seed,
+		Dynamic:   opts.Dynamic,
+		Spatial:   opts.Spatial,
+	}
+	var fs *storage.FileStore
+	if opts.Path != "" {
+		var err error
+		fs, err = storage.CreateFileStore(opts.Path, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = fs
+	}
+	m, err := iccam.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{m: m, fs: fs}, nil
+}
+
+// Build loads network g into the store (the paper's Create()),
+// replacing any previous contents.
+func (s *Store) Build(g *Network) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Build(g)
+}
+
+func (s *Store) file() (*netfile.File, error) {
+	f := s.m.File()
+	if f == nil {
+		return nil, fmt.Errorf("ccam: store is empty; call Build first")
+	}
+	return f, nil
+}
+
+// Find retrieves the record of a node.
+func (s *Store) Find(id NodeID) (*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	return f.Find(id)
+}
+
+// GetASuccessor retrieves the record of succ, a successor of cur; the
+// buffered page containing cur is searched first.
+func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	return f.GetASuccessor(cur, succ)
+}
+
+// GetSuccessors retrieves the records of all successors of a node.
+func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	return f.GetSuccessors(id)
+}
+
+// EvaluateRoute computes the aggregate property of a route as a Find
+// followed by Get-A-successor operations.
+func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return RouteAggregate{}, err
+	}
+	return f.EvaluateRoute(route)
+}
+
+// RangeQuery returns all records whose positions lie inside rect, via
+// the Z-ordered secondary index.
+func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	return f.RangeQuery(rect)
+}
+
+// Insert adds a new node with its edges under the given policy.
+func (s *Store) Insert(op *InsertOp, policy Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Insert(op, policy)
+}
+
+// Delete removes a node and its incident edges under the given policy.
+func (s *Store) Delete(id NodeID, policy Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Delete(id, policy)
+}
+
+// InsertEdge adds a directed edge between stored nodes.
+func (s *Store) InsertEdge(from, to NodeID, cost float32, policy Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.InsertEdge(from, to, cost, policy)
+}
+
+// DeleteEdge removes a directed edge.
+func (s *Store) DeleteEdge(from, to NodeID, policy Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.DeleteEdge(from, to, policy)
+}
+
+// Contains reports whether a node is stored.
+func (s *Store) Contains(id NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return false
+	}
+	return f.Has(id)
+}
+
+// Len returns the number of stored node records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return 0
+	}
+	return f.NumNodes()
+}
+
+// NumPages returns the number of data pages in the file.
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return 0
+	}
+	return f.NumPages()
+}
+
+// Placement returns the current node → data page assignment.
+func (s *Store) Placement() Placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return Placement{}
+	}
+	return f.Placement()
+}
+
+// CRR measures the store's Connectivity Residue Ratio against network
+// g.
+func (s *Store) CRR(g *Network) float64 { return CRR(g, s.Placement()) }
+
+// WCRR measures the store's Weighted Connectivity Residue Ratio
+// against network g.
+func (s *Store) WCRR(g *Network) float64 { return WCRR(g, s.Placement()) }
+
+// IO returns the physical data-page I/O counters.
+func (s *Store) IO() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return IOStats{}
+	}
+	return f.DataIO()
+}
+
+// ResetIO empties the buffer pool and zeroes the I/O counters, so the
+// next operation is measured cold.
+func (s *Store) ResetIO() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return err
+	}
+	return f.ResetIO()
+}
+
+// Flush writes all buffered dirty pages to the underlying store, and
+// syncs the page file when the store is file-backed.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return err
+	}
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	if s.fs != nil {
+		return s.fs.Sync()
+	}
+	return nil
+}
+
+// Close flushes and releases the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m.File() != nil {
+		if err := s.m.File().Flush(); err != nil {
+			return err
+		}
+	}
+	if s.fs != nil {
+		return s.fs.Close()
+	}
+	return nil
+}
+
+// BaselineKind names a comparison access method from the paper's
+// evaluation.
+type BaselineKind string
+
+// Baseline access methods.
+const (
+	// DFSAM orders nodes by depth-first traversal.
+	DFSAM BaselineKind = "dfs-am"
+	// BFSAM orders nodes by breadth-first traversal.
+	BFSAM BaselineKind = "bfs-am"
+	// WDFSAM orders nodes by weight-guided depth-first traversal.
+	WDFSAM BaselineKind = "wdfs-am"
+	// GridFile clusters nodes by spatial proximity.
+	GridFile BaselineKind = "grid-file"
+)
+
+// NewBaseline constructs one of the paper's comparison access methods.
+// The returned AccessMethod shares CCAM's file machinery (Find,
+// Get-A-successor, Get-successors and route evaluation through its
+// File()), differing in placement and maintenance.
+func NewBaseline(kind BaselineKind, opts Options) (AccessMethod, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = 2048
+	}
+	switch kind {
+	case DFSAM:
+		return topo.New(topo.Config{Kind: topo.DFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
+	case BFSAM:
+		return topo.New(topo.Config{Kind: topo.BFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
+	case WDFSAM:
+		return topo.New(topo.Config{Kind: topo.WDFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
+	case GridFile:
+		return gridfile.New(gridfile.Config{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	default:
+		return nil, fmt.Errorf("ccam: unknown baseline %q", kind)
+	}
+}
+
+// RoadMapOpts configures the synthetic road-network generator.
+type RoadMapOpts = graph.RoadMapOpts
+
+// MinneapolisLikeOpts returns generator options matching the scale of
+// the paper's test data (1077 nodes, 3045 directed edges).
+func MinneapolisLikeOpts() RoadMapOpts { return graph.MinneapolisLikeOpts() }
+
+// RoadMap generates a synthetic planar road network.
+func RoadMap(opts RoadMapOpts) (*Network, error) { return graph.RoadMap(opts) }
+
+// ReadNetworkJSON parses a network from the JSON schema written by
+// Network.WriteJSON (and by cmd/netgen).
+func ReadNetworkJSON(r io.Reader) (*Network, error) { return graph.ReadJSON(r) }
+
+// RandomWalkRoutes generates count routes of exactly length nodes each
+// by random walks on g, the workload of the paper's route evaluation
+// experiments.
+func RandomWalkRoutes(g *Network, count, length int, rng *rand.Rand) ([]Route, error) {
+	return graph.RandomWalkRoutes(g, count, length, rng)
+}
+
+// ApplyRouteWeights sets each edge's access weight to the number of
+// times the given routes traverse it (the paper's WCRR workload).
+func ApplyRouteWeights(g *Network, routes []Route) (int, error) {
+	return graph.ApplyRouteWeights(g, routes)
+}
+
+// compile-time interface checks for the facade's building blocks
+var (
+	_ partition.Bipartitioner = (*partition.RatioCut)(nil)
+	_ AccessMethod            = (*iccam.Method)(nil)
+)
+
+// SetEdgeCost updates the stored cost (e.g. current travel time) of a
+// directed edge in place.
+func (s *Store) SetEdgeCost(from, to NodeID, cost float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return err
+	}
+	return f.SetEdgeCost(from, to, cost)
+}
+
+// Nearest returns the k stored records closest to p by Euclidean
+// distance, nearest first, through the spatial index.
+func (s *Store) Nearest(p Point, k int) ([]*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	return f.Nearest(p, k)
+}
+
+// Query results re-exported from the query layer.
+type (
+	// Path is a shortest-path result.
+	Path = query.Path
+	// TourAggregate is the result of a tour evaluation query.
+	TourAggregate = query.TourAggregate
+	// Allocation assigns one demand node to its nearest facility.
+	Allocation = query.Allocation
+)
+
+// ShortestPath computes a cheapest path between two stored nodes with
+// Dijkstra's algorithm over the file (Get-successors expansions).
+func (s *Store) ShortestPath(src, dst NodeID) (Path, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return Path{}, err
+	}
+	return query.Dijkstra(f, src, dst)
+}
+
+// ShortestPathAStar computes a cheapest path with A*, using a
+// straight-line-distance heuristic scaled by minCostPerUnit (a lower
+// bound on edge cost per unit of Euclidean distance; 0 falls back to
+// Dijkstra).
+func (s *Store) ShortestPathAStar(src, dst NodeID, minCostPerUnit float64) (Path, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return Path{}, err
+	}
+	return query.AStar(f, src, dst, minCostPerUnit)
+}
+
+// EvaluateTour evaluates a closed tour (the route plus the edge back to
+// its start).
+func (s *Store) EvaluateTour(tour Route) (TourAggregate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return TourAggregate{}, err
+	}
+	return query.EvaluateTour(f, tour)
+}
+
+// LocationAllocation allocates every reachable node to its cheapest
+// facility by network distance, returning the allocations plus the
+// total and maximum assignment costs.
+func (s *Store) LocationAllocation(facilities []NodeID) ([]Allocation, float64, float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return query.LocationAllocation(f, facilities)
+}
+
+// OpenPath reopens a file-backed CCAM store previously created with
+// Open(Options{Path: ...}). The data pages are read back from disk and
+// the memory-resident structures (indexes, free-space map) are rebuilt
+// by one scan. PageSize in opts is ignored; the on-disk page size wins.
+func OpenPath(path string, opts Options) (*Store, error) {
+	fs, err := storage.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := netfile.OpenFromStore(fs, opts.PoolPages)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	m, err := iccam.New(iccam.Config{
+		PageSize:  fs.PageSize(),
+		PoolPages: opts.PoolPages,
+		Seed:      opts.Seed,
+		Dynamic:   opts.Dynamic,
+		Store:     fs,
+	})
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	if err := m.Attach(f); err != nil {
+		fs.Close()
+		return nil, err
+	}
+	return &Store{m: m, fs: fs}, nil
+}
+
+// RouteUnitAggregate is the result of an aggregate query over a
+// route-unit (a named collection of arcs, e.g. a bus route).
+type RouteUnitAggregate = netfile.RouteUnitAggregate
+
+// EvaluateRouteUnit retrieves all nodes and edges of a route-unit and
+// aggregates the member edges' costs — the paper's motivating
+// decision-support query (comparing ridership or flow across named
+// routes).
+func (s *Store) EvaluateRouteUnit(name string, members [][2]NodeID) (RouteUnitAggregate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return RouteUnitAggregate{}, err
+	}
+	return f.EvaluateRouteUnit(name, members)
+}
+
+// Scan visits every stored record, page by page (a sequential scan). fn
+// returning false stops early.
+func (s *Store) Scan(fn func(rec *Record) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file()
+	if err != nil {
+		return err
+	}
+	return f.Scan(fn)
+}

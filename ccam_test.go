@@ -1,0 +1,380 @@
+package ccam
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testMap(t *testing.T) *Network {
+	t.Helper()
+	opts := MinneapolisLikeOpts()
+	opts.Rows, opts.Cols = 16, 16
+	g, err := RoadMap(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	g := testMap(t)
+	s, err := Open(Options{PageSize: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Find(1); err == nil {
+		t.Fatal("Find on unbuilt store succeeded")
+	}
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != g.NumNodes() {
+		t.Fatalf("Len = %d, want %d", s.Len(), g.NumNodes())
+	}
+	if s.NumPages() == 0 {
+		t.Fatal("no pages")
+	}
+	id := g.NodeIDs()[0]
+	rec, err := s.Find(id)
+	if err != nil || rec.ID != id {
+		t.Fatalf("Find = %v, %v", rec, err)
+	}
+	if !s.Contains(id) || s.Contains(999999) {
+		t.Fatal("Contains wrong")
+	}
+	if _, err := s.Find(999999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing find = %v", err)
+	}
+	if crr := s.CRR(g); crr < 0.5 {
+		t.Fatalf("CRR = %f", crr)
+	}
+}
+
+func TestStoreOperations(t *testing.T) {
+	g := testMap(t)
+	s, err := Open(Options{PageSize: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Get-successors and Get-A-successor.
+	id := g.NodeIDs()[5]
+	succs, err := s.GetSuccessors(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succs) != len(g.Successors(id)) {
+		t.Fatalf("GetSuccessors = %d records, want %d", len(succs), len(g.Successors(id)))
+	}
+	rec, _ := s.Find(id)
+	if len(rec.Succs) > 0 {
+		sr, err := s.GetASuccessor(rec, rec.Succs[0].To)
+		if err != nil || sr.ID != rec.Succs[0].To {
+			t.Fatalf("GetASuccessor = %v, %v", sr, err)
+		}
+		if _, err := s.GetASuccessor(rec, 999999); err == nil {
+			t.Fatal("GetASuccessor accepted a non-successor")
+		}
+	}
+
+	// Route evaluation.
+	rng := rand.New(rand.NewSource(3))
+	routes, err := RandomWalkRoutes(g, 5, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range routes {
+		agg, err := s.EvaluateRoute(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Nodes != 8 || agg.TotalCost <= 0 {
+			t.Fatalf("aggregate = %+v", agg)
+		}
+	}
+
+	// Range query.
+	b := g.Bounds()
+	all, err := s.RangeQuery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != g.NumNodes() {
+		t.Fatalf("RangeQuery(all) = %d, want %d", len(all), g.NumNodes())
+	}
+
+	// Maintenance: delete and re-insert a node, and an edge round trip.
+	victim := g.NodeIDs()[7]
+	op, err := InsertOpFromNode(g, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(victim, SecondOrder); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(victim) {
+		t.Fatal("deleted node still present")
+	}
+	if err := s.Insert(op, SecondOrder); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(victim) {
+		t.Fatal("re-inserted node missing")
+	}
+	e := g.Edges()[0]
+	if err := s.DeleteEdge(e.From, e.To, FirstOrder); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertEdge(e.From, e.To, float32(e.Cost), FirstOrder); err != nil {
+		t.Fatal(err)
+	}
+
+	// I/O metering is exposed.
+	if err := s.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Find(victim); err != nil {
+		t.Fatal(err)
+	}
+	if s.IO().Reads == 0 {
+		t.Fatal("Find cost no I/O after reset")
+	}
+}
+
+func TestStoreFileBacked(t *testing.T) {
+	g := testMap(t)
+	path := filepath.Join(t.TempDir(), "net.ccam")
+	s, err := Open(Options{PageSize: 1024, Seed: 4, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	id := g.NodeIDs()[3]
+	if _, err := s.Find(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	g := testMap(t)
+	for _, kind := range []BaselineKind{DFSAM, BFSAM, WDFSAM, GridFile} {
+		m, err := NewBaseline(kind, Options{PageSize: 1024, Seed: 5})
+		if err != nil {
+			t.Fatalf("NewBaseline(%s): %v", kind, err)
+		}
+		if err := m.Build(g); err != nil {
+			t.Fatalf("build %s: %v", kind, err)
+		}
+		id := g.NodeIDs()[0]
+		rec, err := m.File().Find(id)
+		if err != nil || rec.ID != id {
+			t.Fatalf("%s Find = %v, %v", kind, rec, err)
+		}
+	}
+	if _, err := NewBaseline("nope", Options{}); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestDynamicStore(t *testing.T) {
+	g := testMap(t)
+	s, err := Open(Options{PageSize: 1024, Seed: 6, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != g.NumNodes() {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if crr := s.CRR(g); crr < 0.4 {
+		t.Fatalf("CCAM-D CRR = %f", crr)
+	}
+}
+
+func TestStoreReopen(t *testing.T) {
+	g := testMap(t)
+	path := filepath.Join(t.TempDir(), "persist.ccam")
+	s, err := Open(Options{PageSize: 1024, Seed: 8, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	wantLen, wantPages := s.Len(), s.NumPages()
+	wantCRR := s.CRR(g)
+	// Mutate after build so the reopen covers post-build state too.
+	victim := g.NodeIDs()[4]
+	op, err := InsertOpFromNode(g, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(victim, SecondOrder); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(op, SecondOrder); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenPath(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != wantLen {
+		t.Fatalf("reopened Len = %d, want %d", r.Len(), wantLen)
+	}
+	if r.NumPages() == 0 || r.NumPages() > wantPages+3 {
+		t.Fatalf("reopened pages = %d (was %d)", r.NumPages(), wantPages)
+	}
+	// Every record is intact, with its full lists.
+	for _, id := range g.NodeIDs() {
+		rec, err := r.Find(id)
+		if err != nil {
+			t.Fatalf("reopened Find(%d): %v", id, err)
+		}
+		if len(rec.Succs) != len(g.Successors(id)) || len(rec.Preds) != len(g.Predecessors(id)) {
+			t.Fatalf("node %d lists damaged by reopen", id)
+		}
+	}
+	// Clustering quality survives (placement is byte-identical except
+	// for the mutated node's neighborhood).
+	if got := r.CRR(g); got < wantCRR-0.05 {
+		t.Fatalf("reopened CRR %.4f, was %.4f", got, wantCRR)
+	}
+	// The reopened store is fully operational: spatial query + update.
+	all, err := r.RangeQuery(g.Bounds())
+	if err != nil || len(all) != g.NumNodes() {
+		t.Fatalf("reopened range query: %d records, %v", len(all), err)
+	}
+	if err := r.Delete(victim, FirstOrder); err != nil {
+		t.Fatalf("reopened delete: %v", err)
+	}
+	if err := r.Insert(op, FirstOrder); err != nil {
+		t.Fatalf("reopened insert: %v", err)
+	}
+}
+
+func TestOpenPathRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a page file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPath(path, Options{}); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	if _, err := OpenPath(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestStoreConcurrentUse(t *testing.T) {
+	g := testMap(t)
+	s, err := Open(Options{PageSize: 1024, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	ids := g.NodeIDs()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				id := ids[rng.Intn(len(ids))]
+				switch i % 4 {
+				case 0:
+					if _, err := s.Find(id); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, err := s.GetSuccessors(id); err != nil {
+						errCh <- err
+						return
+					}
+				case 2:
+					s.Contains(id)
+					s.Len()
+				case 3:
+					e := g.Edges()[rng.Intn(g.NumEdges())]
+					if err := s.SetEdgeCost(e.From, e.To, float32(e.Cost)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreWithRTreeIndex(t *testing.T) {
+	g := testMap(t)
+	s, err := Open(Options{PageSize: 1024, Seed: 19, Spatial: SpatialRTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.RangeQuery(g.Bounds())
+	if err != nil || len(all) != g.NumNodes() {
+		t.Fatalf("r-tree range query = %d, %v", len(all), err)
+	}
+	// Nearest through the facade.
+	n, _ := g.Node(g.NodeIDs()[0])
+	nn, err := s.Nearest(n.Pos, 3)
+	if err != nil || len(nn) != 3 || nn[0].ID != g.NodeIDs()[0] {
+		t.Fatalf("Nearest = %v, %v", nn, err)
+	}
+	// Updates keep the r-tree consistent.
+	op, err := InsertOpFromNode(g, nn[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(nn[0].ID, SecondOrder); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(op, SecondOrder); err != nil {
+		t.Fatal(err)
+	}
+	nn2, err := s.Nearest(n.Pos, 1)
+	if err != nil || len(nn2) != 1 || nn2[0].ID != nn[0].ID {
+		t.Fatalf("Nearest after update = %v, %v", nn2, err)
+	}
+}

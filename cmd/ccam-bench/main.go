@@ -1,0 +1,183 @@
+// Command ccam-bench regenerates the paper's tables and figures
+// (Section 4) and the repository's ablation studies, printing each as a
+// plain-text table.
+//
+// Usage:
+//
+//	ccam-bench -exp all
+//	ccam-bench -exp fig5
+//	ccam-bench -exp table5
+//	ccam-bench -exp fig6
+//	ccam-bench -exp fig7
+//	ccam-bench -exp ablation-partitioner
+//	ccam-bench -exp ablation-buffer
+//	ccam-bench -exp ablation-scale
+//
+// Flags -seed, -rows and -cols change the synthetic road map; the
+// defaults reproduce the paper-scale Minneapolis map (1079 nodes,
+// ~3057 edges).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccam/internal/bench"
+	"ccam/internal/graph"
+	"ccam/internal/netfile"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial")
+	seed := flag.Int64("seed", 42, "workload seed")
+	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
+	rows := flag.Int("rows", 0, "override road map lattice rows")
+	cols := flag.Int("cols", 0, "override road map lattice cols")
+	flag.Parse()
+
+	opts := graph.MinneapolisLikeOpts()
+	opts.Seed = *mapSeed
+	if *rows > 0 {
+		opts.Rows = *rows
+	}
+	if *cols > 0 {
+		opts.Cols = *cols
+	}
+	setup := bench.Setup{MapOpts: opts, Seed: *seed}
+
+	if err := run(os.Stdout, *exp, setup); err != nil {
+		fmt.Fprintln(os.Stderr, "ccam-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, setup bench.Setup) error {
+	g, err := setup.Network()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "road map: %d nodes, %d directed edges, |A| = %.3f, lambda = %.2f\n\n",
+		g.NumNodes(), g.NumEdges(), g.AvgSuccessors(), g.AvgNeighbors())
+
+	all := exp == "all"
+	ran := false
+	if all || exp == "fig5" {
+		res, err := bench.RunFig5(bench.Fig5Config{Setup: setup})
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "table5" {
+		res, err := bench.RunTable5(bench.Table5Config{Setup: setup})
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "fig6" {
+		res, err := bench.RunFig6(bench.Fig6Config{Setup: setup})
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "fig7" {
+		res, err := bench.RunFig7(bench.Fig7Config{Setup: setup})
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-partitioner" {
+		res, err := bench.RunAblationPartitioners(setup, 1024)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-buffer" {
+		res, err := bench.RunAblationBufferSweep(setup)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-search" {
+		res, err := bench.RunSearchPaths(bench.SearchPathsConfig{Setup: setup})
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-lazy" {
+		res, err := bench.RunFig7(bench.Fig7Config{
+			Setup:     setup,
+			Policies:  []netfile.Policy{netfile.FirstOrder, netfile.Lazy, netfile.SecondOrder, netfile.HigherOrder},
+			LazyEvery: 4,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ablation A5: delayed (lazy) reorganization vs the paper's policies")
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-topology" {
+		res, err := bench.RunAblationTopology(setup)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-mixed" {
+		res, err := bench.RunMixedWorkload(bench.MixedConfig{Setup: setup})
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-spatial" {
+		res, err := bench.RunAblationSpatialOrder(setup)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || exp == "ablation-scale" {
+		res, err := bench.RunAblationScale(setup, nil)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccam/internal/bench"
+	"ccam/internal/graph"
+)
+
+func tinySetup() bench.Setup {
+	opts := graph.MinneapolisLikeOpts()
+	opts.Rows, opts.Cols = 12, 12
+	return bench.Setup{MapOpts: opts, Seed: 3}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	cases := map[string]string{
+		"fig5":                 "Figure 5",
+		"table5":               "Table 5",
+		"fig6":                 "Figure 6",
+		"fig7":                 "Figure 7",
+		"ablation-partitioner": "Ablation A1",
+		"ablation-buffer":      "Ablation A2",
+		"ablation-search":      "Ablation A4",
+		"ablation-lazy":        "Ablation A5",
+		"ablation-topology":    "Ablation A6",
+		"ablation-mixed":       "Ablation A7",
+		"ablation-spatial":     "Ablation A8",
+	}
+	for exp, marker := range cases {
+		t.Run(exp, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, exp, tinySetup()); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "road map:") {
+				t.Fatal("missing workload banner")
+			}
+			if !strings.Contains(out, marker) {
+				t.Fatalf("output missing %q:\n%s", marker, out)
+			}
+		})
+	}
+}
+
+func TestRunScaleExperiment(t *testing.T) {
+	// ablation-scale builds its own maps; keep the sizes tiny.
+	var buf bytes.Buffer
+	res, err := bench.RunAblationScale(tinySetup(), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Ablation A3") {
+		t.Fatal("scale output missing marker")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", tinySetup()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

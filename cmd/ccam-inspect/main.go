@@ -1,0 +1,105 @@
+// Command ccam-inspect builds a CCAM file over a synthetic road map and
+// prints its physical organization: pages, fill factors, the CRR, and
+// optionally the page access graph and a per-page node listing.
+//
+// Usage:
+//
+//	ccam-inspect                       # paper-scale map, 2k pages
+//	ccam-inspect -block 1024 -pag      # show PAG degrees
+//	ccam-inspect -pages                # list nodes per page
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ccam"
+	"ccam/internal/graph"
+	"ccam/internal/netfile"
+	"ccam/internal/storage"
+)
+
+func main() {
+	block := flag.Int("block", 2048, "disk block size")
+	seed := flag.Int64("seed", 42, "partitioner seed")
+	dynamic := flag.Bool("dynamic", false, "use the incremental create (CCAM-D)")
+	showPAG := flag.Bool("pag", false, "print page access graph degrees")
+	showPages := flag.Bool("pages", false, "list the nodes on each page")
+	flag.Parse()
+
+	if err := run(os.Stdout, *block, *seed, *dynamic, *showPAG, *showPages); err != nil {
+		fmt.Fprintln(os.Stderr, "ccam-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool) error {
+	g, err := ccam.RoadMap(ccam.MinneapolisLikeOpts())
+	if err != nil {
+		return err
+	}
+	store, err := ccam.Open(ccam.Options{PageSize: block, Seed: seed, Dynamic: dynamic})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if err := store.Build(g); err != nil {
+		return err
+	}
+
+	kind := "CCAM-S (static create)"
+	if dynamic {
+		kind = "CCAM-D (incremental create)"
+	}
+	fmt.Fprintf(w, "%s, block size %d\n", kind, block)
+	fmt.Fprintf(w, "network: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(w, "file: %d records on %d pages (blocking factor %.2f)\n",
+		store.Len(), store.NumPages(), float64(store.Len())/float64(store.NumPages()))
+	fmt.Fprintf(w, "CRR: %.4f   WCRR: %.4f\n", store.CRR(g), store.WCRR(g))
+
+	placement := store.Placement()
+	perPage := map[storage.PageID][]graph.NodeID{}
+	for id, pid := range placement {
+		perPage[pid] = append(perPage[pid], id)
+	}
+	var pids []storage.PageID
+	for pid := range perPage {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	sizer := netfile.RecordSizer(g)
+	var fills []float64
+	for _, pid := range pids {
+		used := 0
+		for _, id := range perPage[pid] {
+			used += sizer(id) + storage.PerRecordOverhead
+		}
+		fills = append(fills, float64(used)/float64(block))
+	}
+	sort.Float64s(fills)
+	fmt.Fprintf(w, "page fill: min %.2f  median %.2f  max %.2f\n",
+		fills[0], fills[len(fills)/2], fills[len(fills)-1])
+
+	if showPAG {
+		pag := graph.BuildPAG(g, placement)
+		degs := make([]int, 0, len(pids))
+		for _, pid := range pids {
+			degs = append(degs, len(pag.NbrPages(pid)))
+		}
+		sort.Ints(degs)
+		fmt.Fprintf(w, "PAG: %d pages, degree min %d median %d max %d\n",
+			pag.NumPages(), degs[0], degs[len(degs)/2], degs[len(degs)-1])
+	}
+	if showPages {
+		for _, pid := range pids {
+			ids := perPage[pid]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			fmt.Fprintf(w, "page %4d (%2d records): %v\n", pid, len(ids), ids)
+		}
+	}
+	return nil
+}

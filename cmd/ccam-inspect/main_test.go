@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunStatic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2048, 1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CCAM-S (static create)", "network:", "CRR:", "page fill:", "PAG:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDynamicWithPages(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 4096, 2, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CCAM-D (incremental create)") {
+		t.Fatalf("missing dynamic banner:\n%s", out[:200])
+	}
+	if !strings.Contains(out, "page ") {
+		t.Fatal("missing per-page listing")
+	}
+}
+
+func TestRunRejectsTinyBlock(t *testing.T) {
+	if err := run(&bytes.Buffer{}, 16, 1, false, false, false); err == nil {
+		t.Fatal("tiny block accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccam"
+)
+
+func tinyOpts() ccam.RoadMapOpts {
+	opts := ccam.MinneapolisLikeOpts()
+	opts.Rows, opts.Cols = 8, 8
+	return opts
+}
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyOpts(), true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes:", "directed edges:", "avg successors", "extent:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyOpts(), false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ccam.ReadNetworkJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ccam.RoadMap(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != want.NumNodes() || g.NumEdges() != want.NumEdges() {
+		t.Fatalf("round trip %d/%d, want %d/%d",
+			g.NumNodes(), g.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+}
+
+func TestRunRejectsBadOpts(t *testing.T) {
+	opts := tinyOpts()
+	opts.Rows = 1
+	if err := run(&bytes.Buffer{}, opts, true); err == nil {
+		t.Fatal("bad opts accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module ccam
+
+go 1.22

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig5Config parameterizes the CRR-vs-block-size experiment (paper
+// Figure 5).
+type Fig5Config struct {
+	Setup      Setup
+	BlockSizes []int    // default {512, 1024, 2048, 4096}
+	Methods    []string // default MethodNames
+}
+
+// Fig5Result holds CRR per method per block size.
+type Fig5Result struct {
+	BlockSizes []int
+	Methods    []string
+	// CRR[method][blockSize]
+	CRR map[string]map[int]float64
+	// Pages[method][blockSize] is the resulting file size in pages.
+	Pages map[string]map[int]int
+}
+
+// RunFig5 reproduces Figure 5: the effect of disk block size on CRR for
+// each access method, with uniform edge weights.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if len(cfg.BlockSizes) == 0 {
+		cfg.BlockSizes = []int{512, 1024, 2048, 4096}
+	}
+	if len(cfg.Methods) == 0 {
+		cfg.Methods = MethodNames
+	}
+	g, err := cfg.Setup.Network()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		BlockSizes: cfg.BlockSizes,
+		Methods:    cfg.Methods,
+		CRR:        map[string]map[int]float64{},
+		Pages:      map[string]map[int]int{},
+	}
+	for _, name := range cfg.Methods {
+		res.CRR[name] = map[int]float64{}
+		res.Pages[name] = map[int]int{}
+		for _, bs := range cfg.BlockSizes {
+			m, err := buildMethod(name, g, bs, 64, cfg.Setup.Seed)
+			if err != nil {
+				return nil, err
+			}
+			st := StatsOf(m, g)
+			res.CRR[name][bs] = st.CRR
+			res.Pages[name][bs] = st.Pages
+		}
+	}
+	return res, nil
+}
+
+// Print writes the result as a paper-style table.
+func (r *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: effect of disk block size on CRR (uniform weights)")
+	fmt.Fprintf(w, "%-10s", "block")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, " %10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, bs := range r.BlockSizes {
+		fmt.Fprintf(w, "%-10d", bs)
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, " %10.4f", r.CRR[m][bs])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "(pages)")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, " %10d", r.Pages[m][r.BlockSizes[len(r.BlockSizes)-1]])
+	}
+	fmt.Fprintln(w)
+}

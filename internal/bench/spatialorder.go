@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ccam/internal/graph"
+)
+
+// SpatialOrderResult compares proximity-based file organizations
+// (ablation A8): the space-filling-curve orderings (Hilbert-AM,
+// ZCurve-AM), the Grid File, and CCAM — the question of the paper's
+// companion study [23], "Can Proximity-Based Access Methods Efficiently
+// Support Network Computations?".
+type SpatialOrderResult struct {
+	BlockSizes []int
+	Methods    []string
+	// CRR[method][blockSize]
+	CRR map[string]map[int]float64
+}
+
+// RunAblationSpatialOrder measures the CRR of proximity organizations
+// across block sizes, with CCAM-S and DFS-AM for reference.
+func RunAblationSpatialOrder(setup Setup) (*SpatialOrderResult, error) {
+	g, err := setup.Network()
+	if err != nil {
+		return nil, err
+	}
+	res := &SpatialOrderResult{
+		BlockSizes: []int{512, 1024, 2048, 4096},
+		Methods:    []string{"ccam-s", "hilbert-am", "zcurve-am", "grid-file", "dfs-am"},
+		CRR:        map[string]map[int]float64{},
+	}
+	for _, name := range res.Methods {
+		res.CRR[name] = map[int]float64{}
+		for _, bs := range res.BlockSizes {
+			m, err := buildMethod(name, g, bs, 64, setup.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: spatial order %s@%d: %w", name, bs, err)
+			}
+			res.CRR[name][bs] = graph.CRR(g, m.File().Placement())
+		}
+	}
+	return res, nil
+}
+
+// Print writes the comparison.
+func (r *SpatialOrderResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation A8: proximity-based organizations vs connectivity clustering (CRR)")
+	fmt.Fprintf(w, "%-10s", "block")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, " %11s", m)
+	}
+	fmt.Fprintln(w)
+	for _, bs := range r.BlockSizes {
+		fmt.Fprintf(w, "%-10d", bs)
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, " %11.4f", r.CRR[m][bs])
+		}
+		fmt.Fprintln(w)
+	}
+}

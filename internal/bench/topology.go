@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+)
+
+// TopologyResult compares clustering quality across network families
+// (ablation A6): the grid-like American road map, the ring-and-spoke
+// radial city, and a random geometric graph. CCAM's claim is about
+// "general networks", so its advantage should not depend on the grid
+// topology of the benchmark map.
+type TopologyResult struct {
+	Topologies []string
+	Methods    []string
+	// CRR[topology][method]
+	CRR map[string]map[string]float64
+	// Nodes/Edges per topology, for context.
+	Nodes, Edges map[string]int
+}
+
+// RunAblationTopology builds each access method over each network
+// family (block 1024) and reports CRR.
+func RunAblationTopology(setup Setup) (*TopologyResult, error) {
+	grid, err := setup.Network()
+	if err != nil {
+		return nil, err
+	}
+	radial, err := graph.RadialCity(graph.RadialCityOpts{
+		Rings:      18,
+		Spokes:     60,
+		Radius:     4000,
+		Center:     geom.Point{X: 4000, Y: 4000},
+		Jitter:     0.2,
+		DeleteFrac: 0.12,
+		AttrBytes:  24,
+		Seed:       setup.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	geo := graph.RandomGeometric(1100, 320,
+		geom.NewRect(geom.Point{X: 0, Y: 0}, geom.Point{X: 8000, Y: 8000}), setup.Seed)
+
+	nets := []struct {
+		name string
+		g    *graph.Network
+	}{
+		{"grid-roadmap", grid},
+		{"radial-city", radial},
+		{"random-geometric", geo},
+	}
+	res := &TopologyResult{
+		Methods: []string{"ccam-s", "dfs-am", "grid-file", "bfs-am"},
+		CRR:     map[string]map[string]float64{},
+		Nodes:   map[string]int{},
+		Edges:   map[string]int{},
+	}
+	for _, n := range nets {
+		res.Topologies = append(res.Topologies, n.name)
+		res.Nodes[n.name] = n.g.NumNodes()
+		res.Edges[n.name] = n.g.NumEdges()
+		res.CRR[n.name] = map[string]float64{}
+		for _, name := range res.Methods {
+			m, err := buildMethod(name, n.g, 1024, 64, setup.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: topology %s/%s: %w", n.name, name, err)
+			}
+			res.CRR[n.name][name] = graph.CRR(n.g, m.File().Placement())
+		}
+	}
+	return res, nil
+}
+
+// Print writes the topology comparison.
+func (r *TopologyResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation A6: CRR across network topologies (block = 1k)")
+	fmt.Fprintf(w, "%-18s %7s %7s", "topology", "nodes", "edges")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, " %10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, topo := range r.Topologies {
+		fmt.Fprintf(w, "%-18s %7d %7d", topo, r.Nodes[topo], r.Edges[topo])
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, " %10.4f", r.CRR[topo][m])
+		}
+		fmt.Fprintln(w)
+	}
+}

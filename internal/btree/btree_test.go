@@ -1,0 +1,383 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ccam/internal/buffer"
+	"ccam/internal/storage"
+)
+
+func newTree(t *testing.T, pageSize int) *Tree {
+	t.Helper()
+	st := storage.NewMemStore(pageSize)
+	pool := buffer.NewPool(st, 64)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTree(t, 256)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, err := tr.Get(42); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("Get on empty = %v", err)
+	}
+	if err := tr.Delete(42); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("Delete on empty = %v", err)
+	}
+	it := tr.Min()
+	if it.Next() {
+		t.Fatal("iterator on empty tree yields entries")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := uint64(0); i < 10; i++ {
+		if err := tr.Insert(i*7, i*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		v, err := tr.Get(i * 7)
+		if err != nil || v != i*100 {
+			t.Fatalf("Get(%d) = %d, %v", i*7, v, err)
+		}
+	}
+	if err := tr.Insert(7, 1); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert = %v", err)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tr := newTree(t, 256)
+	if err := tr.Put(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get(5); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestSplitsGrowHeight(t *testing.T) {
+	tr := newTree(t, 256) // small pages force splits quickly
+	n := uint64(2000)
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(i, i+1); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d, expected deep tree", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := tr.Get(i)
+		if err != nil || v != i+1 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestInsertDescendingAndRandom(t *testing.T) {
+	for _, name := range []string{"descending", "random"} {
+		t.Run(name, func(t *testing.T) {
+			tr := newTree(t, 256)
+			keys := make([]uint64, 1500)
+			for i := range keys {
+				keys[i] = uint64(i) * 3
+			}
+			if name == "descending" {
+				for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+					keys[i], keys[j] = keys[j], keys[i]
+				}
+			} else {
+				rng := rand.New(rand.NewSource(5))
+				rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+			}
+			for _, k := range keys {
+				if err := tr.Insert(k, k^0xFF); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				if v, err := tr.Get(k); err != nil || v != k^0xFF {
+					t.Fatalf("Get(%d) = %d, %v", k, v, err)
+				}
+			}
+		})
+	}
+}
+
+func TestIteratorFullScan(t *testing.T) {
+	tr := newTree(t, 256)
+	var keys []uint64
+	rng := rand.New(rand.NewSource(11))
+	seen := map[uint64]bool{}
+	for len(keys) < 800 {
+		k := uint64(rng.Intn(100000))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		if err := tr.Insert(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	it := tr.Min()
+	i := 0
+	for it.Next() {
+		if it.Key() != keys[i] || it.Value() != keys[i]*2 {
+			t.Fatalf("scan[%d] = (%d,%d), want (%d,%d)", i, it.Key(), it.Value(), keys[i], keys[i]*2)
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != len(keys) {
+		t.Fatalf("scan visited %d keys, want %d", i, len(keys))
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i*10, i)
+	}
+	it := tr.Seek(55)
+	if !it.Next() || it.Key() != 60 {
+		t.Fatalf("Seek(55) first key = %d, want 60", it.Key())
+	}
+	it = tr.Seek(60)
+	if !it.Next() || it.Key() != 60 {
+		t.Fatalf("Seek(60) first key = %d, want 60", it.Key())
+	}
+	it = tr.Seek(991)
+	if it.Next() {
+		t.Fatal("Seek past max yields entries")
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := uint64(0); i < 20; i++ {
+		tr.Insert(i, i)
+	}
+	for i := uint64(0); i < 20; i += 2 {
+		if err := tr.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 20; i++ {
+		_, err := tr.Get(i)
+		if i%2 == 0 && !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("deleted key %d still present: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("kept key %d lost: %v", i, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAllShrinksTree(t *testing.T) {
+	tr := newTree(t, 256)
+	n := uint64(1200)
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i)
+	}
+	grown := tr.Height()
+	if grown < 3 {
+		t.Fatalf("setup: height %d", grown)
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Delete(i); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height after deleting all = %d, want 1", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree is reusable after emptying.
+	if err := tr.Insert(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tr.Get(42); err != nil || v != 1 {
+		t.Fatalf("reuse Get = %d, %v", v, err)
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	tr := newTree(t, 256)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(77))
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0: // put
+			v := uint64(rng.Intn(1 << 30))
+			if err := tr.Put(k, v); err != nil {
+				t.Fatalf("op %d Put: %v", op, err)
+			}
+			ref[k] = v
+		case 1: // delete
+			err := tr.Delete(k)
+			if _, ok := ref[k]; ok {
+				if err != nil {
+					t.Fatalf("op %d Delete(%d): %v", op, k, err)
+				}
+				delete(ref, k)
+			} else if !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("op %d Delete missing = %v", op, err)
+			}
+		case 2: // get
+			v, err := tr.Get(k)
+			want, ok := ref[k]
+			if ok && (err != nil || v != want) {
+				t.Fatalf("op %d Get(%d) = %d,%v want %d", op, k, v, err, want)
+			}
+			if !ok && !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("op %d Get missing = %v", op, err)
+			}
+		}
+		if op%2500 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Full scan matches sorted reference.
+	var keys []uint64
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	it := tr.Min()
+	i := 0
+	for it.Next() {
+		if it.Key() != keys[i] || it.Value() != ref[keys[i]] {
+			t.Fatalf("scan[%d] mismatch", i)
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("scan count %d want %d", i, len(keys))
+	}
+}
+
+func TestPageReuseAfterMerges(t *testing.T) {
+	st := storage.NewMemStore(256)
+	pool := buffer.NewPool(st, 64)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		tr.Insert(i, i)
+	}
+	peak := st.NumPages()
+	for i := uint64(0); i < 2000; i++ {
+		tr.Delete(i)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	after := st.NumPages()
+	if after >= peak/2 {
+		t.Fatalf("pages not reclaimed: peak %d, after %d", peak, after)
+	}
+}
+
+func TestTooSmallPage(t *testing.T) {
+	st := storage.NewMemStore(32)
+	pool := buffer.NewPool(st, 4)
+	if _, err := New(pool); err == nil {
+		t.Fatal("New accepted unusably small page size")
+	}
+}
+
+func TestSeekBoundaries(t *testing.T) {
+	tr := newTree(t, 256)
+	// Keys at the extremes.
+	tr.Insert(0, 100)
+	tr.Insert(^uint64(0), 200)
+	it := tr.Seek(0)
+	if !it.Next() || it.Key() != 0 {
+		t.Fatalf("Seek(0) = %d", it.Key())
+	}
+	it = tr.Seek(^uint64(0))
+	if !it.Next() || it.Key() != ^uint64(0) {
+		t.Fatalf("Seek(max) = %d", it.Key())
+	}
+	if it.Next() {
+		t.Fatal("iterator past max yields entries")
+	}
+}
+
+func TestIteratorSurvivesInterleavedReads(t *testing.T) {
+	// The iterator re-fetches pages per step, so concurrent Get calls
+	// (same tree, same pool) must not derail an in-flight scan.
+	tr := newTree(t, 256)
+	for i := uint64(0); i < 500; i++ {
+		tr.Insert(i, i)
+	}
+	it := tr.Min()
+	count := uint64(0)
+	for it.Next() {
+		if it.Key() != count {
+			t.Fatalf("scan[%d] = %d", count, it.Key())
+		}
+		// Interleave random point reads.
+		if _, err := tr.Get((count * 37) % 500); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 500 {
+		t.Fatalf("scanned %d", count)
+	}
+}

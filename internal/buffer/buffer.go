@@ -1,0 +1,345 @@
+// Package buffer implements an LRU buffer pool over a storage.Store.
+//
+// The paper's route-evaluation experiments assume "one buffer with the
+// size of one data page"; the operation-cost experiments assume index
+// pages are memory resident and data pages are fetched on demand. Pool
+// reproduces both regimes: physical I/O is whatever reaches the
+// underlying Store, and the pool reports hits and misses so experiments
+// can report "number of data pages accessed" exactly as the paper does.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"ccam/internal/storage"
+)
+
+// Common buffer errors.
+var (
+	ErrAllPinned  = errors.New("buffer: all frames pinned")
+	ErrNotPinned  = errors.New("buffer: page not pinned")
+	ErrPoolClosed = errors.New("buffer: pool is closed")
+)
+
+// Stats describes buffer pool traffic.
+type Stats struct {
+	Fetches   int64 // logical page requests
+	Hits      int64 // requests satisfied from the pool
+	Misses    int64 // requests requiring a physical read
+	Evictions int64 // frames recycled
+	Flushes   int64 // dirty pages written back
+}
+
+// HitRate returns Hits/Fetches, or 0 for an idle pool.
+func (s Stats) HitRate() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fetches)
+}
+
+// Sub returns the change from an earlier snapshot.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Fetches:   s.Fetches - earlier.Fetches,
+		Hits:      s.Hits - earlier.Hits,
+		Misses:    s.Misses - earlier.Misses,
+		Evictions: s.Evictions - earlier.Evictions,
+		Flushes:   s.Flushes - earlier.Flushes,
+	}
+}
+
+// frame is one buffered page.
+type frame struct {
+	id    storage.PageID
+	data  []byte
+	dirty bool
+	pins  int
+	// LRU list links (intrusive doubly linked list over frame indexes).
+	prev, next int
+}
+
+// Pool is an LRU buffer pool. It is not safe for concurrent use; each
+// access method owns its pool, matching the single-query-at-a-time cost
+// model of the paper.
+type Pool struct {
+	store  storage.Store
+	frames []frame
+	table  map[storage.PageID]int // page -> frame index
+	// LRU list: head = most recent, tail = least recent. -1 terminates.
+	head, tail int
+	freeList   []int
+	stats      Stats
+	closed     bool
+}
+
+// NewPool returns a pool with capacity frames over store. Capacity must
+// be at least 1.
+func NewPool(store storage.Store, capacity int) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: invalid pool capacity %d", capacity))
+	}
+	p := &Pool{
+		store: store,
+		table: make(map[storage.PageID]int, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+	p.frames = make([]frame, capacity)
+	for i := capacity - 1; i >= 0; i-- {
+		p.frames[i] = frame{id: storage.InvalidPageID, prev: -1, next: -1}
+		p.freeList = append(p.freeList, i)
+	}
+	return p
+}
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }
+
+// Store returns the underlying page store.
+func (p *Pool) Store() storage.Store { return p.store }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the pool counters (not the store's).
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Contains reports whether the page is currently buffered, without
+// touching recency or counters. Get-A-successor uses this to probe the
+// buffer before paying for a Find.
+func (p *Pool) Contains(id storage.PageID) bool {
+	_, ok := p.table[id]
+	return ok
+}
+
+// Fetch pins the page and returns its buffer-resident image. The caller
+// must Unpin exactly once per Fetch. The returned slice aliases the
+// frame and is valid until Unpin.
+func (p *Pool) Fetch(id storage.PageID) ([]byte, error) {
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	p.stats.Fetches++
+	if fi, ok := p.table[id]; ok {
+		p.stats.Hits++
+		p.frames[fi].pins++
+		p.touch(fi)
+		return p.frames[fi].data, nil
+	}
+	p.stats.Misses++
+	fi, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[fi]
+	if f.data == nil {
+		f.data = make([]byte, p.store.PageSize())
+	}
+	if err := p.store.ReadPage(id, f.data); err != nil {
+		p.freeList = append(p.freeList, fi)
+		return nil, fmt.Errorf("buffer: fetch page %d: %w", id, err)
+	}
+	f.id = id
+	f.dirty = false
+	f.pins = 1
+	p.table[id] = fi
+	p.pushFront(fi)
+	return f.data, nil
+}
+
+// FetchNew pins a freshly allocated page, returning its ID and a zeroed
+// buffer image without a physical read.
+func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
+	if p.closed {
+		return storage.InvalidPageID, nil, ErrPoolClosed
+	}
+	id, err := p.store.Allocate()
+	if err != nil {
+		return storage.InvalidPageID, nil, err
+	}
+	fi, err := p.victim()
+	if err != nil {
+		return storage.InvalidPageID, nil, err
+	}
+	f := &p.frames[fi]
+	if f.data == nil {
+		f.data = make([]byte, p.store.PageSize())
+	} else {
+		for i := range f.data {
+			f.data[i] = 0
+		}
+	}
+	f.id = id
+	f.dirty = true // must be written out even if untouched
+	f.pins = 1
+	p.table[id] = fi
+	p.pushFront(fi)
+	p.stats.Fetches++
+	p.stats.Hits++ // allocation does not cost a read
+	return id, f.data, nil
+}
+
+// Unpin releases one pin on the page, marking the frame dirty when the
+// caller modified it.
+func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
+	fi, ok := p.table[id]
+	if !ok || p.frames[fi].pins == 0 {
+		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
+	}
+	f := &p.frames[fi]
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// Discard drops the page from the pool without writing it back, even if
+// dirty. The page must be unpinned. Used when a page is freed.
+func (p *Pool) Discard(id storage.PageID) {
+	fi, ok := p.table[id]
+	if !ok {
+		return
+	}
+	if p.frames[fi].pins > 0 {
+		panic(fmt.Sprintf("buffer: discard of pinned page %d", id))
+	}
+	p.unlink(fi)
+	delete(p.table, id)
+	p.frames[fi].id = storage.InvalidPageID
+	p.frames[fi].dirty = false
+	p.freeList = append(p.freeList, fi)
+}
+
+// FlushAll writes every dirty frame back to the store. Pinned frames
+// are flushed too (they stay resident and pinned).
+func (p *Pool) FlushAll() error {
+	for fi := range p.frames {
+		if err := p.flushFrame(fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes the page back if buffered and dirty.
+func (p *Pool) Flush(id storage.PageID) error {
+	if fi, ok := p.table[id]; ok {
+		return p.flushFrame(fi)
+	}
+	return nil
+}
+
+func (p *Pool) flushFrame(fi int) error {
+	f := &p.frames[fi]
+	if f.id == storage.InvalidPageID || !f.dirty {
+		return nil
+	}
+	if err := p.store.WritePage(f.id, f.data); err != nil {
+		return fmt.Errorf("buffer: flush page %d: %w", f.id, err)
+	}
+	f.dirty = false
+	p.stats.Flushes++
+	return nil
+}
+
+// Reset flushes every dirty frame and then empties the pool, so the
+// next fetches are cold. Experiments call this between operations to
+// reproduce the paper's per-operation page-access counts. It fails if
+// any frame is still pinned.
+func (p *Pool) Reset() error {
+	for fi := range p.frames {
+		if p.frames[fi].pins > 0 {
+			return fmt.Errorf("buffer: reset with pinned page %d", p.frames[fi].id)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	for fi := range p.frames {
+		f := &p.frames[fi]
+		if f.id != storage.InvalidPageID {
+			delete(p.table, f.id)
+			p.unlink(fi)
+			f.id = storage.InvalidPageID
+			f.dirty = false
+			p.freeList = append(p.freeList, fi)
+		}
+	}
+	return nil
+}
+
+// Close flushes all dirty pages and invalidates the pool.
+func (p *Pool) Close() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	p.closed = true
+	return nil
+}
+
+// victim returns a free frame index, evicting the least recently used
+// unpinned frame when necessary.
+func (p *Pool) victim() (int, error) {
+	if n := len(p.freeList); n > 0 {
+		fi := p.freeList[n-1]
+		p.freeList = p.freeList[:n-1]
+		return fi, nil
+	}
+	for fi := p.tail; fi != -1; fi = p.frames[fi].prev {
+		if p.frames[fi].pins == 0 {
+			if err := p.flushFrame(fi); err != nil {
+				return -1, err
+			}
+			delete(p.table, p.frames[fi].id)
+			p.unlink(fi)
+			p.frames[fi].id = storage.InvalidPageID
+			p.stats.Evictions++
+			return fi, nil
+		}
+	}
+	return -1, ErrAllPinned
+}
+
+// --- intrusive LRU list ---
+
+func (p *Pool) pushFront(fi int) {
+	f := &p.frames[fi]
+	f.prev = -1
+	f.next = p.head
+	if p.head != -1 {
+		p.frames[p.head].prev = fi
+	}
+	p.head = fi
+	if p.tail == -1 {
+		p.tail = fi
+	}
+}
+
+func (p *Pool) unlink(fi int) {
+	f := &p.frames[fi]
+	if f.prev != -1 {
+		p.frames[f.prev].next = f.next
+	} else if p.head == fi {
+		p.head = f.next
+	}
+	if f.next != -1 {
+		p.frames[f.next].prev = f.prev
+	} else if p.tail == fi {
+		p.tail = f.prev
+	}
+	f.prev, f.next = -1, -1
+}
+
+func (p *Pool) touch(fi int) {
+	if p.head == fi {
+		return
+	}
+	p.unlink(fi)
+	p.pushFront(fi)
+}

@@ -1,0 +1,309 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ccam/internal/storage"
+)
+
+func newPoolWithPages(t *testing.T, capacity, pages int) (*Pool, []storage.PageID) {
+	t.Helper()
+	st := storage.NewMemStore(128)
+	ids := make([]storage.PageID, pages)
+	for i := range ids {
+		id, err := st.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		buf[0] = byte(i + 1) // distinguish pages
+		if err := st.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	st.ResetStats()
+	return NewPool(st, capacity), ids
+}
+
+func TestFetchHitMiss(t *testing.T) {
+	p, ids := newPoolWithPages(t, 2, 3)
+	b, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 {
+		t.Fatalf("wrong page content: %d", b[0])
+	}
+	p.Unpin(ids[0], false)
+	// Second fetch hits.
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	st := p.Stats()
+	if st.Fetches != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if p.Store().Stats().Reads != 1 {
+		t.Fatalf("physical reads = %d, want 1", p.Store().Stats().Reads)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p, ids := newPoolWithPages(t, 2, 3)
+	fetch := func(id storage.PageID) {
+		t.Helper()
+		if _, err := p.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fetch(ids[0])
+	fetch(ids[1])
+	fetch(ids[0]) // 0 is now MRU
+	fetch(ids[2]) // must evict 1, not 0
+	if !p.Contains(ids[0]) || !p.Contains(ids[2]) || p.Contains(ids[1]) {
+		t.Fatalf("LRU eviction picked wrong victim: contains0=%v contains1=%v contains2=%v",
+			p.Contains(ids[0]), p.Contains(ids[1]), p.Contains(ids[2]))
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	p, ids := newPoolWithPages(t, 1, 2)
+	b, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[5] = 0xAB
+	p.Unpin(ids[0], true)
+	// Fetching another page evicts and must flush the dirty frame.
+	if _, err := p.Fetch(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[1], false)
+	raw := make([]byte, 128)
+	if err := p.Store().ReadPage(ids[0], raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[5] != 0xAB {
+		t.Fatal("dirty page lost on eviction")
+	}
+	if p.Stats().Flushes != 1 {
+		t.Fatalf("flushes = %d", p.Stats().Flushes)
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	p, ids := newPoolWithPages(t, 1, 2)
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Pool is full of pinned pages: next fetch must fail.
+	if _, err := p.Fetch(ids[1]); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("err = %v, want ErrAllPinned", err)
+	}
+	p.Unpin(ids[0], false)
+	if _, err := p.Fetch(ids[1]); err != nil {
+		t.Fatalf("fetch after unpin: %v", err)
+	}
+	p.Unpin(ids[1], false)
+}
+
+func TestUnpinErrors(t *testing.T) {
+	p, ids := newPoolWithPages(t, 2, 1)
+	if err := p.Unpin(ids[0], false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("unpin unfetched = %v", err)
+	}
+	p.Fetch(ids[0])
+	p.Unpin(ids[0], false)
+	if err := p.Unpin(ids[0], false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("unpin twice = %v", err)
+	}
+}
+
+func TestFetchNewAndDiscard(t *testing.T) {
+	p, _ := newPoolWithPages(t, 2, 0)
+	id, b, err := p.FetchNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range b {
+		if c != 0 {
+			t.Fatal("new page not zeroed")
+		}
+	}
+	b[0] = 7
+	p.Unpin(id, true)
+	if err := p.Flush(id); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 128)
+	if err := p.Store().ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 7 {
+		t.Fatal("flushed content wrong")
+	}
+	p.Discard(id)
+	if p.Contains(id) {
+		t.Fatal("discarded page still buffered")
+	}
+	// FetchNew costs no physical read.
+	if p.Store().Stats().Reads != 1 { // only our verification read
+		t.Fatalf("reads = %d", p.Store().Stats().Reads)
+	}
+}
+
+func TestFlushAllAndClose(t *testing.T) {
+	p, ids := newPoolWithPages(t, 4, 3)
+	for _, id := range ids {
+		b, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[1] = 0x55
+		p.Unpin(id, true)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		raw := make([]byte, 128)
+		if err := p.Store().ReadPage(id, raw); err != nil {
+			t.Fatal(err)
+		}
+		if raw[1] != 0x55 {
+			t.Fatal("Close lost dirty page")
+		}
+	}
+	if _, err := p.Fetch(ids[0]); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("fetch after close = %v", err)
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	p, ids := newPoolWithPages(t, 2, 3)
+	fetch := func(id storage.PageID) {
+		t.Helper()
+		if _, err := p.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	fetch(ids[0])
+	fetch(ids[1])
+	// Probe ids[0]; must NOT make it MRU.
+	if !p.Contains(ids[0]) {
+		t.Fatal("Contains false negative")
+	}
+	before := p.Stats().Fetches
+	fetch(ids[2]) // should evict ids[0] (still LRU despite Contains)
+	if p.Contains(ids[0]) {
+		t.Fatal("Contains perturbed LRU order")
+	}
+	if p.Stats().Fetches != before+1 {
+		t.Fatal("Contains counted as fetch")
+	}
+}
+
+func TestPoolStress(t *testing.T) {
+	st := storage.NewMemStore(64)
+	var ids []storage.PageID
+	shadow := map[storage.PageID]byte{}
+	for i := 0; i < 50; i++ {
+		id, _ := st.Allocate()
+		ids = append(ids, id)
+		shadow[id] = 0
+	}
+	p := NewPool(st, 7)
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 5000; op++ {
+		id := ids[rng.Intn(len(ids))]
+		b, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[3] != shadow[id] {
+			t.Fatalf("page %d content %d, want %d", id, b[3], shadow[id])
+		}
+		if rng.Intn(2) == 0 {
+			shadow[id]++
+			b[3] = shadow[id]
+			p.Unpin(id, true)
+		} else {
+			p.Unpin(id, false)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for id, want := range shadow {
+		if err := st.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[3] != want {
+			t.Fatalf("page %d persisted %d, want %d", id, buf[3], want)
+		}
+	}
+	hr := p.Stats().HitRate()
+	if hr <= 0 || hr >= 1 {
+		t.Fatalf("implausible hit rate %f", hr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p, ids := newPoolWithPages(t, 3, 3)
+	// Dirty a page, then reset: contents must be flushed and the pool
+	// emptied.
+	b, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[9] = 0x77
+	p.Unpin(ids[0], true)
+	p.Fetch(ids[1])
+	p.Unpin(ids[1], false)
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if p.Contains(id) {
+			t.Fatalf("page %d still buffered after Reset", id)
+		}
+	}
+	raw := make([]byte, 128)
+	if err := p.Store().ReadPage(ids[0], raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[9] != 0x77 {
+		t.Fatal("dirty page lost by Reset")
+	}
+	// The pool is usable afterwards.
+	if _, err := p.Fetch(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[2], false)
+}
+
+func TestResetRefusesPinnedPages(t *testing.T) {
+	p, ids := newPoolWithPages(t, 2, 1)
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reset(); err == nil {
+		t.Fatal("Reset succeeded with a pinned page")
+	}
+	p.Unpin(ids[0], false)
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+}

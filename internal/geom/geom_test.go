@@ -1,0 +1,293 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	cases := []struct{ x, y uint32 }{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+		{maxCoord, maxCoord}, {maxCoord, 0}, {0, maxCoord},
+		{12345, 67890}, {1 << 30, 1 << 29},
+	}
+	for _, c := range cases {
+		z := Interleave(c.x, c.y)
+		gx, gy := Deinterleave(z)
+		if gx != c.x || gy != c.y {
+			t.Errorf("Interleave(%d,%d) round trip = (%d,%d)", c.x, c.y, gx, gy)
+		}
+	}
+}
+
+func TestInterleaveRoundTripProperty(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= maxCoord
+		y &= maxCoord
+		gx, gy := Deinterleave(Interleave(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveMonotoneInEachDimension(t *testing.T) {
+	// Fixing one coordinate, increasing the other must increase Z.
+	f := func(x1, x2, y uint32) bool {
+		x1 &= maxCoord
+		x2 &= maxCoord
+		y &= maxCoord
+		if x1 == x2 {
+			return Interleave(x1, y) == Interleave(x2, y)
+		}
+		lo, hi := x1, x2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Interleave(lo, y) < Interleave(hi, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerCorners(t *testing.T) {
+	b := NewRect(Point{0, 0}, Point{100, 200})
+	q := NewQuantizer(b)
+	if x, y := q.Grid(Point{0, 0}); x != 0 || y != 0 {
+		t.Errorf("min corner = (%d,%d), want (0,0)", x, y)
+	}
+	x, y := q.Grid(Point{100, 200})
+	if x != maxCoord || y != maxCoord {
+		t.Errorf("max corner = (%d,%d), want (%d,%d)", x, y, maxCoord, maxCoord)
+	}
+	// Out-of-bounds points clamp.
+	if x, y := q.Grid(Point{-5, 300}); x != 0 || y != maxCoord {
+		t.Errorf("clamp = (%d,%d)", x, y)
+	}
+}
+
+func TestQuantizerDegenerateBounds(t *testing.T) {
+	q := NewQuantizer(NewRect(Point{5, 5}, Point{5, 5}))
+	if z := q.Z(Point{5, 5}); z != 0 {
+		t.Errorf("degenerate bounds Z = %d, want 0", z)
+	}
+}
+
+func TestRectContainsIntersects(t *testing.T) {
+	r := NewRect(Point{10, 20}, Point{0, 0}) // corners given out of order
+	if r.Min.X != 0 || r.Min.Y != 0 || r.Max.X != 10 || r.Max.Y != 20 {
+		t.Fatalf("NewRect normalization failed: %+v", r)
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 20}) || !r.Contains(Point{5, 5}) {
+		t.Error("Contains rejects interior/boundary point")
+	}
+	if r.Contains(Point{10.01, 5}) {
+		t.Error("Contains accepts exterior point")
+	}
+	if !r.Intersects(NewRect(Point{9, 19}, Point{30, 30})) {
+		t.Error("overlapping rects do not intersect")
+	}
+	if r.Intersects(NewRect(Point{11, 0}, Point{20, 20})) {
+		t.Error("disjoint rects intersect")
+	}
+	// Touching edges intersect (boundary inclusive).
+	if !r.Intersects(NewRect(Point{10, 0}, Point{20, 20})) {
+		t.Error("touching rects should intersect")
+	}
+}
+
+func TestZPreservesProximityOrderOnDiagonal(t *testing.T) {
+	q := NewQuantizer(NewRect(Point{0, 0}, Point{1, 1}))
+	// Along the main diagonal Z is strictly increasing.
+	prev := uint64(0)
+	for i := 1; i <= 100; i++ {
+		p := Point{float64(i) / 100, float64(i) / 100}
+		z := q.Z(p)
+		if z <= prev {
+			t.Fatalf("Z not increasing along diagonal at step %d", i)
+		}
+		prev = z
+	}
+}
+
+func TestInZRect(t *testing.T) {
+	lo := Interleave(2, 3)
+	hi := Interleave(10, 12)
+	if !InZRect(Interleave(5, 7), lo, hi) {
+		t.Error("interior point rejected")
+	}
+	if InZRect(Interleave(1, 7), lo, hi) {
+		t.Error("x below range accepted")
+	}
+	if InZRect(Interleave(5, 13), lo, hi) {
+		t.Error("y above range accepted")
+	}
+	if !InZRect(lo, lo, hi) || !InZRect(hi, lo, hi) {
+		t.Error("corners must be inside")
+	}
+}
+
+func TestBigMinSkipsGaps(t *testing.T) {
+	// Query rectangle [2,10]x[3,12]. For any z outside the rectangle,
+	// BigMin must return the smallest in-rectangle Z above z.
+	lo := Interleave(2, 3)
+	hi := Interleave(10, 12)
+
+	// Collect all in-rect z values by brute force.
+	var inRect []uint64
+	for x := uint32(0); x <= 16; x++ {
+		for y := uint32(0); y <= 16; y++ {
+			z := Interleave(x, y)
+			if InZRect(z, lo, hi) {
+				inRect = append(inRect, z)
+			}
+		}
+	}
+	next := func(z uint64) (uint64, bool) {
+		best := uint64(0)
+		found := false
+		for _, v := range inRect {
+			if v > z && (!found || v < best) {
+				best, found = v, true
+			}
+		}
+		return best, found
+	}
+	for x := uint32(0); x <= 16; x++ {
+		for y := uint32(0); y <= 16; y++ {
+			z := Interleave(x, y)
+			if InZRect(z, lo, hi) {
+				continue
+			}
+			want, wantOK := next(z)
+			got, gotOK := BigMin(z, lo, hi)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("BigMin(z=Interleave(%d,%d)) = (%d,%v), want (%d,%v)",
+					x, y, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestBigMinRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		lox, hix := uint32(rng.Intn(32)), uint32(rng.Intn(32))
+		loy, hiy := uint32(rng.Intn(32)), uint32(rng.Intn(32))
+		if lox > hix {
+			lox, hix = hix, lox
+		}
+		if loy > hiy {
+			loy, hiy = hiy, loy
+		}
+		lo, hi := Interleave(lox, loy), Interleave(hix, hiy)
+		z := Interleave(uint32(rng.Intn(64)), uint32(rng.Intn(64)))
+		if InZRect(z, lo, hi) {
+			continue
+		}
+		got, ok := BigMin(z, lo, hi)
+		// Verify by brute force over the rectangle.
+		want := uint64(0)
+		wantOK := false
+		for x := lox; x <= hix; x++ {
+			for y := loy; y <= hiy; y++ {
+				v := Interleave(x, y)
+				if v > z && (!wantOK || v < want) {
+					want, wantOK = v, true
+				}
+			}
+		}
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("trial %d: BigMin = (%d,%v), want (%d,%v)", trial, got, ok, want, wantOK)
+		}
+	}
+}
+
+func TestZRangeOfClampsToBounds(t *testing.T) {
+	q := NewQuantizer(NewRect(Point{0, 0}, Point{100, 100}))
+	zr := q.ZRangeOf(NewRect(Point{-50, -50}, Point{200, 200}))
+	if zr.Lo != 0 {
+		t.Errorf("Lo = %d, want 0", zr.Lo)
+	}
+	if zr.Hi != Interleave(maxCoord, maxCoord) {
+		t.Errorf("Hi = %d, want full", zr.Hi)
+	}
+	if zr.Lo > zr.Hi {
+		t.Error("Lo > Hi")
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	const order = 7
+	n := uint32(1) << order
+	seen := map[uint64]bool{}
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			d := HilbertIndex(order, x, y)
+			if seen[d] {
+				t.Fatalf("index %d repeated", d)
+			}
+			seen[d] = true
+			gx, gy := HilbertPoint(order, d)
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, d, gx, gy)
+			}
+		}
+	}
+	if len(seen) != int(n)*int(n) {
+		t.Fatalf("covered %d cells", len(seen))
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// The defining property: consecutive curve positions are grid
+	// neighbors (Manhattan distance exactly 1). The Z curve lacks this.
+	const order = 6
+	n := uint64(1) << (2 * order)
+	px, py := HilbertPoint(order, 0)
+	for d := uint64(1); d < n; d++ {
+		x, y := HilbertPoint(order, d)
+		dist := absDiff(x, px) + absDiff(y, py)
+		if dist != 1 {
+			t.Fatalf("positions %d and %d are %d apart", d-1, d, dist)
+		}
+		px, py = x, y
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestQuantizerHilbert(t *testing.T) {
+	q := NewQuantizer(NewRect(Point{X: 0, Y: 0}, Point{X: 100, Y: 100}))
+	// Distinct points get valid indices within the curve's range.
+	max := uint64(1) << (2 * HilbertOrder)
+	a := q.Hilbert(Point{X: 10, Y: 10})
+	b := q.Hilbert(Point{X: 90, Y: 90})
+	if a >= max || b >= max {
+		t.Fatalf("indices out of range: %d %d", a, b)
+	}
+	if a == b {
+		t.Fatal("distant points collide")
+	}
+	// Nearby points have nearby indices more often than far ones; test
+	// a weak form on the diagonal.
+	near := q.Hilbert(Point{X: 10.5, Y: 10.5})
+	if d := absDiff64(a, near); d > max/1024 {
+		t.Fatalf("neighbor index distance %d implausibly large", d)
+	}
+}
+
+func absDiff64(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,60 @@
+package geom
+
+// Hilbert curve indexing. Unlike the Z-order curve, consecutive Hilbert
+// positions are always grid neighbors, which gives better locality for
+// proximity-based record orderings (the HILBERT-AM baseline).
+
+// HilbertIndex maps a cell (x, y) of the 2^order × 2^order grid to its
+// position along the Hilbert curve. order must be ≤ 31.
+func HilbertIndex(order uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// HilbertPoint is the inverse of HilbertIndex.
+func HilbertPoint(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// HilbertOrder is the grid resolution used by Hilbert keyed orderings:
+// 16 bits per axis, matching the Z-order index keys.
+const HilbertOrder = 16
+
+// Hilbert returns the Hilbert index of p under the quantizer at
+// HilbertOrder resolution.
+func (q Quantizer) Hilbert(p Point) uint64 {
+	ix, iy := q.Grid(p)
+	return HilbertIndex(HilbertOrder, ix>>15, iy>>15)
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccam/internal/geom"
+)
+
+// jsonNode is the on-wire node form.
+type jsonNode struct {
+	ID    uint32  `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Attrs []byte  `json:"attrs,omitempty"`
+}
+
+// jsonEdge is the on-wire edge form.
+type jsonEdge struct {
+	From   uint32  `json:"from"`
+	To     uint32  `json:"to"`
+	Cost   float64 `json:"cost"`
+	Weight float64 `json:"weight"`
+}
+
+// jsonNetwork is the on-wire network form.
+type jsonNetwork struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// WriteJSON serializes the network. Node and edge order is
+// deterministic (ascending ids), so equal networks produce equal
+// bytes.
+func (g *Network) WriteJSON(w io.Writer) error {
+	jn := jsonNetwork{}
+	for _, id := range g.NodeIDs() {
+		n, err := g.Node(id)
+		if err != nil {
+			return err
+		}
+		jn.Nodes = append(jn.Nodes, jsonNode{ID: uint32(id), X: n.Pos.X, Y: n.Pos.Y, Attrs: n.Attrs})
+	}
+	for _, e := range g.Edges() {
+		jn.Edges = append(jn.Edges, jsonEdge{From: uint32(e.From), To: uint32(e.To), Cost: e.Cost, Weight: e.Weight})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(jn); err != nil {
+		return fmt.Errorf("graph: encode network: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a network written by WriteJSON (or hand-authored in
+// the same schema; absent weights parse as zero). Edges referencing
+// unknown nodes, duplicate nodes and duplicate edges are errors.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jn); err != nil {
+		return nil, fmt.Errorf("graph: decode network: %w", err)
+	}
+	g := NewNetwork()
+	for _, n := range jn.Nodes {
+		if err := g.AddNode(Node{ID: NodeID(n.ID), Pos: geom.Point{X: n.X, Y: n.Y}, Attrs: n.Attrs}); err != nil {
+			return nil, fmt.Errorf("graph: node %d: %w", n.ID, err)
+		}
+	}
+	for _, e := range jn.Edges {
+		if err := g.AddEdge(Edge{From: NodeID(e.From), To: NodeID(e.To), Cost: e.Cost, Weight: e.Weight}); err != nil {
+			return nil, fmt.Errorf("graph: edge %d->%d: %w", e.From, e.To, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,69 @@
+package netfile
+
+import (
+	"fmt"
+
+	"ccam/internal/graph"
+)
+
+// Policy selects the reorganization behaviour of maintenance
+// operations (paper Table 1).
+type Policy int
+
+// Reorganization policies in increasing order of overhead.
+const (
+	// FirstOrder avoids or delays reorganization: only underflow and
+	// overflow are handled.
+	FirstOrder Policy = iota
+	// SecondOrder reorganizes exactly the pages the update must touch
+	// anyway: {Page(x)} ∪ PagesOfNbrs(x).
+	SecondOrder
+	// HigherOrder additionally reorganizes the PAG-neighbor pages of
+	// Page(x).
+	HigherOrder
+	// Lazy is the delayed policy the paper sketches in §2.4: updates
+	// behave first-order, but after a certain number of updates touch a
+	// page P, {P} ∪ NbrPages(P) is reorganized and P's counter resets.
+	Lazy
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FirstOrder:
+		return "first-order"
+	case SecondOrder:
+		return "second-order"
+	case HigherOrder:
+		return "higher-order"
+	case Lazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// AccessMethod is the common contract of every network file
+// organization in this repository. All methods share File's search
+// operations (Find, Get-A-successor, Get-successors, EvaluateRoute);
+// they differ in Create-time placement and in Insert/Delete
+// maintenance.
+type AccessMethod interface {
+	// Name identifies the method in reports ("ccam-s", "dfs-am", ...).
+	Name() string
+	// File exposes the underlying data file for search operations and
+	// I/O metering.
+	File() *File
+	// Build creates the file contents from a network (the paper's
+	// Create()).
+	Build(g *graph.Network) error
+	// Insert adds a new node with its edges under the given policy.
+	Insert(op *InsertOp, policy Policy) error
+	// Delete removes a node and its edges under the given policy.
+	Delete(id graph.NodeID, policy Policy) error
+	// InsertEdge adds a directed edge between stored nodes under the
+	// given policy (the paper's Insert() with an edge argument).
+	InsertEdge(from, to graph.NodeID, cost float32, policy Policy) error
+	// DeleteEdge removes a directed edge under the given policy.
+	DeleteEdge(from, to graph.NodeID, policy Policy) error
+}

@@ -1,0 +1,168 @@
+package netfile
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// errInjected marks a simulated device failure.
+var errInjected = errors.New("injected I/O failure")
+
+// failingStore wraps a Store and starts failing reads/writes after a
+// given number of operations — the failure-injection harness for the
+// layers above.
+type failingStore struct {
+	storage.Store
+	mu        sync.Mutex
+	remaining int // operations before failures begin
+}
+
+func newFailingStore(pageSize, okOps int) *failingStore {
+	return &failingStore{Store: storage.NewMemStore(pageSize), remaining: okOps}
+}
+
+func (f *failingStore) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.remaining <= 0 {
+		return errInjected
+	}
+	f.remaining--
+	return nil
+}
+
+func (f *failingStore) ReadPage(id storage.PageID, buf []byte) error {
+	if err := f.tick(); err != nil {
+		return fmt.Errorf("read page %d: %w", id, err)
+	}
+	return f.Store.ReadPage(id, buf)
+}
+
+func (f *failingStore) WritePage(id storage.PageID, buf []byte) error {
+	if err := f.tick(); err != nil {
+		return fmt.Errorf("write page %d: %w", id, err)
+	}
+	return f.Store.WritePage(id, buf)
+}
+
+func (f *failingStore) Allocate() (storage.PageID, error) {
+	if err := f.tick(); err != nil {
+		return storage.InvalidPageID, err
+	}
+	return f.Store.Allocate()
+}
+
+func TestOperationsSurviveDeviceFailure(t *testing.T) {
+	// Build succeeds on a healthy store, then the device starts
+	// failing: every operation must return a wrapped error — never
+	// panic, never report success.
+	g := testNetwork(t)
+
+	for _, okOps := range []int{0, 1, 3, 10, 50} {
+		t.Run(fmt.Sprintf("okOps=%d", okOps), func(t *testing.T) {
+			st := newFailingStore(1024, 1<<30)
+			f, err := Create(Options{PageSize: 1024, PoolPages: 4, Bounds: g.Bounds(), Store: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups := packGroups(t, g)
+			if err := f.BulkLoad(g, groups); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.DropCaches(); err != nil {
+				t.Fatal(err)
+			}
+			// Arm the failure.
+			st.mu.Lock()
+			st.remaining = okOps
+			st.mu.Unlock()
+
+			failed := graph.InvalidNodeID
+			for _, id := range g.NodeIDs() {
+				rec, err := f.Find(id)
+				if err != nil {
+					if !errors.Is(err, errInjected) {
+						t.Fatalf("Find(%d) failed with foreign error: %v", id, err)
+					}
+					failed = id
+					break
+				}
+				if rec.ID != id {
+					t.Fatalf("Find(%d) returned %d under failure", id, rec.ID)
+				}
+			}
+			if failed == graph.InvalidNodeID {
+				t.Fatal("device failure never surfaced")
+			}
+			// A mutation that needs the unloadable page fails cleanly
+			// too. (Operations served entirely from buffered pages may
+			// still succeed — that is what the buffer pool is for.)
+			if _, err := f.DeleteRecord(failed); !errors.Is(err, errInjected) {
+				t.Fatalf("delete of unloadable node = %v", err)
+			}
+		})
+	}
+}
+
+func TestBuildFailsCleanlyOnDeadStore(t *testing.T) {
+	g := testNetwork(t)
+	st := newFailingStore(1024, 2) // dies almost immediately
+	f, err := Create(Options{PageSize: 1024, PoolPages: 4, Bounds: g.Bounds(), Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.BulkLoad(g, packGroups(t, g))
+	if err == nil {
+		t.Fatal("bulk load succeeded on a dying device")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("foreign error: %v", err)
+	}
+}
+
+func TestOpenFromStoreFailsCleanly(t *testing.T) {
+	g := testNetwork(t)
+	st := newFailingStore(1024, 1<<30)
+	f, err := Create(Options{PageSize: 1024, PoolPages: 8, Bounds: g.Bounds(), Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.BulkLoad(g, packGroups(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.remaining = 3
+	st.mu.Unlock()
+	if _, err := OpenFromStore(st, 8); !errors.Is(err, errInjected) {
+		t.Fatalf("OpenFromStore on dying device = %v", err)
+	}
+}
+
+// packGroups sequentially packs g for tests that do not care about
+// clustering quality.
+func packGroups(t *testing.T, g *graph.Network) [][]graph.NodeID {
+	t.Helper()
+	var groups [][]graph.NodeID
+	var group []graph.NodeID
+	used := 0
+	budget := PageBudget(1024)
+	sizer := StoredSizer(g)
+	for _, id := range g.NodeIDs() {
+		s := sizer(id)
+		if used+s > budget && len(group) > 0 {
+			groups = append(groups, group)
+			group, used = nil, 0
+		}
+		group = append(group, id)
+		used += s
+	}
+	return append(groups, group)
+}

@@ -1,0 +1,625 @@
+package netfile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ccam/internal/btree"
+	"ccam/internal/buffer"
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// Options configures a data file.
+type Options struct {
+	// PageSize is the disk block size in bytes (the paper sweeps 512,
+	// 1k, 2k, 4k).
+	PageSize int
+	// PoolPages is the data buffer pool capacity in pages. Route
+	// evaluation experiments use 1, as in the paper.
+	PoolPages int
+	// Bounds is the geographic extent used for Z-order keys in the
+	// spatial index. Zero value disables spatial keys (they quantize to
+	// a single cell).
+	Bounds geom.Rect
+	// Spatial selects the secondary spatial index structure (default
+	// SpatialZOrder, the paper's choice).
+	Spatial SpatialKind
+	// Store supplies the data page store; nil selects an in-memory
+	// simulated disk.
+	Store storage.Store
+}
+
+// File is the shared data file: slotted data pages holding node
+// records, an LRU buffer pool, a B+-tree node index (node id → data
+// page) and a B+-tree spatial index (Z-order key → data page). Index
+// pages live on a separate store so data-page I/O — the paper's metric
+// — is metered in isolation; the paper assumes index pages are memory
+// resident.
+type File struct {
+	pageSize  int
+	dataStore storage.Store
+	pool      *buffer.Pool
+	index     *btree.Tree // uint64(node id) -> uint64(data page)
+	spatial   spatialIndex
+	quant     geom.Quantizer
+	pages     map[storage.PageID]bool
+	// free is the memory-resident free-space map (bytes available per
+	// data page, assuming compaction). Like the secondary index, it is
+	// treated as memory resident and consulting it costs no data-page
+	// I/O; every mutation keeps it exact.
+	free map[storage.PageID]int
+}
+
+// Create opens a fresh, empty data file.
+func Create(opts Options) (*File, error) {
+	if opts.PageSize < 128 {
+		return nil, fmt.Errorf("netfile: page size %d too small", opts.PageSize)
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 32
+	}
+	st := opts.Store
+	if st == nil {
+		st = storage.NewMemStore(opts.PageSize)
+	}
+	if st.PageSize() != opts.PageSize {
+		return nil, fmt.Errorf("netfile: store page size %d != %d", st.PageSize(), opts.PageSize)
+	}
+	// Index pages use their own in-memory store with a generous pool:
+	// the paper treats the secondary index as memory resident.
+	idxStore := storage.NewMemStore(4096)
+	idxPool := buffer.NewPool(idxStore, 4096)
+	index, err := btree.New(idxPool)
+	if err != nil {
+		return nil, fmt.Errorf("netfile: create node index: %w", err)
+	}
+	quant := geom.NewQuantizer(opts.Bounds)
+	spatial, err := newSpatialIndex(opts.Spatial, quant)
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		pageSize:  opts.PageSize,
+		dataStore: st,
+		pool:      buffer.NewPool(st, opts.PoolPages),
+		index:     index,
+		spatial:   spatial,
+		quant:     quant,
+		pages:     make(map[storage.PageID]bool),
+		free:      make(map[storage.PageID]int),
+	}, nil
+}
+
+// PageSize returns the data page size.
+func (f *File) PageSize() int { return f.pageSize }
+
+// Pool returns the data buffer pool (for experiments that probe or
+// reset buffering).
+func (f *File) Pool() *buffer.Pool { return f.pool }
+
+// NumNodes returns the number of stored records.
+func (f *File) NumNodes() int { return f.index.Len() }
+
+// NumPages returns the number of live data pages.
+func (f *File) NumPages() int { return len(f.pages) }
+
+// Quantizer returns the Z-order quantizer of the spatial index.
+func (f *File) Quantizer() geom.Quantizer { return f.quant }
+
+// DataIO returns the physical data-page I/O counters.
+func (f *File) DataIO() storage.Stats { return f.dataStore.Stats() }
+
+// ResetIO flushes and empties the data buffer pool and zeroes the
+// physical I/O counters, so the next operation is measured cold.
+func (f *File) ResetIO() error {
+	if err := f.pool.Reset(); err != nil {
+		return err
+	}
+	f.dataStore.ResetStats()
+	return nil
+}
+
+// DropCaches empties the data buffer pool without touching counters.
+func (f *File) DropCaches() error { return f.pool.Reset() }
+
+// PageOf returns the data page holding node id, via the node index
+// (index I/O is not charged to data-page counters).
+func (f *File) PageOf(id graph.NodeID) (storage.PageID, error) {
+	v, err := f.index.Get(uint64(id))
+	if err != nil {
+		if errors.Is(err, btree.ErrKeyNotFound) {
+			return storage.InvalidPageID, fmt.Errorf("%w: %d", ErrNotFound, id)
+		}
+		return storage.InvalidPageID, err
+	}
+	return storage.PageID(v), nil
+}
+
+// Has reports whether node id is stored.
+func (f *File) Has(id graph.NodeID) bool {
+	_, err := f.index.Get(uint64(id))
+	return err == nil
+}
+
+// AllocatePage adds a fresh, empty data page and returns its id.
+func (f *File) AllocatePage() (storage.PageID, error) {
+	pid, b, err := f.pool.FetchNew()
+	if err != nil {
+		return storage.InvalidPageID, fmt.Errorf("netfile: allocate data page: %w", err)
+	}
+	sp := storage.NewSlottedPage(b)
+	f.free[pid] = sp.FreeSpace()
+	if err := f.pool.Unpin(pid, true); err != nil {
+		return storage.InvalidPageID, err
+	}
+	f.pages[pid] = true
+	return pid, nil
+}
+
+// FreePage releases an empty data page.
+func (f *File) FreePage(pid storage.PageID) error {
+	if !f.pages[pid] {
+		return fmt.Errorf("netfile: free of unknown page %d", pid)
+	}
+	delete(f.pages, pid)
+	delete(f.free, pid)
+	f.pool.Discard(pid)
+	if err := f.dataStore.Free(pid); err != nil {
+		return fmt.Errorf("netfile: free page %d: %w", pid, err)
+	}
+	return nil
+}
+
+// Pages returns the live data page ids in ascending order.
+func (f *File) Pages() []storage.PageID {
+	out := make([]storage.PageID, 0, len(f.pages))
+	for pid := range f.pages {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// withPage runs fn with the slotted view of a pinned page; the page is
+// unpinned afterwards, marked dirty when fn reports it wrote.
+func (f *File) withPage(pid storage.PageID, fn func(sp *storage.SlottedPage) (dirty bool, err error)) error {
+	b, err := f.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	sp, err := storage.LoadSlottedPage(b)
+	if err != nil {
+		f.pool.Unpin(pid, false)
+		return err
+	}
+	dirty, err := fn(sp)
+	if uerr := f.pool.Unpin(pid, dirty); uerr != nil && err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// InsertRecordAt stores rec on page pid and indexes it. It fails with
+// storage.ErrPageFull when the record does not fit, leaving the file
+// unchanged.
+func (f *File) InsertRecordAt(rec *Record, pid storage.PageID) error {
+	if f.Has(rec.ID) {
+		return fmt.Errorf("%w: %d", ErrDuplicate, rec.ID)
+	}
+	if !f.pages[pid] {
+		return fmt.Errorf("netfile: insert into unknown page %d", pid)
+	}
+	enc := EncodeRecord(rec)
+	err := f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		if _, err := sp.Insert(enc); err != nil {
+			return false, err
+		}
+		f.free[pid] = sp.FreeSpace()
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := f.index.Insert(uint64(rec.ID), uint64(pid)); err != nil {
+		return fmt.Errorf("netfile: index insert %d: %w", rec.ID, err)
+	}
+	if err := f.spatial.put(rec.Pos, rec.ID); err != nil {
+		return fmt.Errorf("netfile: spatial insert %d: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// ReadRecordFromPage scans a data page for node id, returning the
+// decoded record, or ok=false when the node is not on that page.
+func (f *File) ReadRecordFromPage(pid storage.PageID, id graph.NodeID) (rec *Record, ok bool, err error) {
+	err = f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		for _, slot := range sp.Slots() {
+			raw, err := sp.Get(slot)
+			if err != nil {
+				return false, err
+			}
+			rid, err := RecordID(raw)
+			if err != nil {
+				return false, err
+			}
+			if rid == id {
+				r, err := DecodeRecord(raw)
+				if err != nil {
+					return false, err
+				}
+				rec, ok = r, true
+				return false, nil
+			}
+		}
+		return false, nil
+	})
+	return rec, ok, err
+}
+
+// ReadRecord fetches the record of node id (index lookup + one page
+// fetch).
+func (f *File) ReadRecord(id graph.NodeID) (*Record, error) {
+	pid, err := f.PageOf(id)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok, err := f.ReadRecordFromPage(pid, id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("netfile: index maps %d to page %d but record is absent: %w", id, pid, ErrCorruptRecord)
+	}
+	return rec, nil
+}
+
+// UpdateRecord rewrites node rec.ID's record in place on its current
+// page. Grows that overflow the page return storage.ErrPageFull with
+// the file unchanged.
+func (f *File) UpdateRecord(rec *Record) error {
+	pid, err := f.PageOf(rec.ID)
+	if err != nil {
+		return err
+	}
+	enc := EncodeRecord(rec)
+	return f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		for _, slot := range sp.Slots() {
+			raw, err := sp.Get(slot)
+			if err != nil {
+				return false, err
+			}
+			rid, err := RecordID(raw)
+			if err != nil {
+				return false, err
+			}
+			if rid != rec.ID {
+				continue
+			}
+			if err := sp.Update(slot, enc); err != nil {
+				return false, err
+			}
+			f.free[pid] = sp.FreeSpace()
+			return true, nil
+		}
+		return false, fmt.Errorf("netfile: record %d missing from page %d: %w", rec.ID, pid, ErrCorruptRecord)
+	})
+}
+
+// DeleteRecord removes node id's record, returning its last value.
+func (f *File) DeleteRecord(id graph.NodeID) (*Record, error) {
+	pid, err := f.PageOf(id)
+	if err != nil {
+		return nil, err
+	}
+	var rec *Record
+	err = f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		for _, slot := range sp.Slots() {
+			raw, err := sp.Get(slot)
+			if err != nil {
+				return false, err
+			}
+			rid, err := RecordID(raw)
+			if err != nil {
+				return false, err
+			}
+			if rid != id {
+				continue
+			}
+			r, err := DecodeRecord(raw)
+			if err != nil {
+				return false, err
+			}
+			if err := sp.Delete(slot); err != nil {
+				return false, err
+			}
+			f.free[pid] = sp.FreeSpace()
+			rec = r
+			return true, nil
+		}
+		return false, fmt.Errorf("netfile: record %d missing from page %d: %w", id, pid, ErrCorruptRecord)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.index.Delete(uint64(id)); err != nil {
+		return nil, fmt.Errorf("netfile: index delete %d: %w", id, err)
+	}
+	if err := f.spatial.remove(rec.Pos, id); err != nil {
+		return nil, fmt.Errorf("netfile: spatial delete %d: %w", id, err)
+	}
+	return rec, nil
+}
+
+// MoveRecord relocates a record to page dst, updating the index. It is
+// the reorganization primitive.
+func (f *File) MoveRecord(id graph.NodeID, dst storage.PageID) error {
+	rec, err := f.DeleteRecord(id)
+	if err != nil {
+		return err
+	}
+	if err := f.InsertRecordAt(rec, dst); err != nil {
+		return fmt.Errorf("netfile: move %d to page %d: %w", id, dst, err)
+	}
+	return nil
+}
+
+// NodesOnPage returns the node ids stored on pid.
+func (f *File) NodesOnPage(pid storage.PageID) ([]graph.NodeID, error) {
+	var out []graph.NodeID
+	err := f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		for _, slot := range sp.Slots() {
+			raw, err := sp.Get(slot)
+			if err != nil {
+				return false, err
+			}
+			id, err := RecordID(raw)
+			if err != nil {
+				return false, err
+			}
+			out = append(out, id)
+		}
+		return false, nil
+	})
+	return out, err
+}
+
+// RecordsOnPage returns decoded records of every node on pid.
+func (f *File) RecordsOnPage(pid storage.PageID) ([]*Record, error) {
+	var out []*Record
+	err := f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		for _, slot := range sp.Slots() {
+			raw, err := sp.Get(slot)
+			if err != nil {
+				return false, err
+			}
+			r, err := DecodeRecord(raw)
+			if err != nil {
+				return false, err
+			}
+			out = append(out, r)
+		}
+		return false, nil
+	})
+	return out, err
+}
+
+// FreeSpaceOn returns the free bytes on page pid (assuming compaction).
+func (f *File) FreeSpaceOn(pid storage.PageID) (int, error) {
+	var free int
+	err := f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		free = sp.FreeSpace()
+		return false, nil
+	})
+	return free, err
+}
+
+// UsedBytesOn returns the live record bytes on page pid.
+func (f *File) UsedBytesOn(pid storage.PageID) (int, error) {
+	var used int
+	err := f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+		used = sp.UsedBytes()
+		return false, nil
+	})
+	return used, err
+}
+
+// BulkLoad writes the given page groups of network g into the file.
+// Each group becomes one data page; groups must fit.
+func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
+	if f.NumNodes() != 0 {
+		return fmt.Errorf("netfile: bulk load into non-empty file")
+	}
+	for gi, group := range groups {
+		pid, err := f.AllocatePage()
+		if err != nil {
+			return err
+		}
+		for _, id := range group {
+			rec, err := RecordFromNode(g, id)
+			if err != nil {
+				return fmt.Errorf("netfile: bulk load group %d: %w", gi, err)
+			}
+			if err := f.InsertRecordAt(rec, pid); err != nil {
+				return fmt.Errorf("netfile: bulk load group %d node %d: %w", gi, id, err)
+			}
+		}
+	}
+	return f.pool.FlushAll()
+}
+
+// Placement extracts node -> data page from the index, the input to
+// CRR/WCRR.
+func (f *File) Placement() graph.Placement {
+	p := make(graph.Placement, f.index.Len())
+	it := f.index.Min()
+	for it.Next() {
+		p[graph.NodeID(it.Key())] = storage.PageID(it.Value())
+	}
+	return p
+}
+
+// Flush writes all buffered dirty pages to the store.
+func (f *File) Flush() error { return f.pool.FlushAll() }
+
+// FreeSpace returns the free bytes on page pid from the memory-resident
+// free-space map (no data-page I/O).
+func (f *File) FreeSpace(pid storage.PageID) (int, error) {
+	free, ok := f.free[pid]
+	if !ok {
+		return 0, fmt.Errorf("netfile: unknown page %d", pid)
+	}
+	return free, nil
+}
+
+// FindPageWithSpace returns the lowest-numbered data page with at least
+// need free bytes, consulting only the free-space map.
+func (f *File) FindPageWithSpace(need int) (storage.PageID, bool) {
+	best := storage.InvalidPageID
+	for pid, free := range f.free {
+		if free >= need && pid < best {
+			best = pid
+		}
+	}
+	return best, best != storage.InvalidPageID
+}
+
+// ReplacePageContents rewrites page pid to hold exactly recs, updating
+// the node and spatial indexes for every record written. It is the
+// reorganization primitive: Reorganize() reads a set of pages,
+// re-clusters their records, and replaces each page's contents. Records
+// are assumed to have been removed (or about to be overwritten) from
+// their previous pages by companion ReplacePageContents calls.
+func (f *File) ReplacePageContents(pid storage.PageID, recs []*Record) error {
+	if !f.pages[pid] {
+		return fmt.Errorf("netfile: replace contents of unknown page %d", pid)
+	}
+	b, err := f.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	sp := storage.NewSlottedPage(b)
+	for _, rec := range recs {
+		if _, err := sp.Insert(EncodeRecord(rec)); err != nil {
+			f.pool.Unpin(pid, true)
+			return fmt.Errorf("netfile: replace contents of page %d with %d records: %w", pid, len(recs), err)
+		}
+	}
+	f.free[pid] = sp.FreeSpace()
+	if err := f.pool.Unpin(pid, true); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := f.index.Put(uint64(rec.ID), uint64(pid)); err != nil {
+			return fmt.Errorf("netfile: reindex %d: %w", rec.ID, err)
+		}
+		if err := f.spatial.put(rec.Pos, rec.ID); err != nil {
+			return fmt.Errorf("netfile: spatial reindex %d: %w", rec.ID, err)
+		}
+	}
+	return nil
+}
+
+// OpenFromStore reconstructs a File over an existing page store (e.g. a
+// reopened storage.FileStore). Data pages are scanned once to rebuild
+// the memory-resident structures — node index, spatial index and
+// free-space map — which matches the paper's assumption that index
+// structures live in main memory. The scan's I/O is excluded from the
+// returned file's counters.
+func OpenFromStore(st storage.Store, poolPages int) (*File, error) {
+	if poolPages <= 0 {
+		poolPages = 32
+	}
+	pageSize := st.PageSize()
+	pids := st.PageIDs()
+
+	// First pass: decode all records to establish the spatial bounds.
+	buf := make([]byte, pageSize)
+	type located struct {
+		pid  storage.PageID
+		recs []*Record
+		free int
+	}
+	var pages []located
+	var bounds geom.Rect
+	first := true
+	for _, pid := range pids {
+		if err := st.ReadPage(pid, buf); err != nil {
+			return nil, fmt.Errorf("netfile: open: read page %d: %w", pid, err)
+		}
+		sp, err := storage.LoadSlottedPage(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netfile: open: page %d: %w", pid, err)
+		}
+		pg := located{pid: pid, free: sp.FreeSpace()}
+		for _, slot := range sp.Slots() {
+			raw, err := sp.Get(slot)
+			if err != nil {
+				return nil, fmt.Errorf("netfile: open: page %d slot %d: %w", pid, slot, err)
+			}
+			rec, err := DecodeRecord(raw)
+			if err != nil {
+				return nil, fmt.Errorf("netfile: open: page %d slot %d: %w", pid, slot, err)
+			}
+			pg.recs = append(pg.recs, rec)
+			if first {
+				bounds = geom.Rect{Min: rec.Pos, Max: rec.Pos}
+				first = false
+			} else {
+				if rec.Pos.X < bounds.Min.X {
+					bounds.Min.X = rec.Pos.X
+				}
+				if rec.Pos.Y < bounds.Min.Y {
+					bounds.Min.Y = rec.Pos.Y
+				}
+				if rec.Pos.X > bounds.Max.X {
+					bounds.Max.X = rec.Pos.X
+				}
+				if rec.Pos.Y > bounds.Max.Y {
+					bounds.Max.Y = rec.Pos.Y
+				}
+			}
+		}
+		pages = append(pages, pg)
+	}
+
+	f, err := Create(Options{PageSize: pageSize, PoolPages: poolPages, Bounds: bounds, Store: st})
+	if err != nil {
+		return nil, err
+	}
+	// Second pass: rebuild the memory-resident structures.
+	for _, pg := range pages {
+		f.pages[pg.pid] = true
+		f.free[pg.pid] = pg.free
+		for _, rec := range pg.recs {
+			if err := f.index.Insert(uint64(rec.ID), uint64(pg.pid)); err != nil {
+				return nil, fmt.Errorf("netfile: open: reindex %d: %w", rec.ID, err)
+			}
+			if err := f.spatial.put(rec.Pos, rec.ID); err != nil {
+				return nil, fmt.Errorf("netfile: open: spatial reindex %d: %w", rec.ID, err)
+			}
+		}
+	}
+	st.ResetStats()
+	return f, nil
+}
+
+// Scan visits every stored record, page by page in page-id order (a
+// sequential scan: one physical read per data page). fn returning false
+// stops the scan early.
+func (f *File) Scan(fn func(rec *Record) bool) error {
+	for _, pid := range f.Pages() {
+		recs, err := f.RecordsOnPage(pid)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if !fn(rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

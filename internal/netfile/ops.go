@@ -1,0 +1,519 @@
+package netfile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// Find retrieves the record of the given node id: the secondary index
+// locates the data page, which is fetched through the buffer pool.
+// (Paper §2.3.)
+func (f *File) Find(id graph.NodeID) (*Record, error) {
+	return f.ReadRecord(id)
+}
+
+// GetASuccessor retrieves the record of succ, a successor of cur. The
+// buffered data page containing cur is searched first — when the CRR
+// is high the successor is likely co-located, so no physical I/O
+// occurs; otherwise a Find is needed. cur may be nil, in which case the
+// successor constraint is not checked. (Paper §2.3.)
+func (f *File) GetASuccessor(cur *Record, succ graph.NodeID) (*Record, error) {
+	if cur != nil && !cur.HasSucc(succ) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNotSuccessor, succ, cur.ID)
+	}
+	// The index lookup is free (memory-resident); fetching the page
+	// through the pool costs a physical read only when it is not
+	// buffered, which reproduces the paper's "search buffer first, then
+	// Find" protocol exactly.
+	return f.ReadRecord(succ)
+}
+
+// GetSuccessors retrieves the records of all successors of node id.
+// All successors stored on pages already in the buffer pool (including
+// the page of id itself, fetched first) are extracted without further
+// I/O. (Paper §2.3.)
+func (f *File) GetSuccessors(id graph.NodeID) ([]*Record, error) {
+	rec, err := f.ReadRecord(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Record, 0, len(rec.Succs))
+	for _, s := range rec.Succs {
+		sr, err := f.ReadRecord(s.To)
+		if err != nil {
+			return nil, fmt.Errorf("netfile: get-successors of %d: %w", id, err)
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// RouteAggregate is the result of a route evaluation query.
+type RouteAggregate struct {
+	Nodes     int     // L, the number of nodes on the route
+	TotalCost float64 // sum of edge costs (e.g. travel time)
+	MinCost   float64 // cheapest hop
+	MaxCost   float64 // most expensive hop
+}
+
+// EvaluateRoute computes the aggregate property of a route as a Find on
+// the first node followed by a sequence of Get-A-successor operations
+// (paper §2.3, "Route Evaluation"). The route must follow directed
+// edges.
+func (f *File) EvaluateRoute(route graph.Route) (RouteAggregate, error) {
+	if len(route) == 0 {
+		return RouteAggregate{}, fmt.Errorf("%w: empty route", graph.ErrInvalidRoute)
+	}
+	rec, err := f.Find(route[0])
+	if err != nil {
+		return RouteAggregate{}, err
+	}
+	agg := RouteAggregate{Nodes: 1}
+	for i := 1; i < len(route); i++ {
+		var cost float64
+		found := false
+		for _, s := range rec.Succs {
+			if s.To == route[i] {
+				cost = float64(s.Cost)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return RouteAggregate{}, fmt.Errorf("%w: hop %d->%d is not an edge", graph.ErrInvalidRoute, rec.ID, route[i])
+		}
+		rec, err = f.GetASuccessor(rec, route[i])
+		if err != nil {
+			return RouteAggregate{}, err
+		}
+		agg.Nodes++
+		agg.TotalCost += cost
+		if agg.Nodes == 2 || cost < agg.MinCost {
+			agg.MinCost = cost
+		}
+		if cost > agg.MaxCost {
+			agg.MaxCost = cost
+		}
+	}
+	return agg, nil
+}
+
+// RangeQuery returns the records of every node whose position lies in
+// rect, through the secondary spatial index (a Z-order scan with BIGMIN
+// jumps by default, or an R-tree search; paper §2.1).
+func (f *File) RangeQuery(rect geom.Rect) ([]*Record, error) {
+	var out []*Record
+	var ferr error
+	err := f.spatial.search(rect, func(id graph.NodeID) bool {
+		rec, err := f.ReadRecord(id)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if rect.Contains(rec.Pos) {
+			out = append(out, rec)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return out, nil
+}
+
+// Nearest returns the k stored records closest to p by Euclidean
+// distance, nearest first. With an R-tree spatial index the search is
+// branch-and-bound; with the Z-order index it runs expanding-window
+// searches, verifying the result radius so the answer is exact.
+func (f *File) Nearest(p geom.Point, k int) ([]*Record, error) {
+	if k <= 0 || f.NumNodes() == 0 {
+		return nil, nil
+	}
+	if k > f.NumNodes() {
+		k = f.NumNodes()
+	}
+	if rt, ok := f.spatial.(*rtreeIndex); ok {
+		ids := rt.nearestExact(p, k)
+		out := make([]*Record, 0, len(ids))
+		for _, id := range ids {
+			rec, err := f.ReadRecord(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec)
+		}
+		return out, nil
+	}
+	// Generic expanding-window search over the range interface.
+	b := f.quant.Bounds()
+	r := (b.Width() + b.Height()) / 128
+	if r <= 0 {
+		r = 1
+	}
+	collect := func(radius float64) ([]*Record, error) {
+		window := geom.NewRect(
+			geom.Point{X: p.X - radius, Y: p.Y - radius},
+			geom.Point{X: p.X + radius, Y: p.Y + radius},
+		)
+		return f.RangeQuery(window)
+	}
+	for {
+		recs, err := collect(r)
+		if err != nil {
+			return nil, err
+		}
+		covers := r >= b.Width()+b.Height() // window certainly spans the map
+		if len(recs) >= k || covers {
+			sortByDistance(recs, p)
+			if len(recs) > k {
+				recs = recs[:k]
+			}
+			worst := math.Hypot(recs[len(recs)-1].Pos.X-p.X, recs[len(recs)-1].Pos.Y-p.Y)
+			if covers || worst <= r {
+				return recs, nil
+			}
+			// Re-search with the verified radius: every point within
+			// `worst` now lies inside the window.
+			final, err := collect(worst)
+			if err != nil {
+				return nil, err
+			}
+			sortByDistance(final, p)
+			if len(final) > k {
+				final = final[:k]
+			}
+			return final, nil
+		}
+		r *= 2
+	}
+}
+
+// InsertOp describes a node insertion: the new record (whose Preds
+// field lists predecessor ids) plus the cost of each predecessor edge
+// pred[i] -> new node.
+type InsertOp struct {
+	Rec       *Record
+	PredCosts []float32
+}
+
+// Validate checks internal consistency of the operation.
+func (op *InsertOp) Validate() error {
+	if op.Rec == nil {
+		return fmt.Errorf("netfile: nil record in insert")
+	}
+	if len(op.PredCosts) != len(op.Rec.Preds) {
+		return fmt.Errorf("netfile: %d pred costs for %d preds", len(op.PredCosts), len(op.Rec.Preds))
+	}
+	return nil
+}
+
+// InsertOpFromNode builds the InsertOp that would re-insert node id of
+// g with all its current edges.
+func InsertOpFromNode(g *graph.Network, id graph.NodeID) (*InsertOp, error) {
+	rec, err := RecordFromNode(g, id)
+	if err != nil {
+		return nil, err
+	}
+	op := &InsertOp{Rec: rec, PredCosts: make([]float32, len(rec.Preds))}
+	for i, p := range rec.Preds {
+		e, err := g.Edge(p, id)
+		if err != nil {
+			return nil, err
+		}
+		op.PredCosts[i] = float32(e.Cost)
+	}
+	return op, nil
+}
+
+// OverflowHandler splits an overflowing data page; access methods
+// supply their own (CCAM re-clusters, sequential methods split in
+// half). After it returns nil the triggering update is retried.
+type OverflowHandler func(pid storage.PageID) error
+
+// UpdateNeighborLinks adds the new node to its neighbors' lists: each
+// successor gains a predecessor entry, each predecessor gains a
+// successor entry ("update succ-list and pred-list of neighbors(x)",
+// paper Fig. 3). Growth that overflows a neighbor's page invokes
+// onOverflow and retries.
+func (f *File) UpdateNeighborLinks(op *InsertOp, onOverflow OverflowHandler) error {
+	x := op.Rec.ID
+	for _, s := range op.Rec.Succs {
+		if err := f.mutateRecord(s.To, onOverflow, func(r *Record) {
+			r.AddPred(x)
+		}); err != nil {
+			return fmt.Errorf("netfile: link succ %d: %w", s.To, err)
+		}
+	}
+	for i, p := range op.Rec.Preds {
+		cost := op.PredCosts[i]
+		if err := f.mutateRecord(p, onOverflow, func(r *Record) {
+			r.AddSucc(x, cost)
+		}); err != nil {
+			return fmt.Errorf("netfile: link pred %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// RemoveNeighborLinks strips node x from its neighbors' lists (paper
+// Fig. 4). Records only shrink, so no overflow can occur.
+func (f *File) RemoveNeighborLinks(rec *Record) error {
+	x := rec.ID
+	for _, s := range rec.Succs {
+		if err := f.mutateRecord(s.To, nil, func(r *Record) {
+			r.RemovePred(x)
+		}); err != nil {
+			return fmt.Errorf("netfile: unlink succ %d: %w", s.To, err)
+		}
+	}
+	for _, p := range rec.Preds {
+		if err := f.mutateRecord(p, nil, func(r *Record) {
+			r.RemoveSucc(x)
+		}); err != nil {
+			return fmt.Errorf("netfile: unlink pred %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// mutateRecord reads, mutates and rewrites node id's record, retrying
+// once after onOverflow splits the page.
+func (f *File) mutateRecord(id graph.NodeID, onOverflow OverflowHandler, mutate func(*Record)) error {
+	for attempt := 0; ; attempt++ {
+		rec, err := f.ReadRecord(id)
+		if err != nil {
+			return err
+		}
+		mutate(rec)
+		err = f.UpdateRecord(rec)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, storage.ErrPageFull) || onOverflow == nil || attempt > 0 {
+			return err
+		}
+		pid, perr := f.PageOf(id)
+		if perr != nil {
+			return perr
+		}
+		if err := onOverflow(pid); err != nil {
+			return fmt.Errorf("netfile: overflow split of page %d: %w", pid, err)
+		}
+	}
+}
+
+// SelectPageWithMostNeighbors ranks the candidate pages by how many of
+// x's neighbors they hold and returns the best page that can still
+// accommodate need bytes (the paper's insert page selection). ok is
+// false when no candidate fits.
+func (f *File) SelectPageWithMostNeighbors(neighbors []graph.NodeID, need int) (storage.PageID, bool, error) {
+	counts := map[storage.PageID]int{}
+	for _, nb := range neighbors {
+		pid, err := f.PageOf(nb)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return storage.InvalidPageID, false, err
+		}
+		counts[pid]++
+	}
+	// Deterministic order: best count, then lowest page id.
+	best := storage.InvalidPageID
+	bestCount := -1
+	for pid, c := range counts {
+		if c > bestCount || (c == bestCount && pid < best) {
+			// Space check via the memory-resident free-space map.
+			free, err := f.FreeSpace(pid)
+			if err != nil {
+				return storage.InvalidPageID, false, err
+			}
+			if free >= need {
+				best, bestCount = pid, c
+			}
+		}
+	}
+	if bestCount < 0 {
+		return storage.InvalidPageID, false, nil
+	}
+	return best, true, nil
+}
+
+// PagesOfNeighbors returns the distinct pages of the given nodes, in
+// ascending order (PagesOfNbrs(x) of paper Definition 2, computed from
+// the index).
+func (f *File) PagesOfNeighbors(neighbors []graph.NodeID) ([]storage.PageID, error) {
+	seen := map[storage.PageID]bool{}
+	var out []storage.PageID
+	for _, nb := range neighbors {
+		pid, err := f.PageOf(nb)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		if !seen[pid] {
+			seen[pid] = true
+			out = append(out, pid)
+		}
+	}
+	sortPageIDs(out)
+	return out, nil
+}
+
+func sortPageIDs(s []storage.PageID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// AddEdgeRecords applies a new edge (u, v, cost) to the stored records:
+// u's successor-list gains (v, cost) and v's predecessor-list gains u.
+// Growth that overflows a page invokes onOverflow and retries.
+func (f *File) AddEdgeRecords(u, v graph.NodeID, cost float32, onOverflow OverflowHandler) error {
+	if u == v {
+		return fmt.Errorf("%w: %d", graph.ErrSelfLoop, u)
+	}
+	dup := false
+	if err := f.mutateRecord(u, onOverflow, func(r *Record) {
+		if r.HasSucc(v) {
+			dup = true
+			return
+		}
+		r.AddSucc(v, cost)
+	}); err != nil {
+		return fmt.Errorf("netfile: add edge %d->%d: %w", u, v, err)
+	}
+	if dup {
+		return fmt.Errorf("%w: %d->%d", graph.ErrEdgeExists, u, v)
+	}
+	if err := f.mutateRecord(v, onOverflow, func(r *Record) {
+		r.AddPred(u)
+	}); err != nil {
+		return fmt.Errorf("netfile: add edge %d->%d: %w", u, v, err)
+	}
+	return nil
+}
+
+// RemoveEdgeRecords deletes edge (u, v) from the stored records.
+func (f *File) RemoveEdgeRecords(u, v graph.NodeID) error {
+	missing := false
+	if err := f.mutateRecord(u, nil, func(r *Record) {
+		if !r.RemoveSucc(v) {
+			missing = true
+		}
+	}); err != nil {
+		return fmt.Errorf("netfile: remove edge %d->%d: %w", u, v, err)
+	}
+	if missing {
+		return fmt.Errorf("%w: %d->%d", graph.ErrEdgeMissing, u, v)
+	}
+	if err := f.mutateRecord(v, nil, func(r *Record) {
+		r.RemovePred(u)
+	}); err != nil {
+		return fmt.Errorf("netfile: remove edge %d->%d: %w", u, v, err)
+	}
+	return nil
+}
+
+// SetEdgeCost updates the stored cost of edge (u, v) — the frequent
+// IVHS operation of refreshing current travel time on a road segment.
+// The record size is unchanged, so exactly one page is touched.
+func (f *File) SetEdgeCost(u, v graph.NodeID, cost float32) error {
+	found := false
+	if err := f.mutateRecord(u, nil, func(r *Record) {
+		for i := range r.Succs {
+			if r.Succs[i].To == v {
+				r.Succs[i].Cost = cost
+				found = true
+				return
+			}
+		}
+	}); err != nil {
+		return fmt.Errorf("netfile: set edge cost %d->%d: %w", u, v, err)
+	}
+	if !found {
+		return fmt.Errorf("%w: %d->%d", graph.ErrEdgeMissing, u, v)
+	}
+	return nil
+}
+
+// RouteUnitAggregate is the result of an aggregate query over a
+// route-unit — a named collection of arcs with common characteristics
+// (paper §1.1: bus routes, pipeline segments). Processing "may require
+// the retrieval of all nodes and all edges in the specified route-units
+// to derive aggregate properties".
+type RouteUnitAggregate struct {
+	Name      string
+	Edges     int
+	Nodes     int // distinct nodes touched by the unit
+	TotalCost float64
+	MinCost   float64
+	MaxCost   float64
+}
+
+// EvaluateRouteUnit retrieves every node record of the route-unit and
+// aggregates its member edges' costs. Members are directed edges
+// (from, to); each must exist. Connectivity clustering makes this cheap
+// because a route-unit's nodes form connected chains.
+func (f *File) EvaluateRouteUnit(name string, members [][2]graph.NodeID) (RouteUnitAggregate, error) {
+	if len(members) == 0 {
+		return RouteUnitAggregate{}, fmt.Errorf("%w: route-unit %q has no members", graph.ErrInvalidRoute, name)
+	}
+	agg := RouteUnitAggregate{Name: name}
+	recs := map[graph.NodeID]*Record{}
+	fetch := func(id graph.NodeID) (*Record, error) {
+		if r, ok := recs[id]; ok {
+			return r, nil
+		}
+		r, err := f.ReadRecord(id)
+		if err != nil {
+			return nil, err
+		}
+		recs[id] = r
+		return r, nil
+	}
+	for _, m := range members {
+		from, err := fetch(m[0])
+		if err != nil {
+			return RouteUnitAggregate{}, fmt.Errorf("netfile: route-unit %q: %w", name, err)
+		}
+		if _, err := fetch(m[1]); err != nil {
+			return RouteUnitAggregate{}, fmt.Errorf("netfile: route-unit %q: %w", name, err)
+		}
+		var cost float64
+		found := false
+		for _, s := range from.Succs {
+			if s.To == m[1] {
+				cost = float64(s.Cost)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return RouteUnitAggregate{}, fmt.Errorf("%w: route-unit %q member %d->%d is not an edge",
+				graph.ErrInvalidRoute, name, m[0], m[1])
+		}
+		agg.Edges++
+		agg.TotalCost += cost
+		if agg.Edges == 1 || cost < agg.MinCost {
+			agg.MinCost = cost
+		}
+		if cost > agg.MaxCost {
+			agg.MaxCost = cost
+		}
+	}
+	agg.Nodes = len(recs)
+	return agg, nil
+}

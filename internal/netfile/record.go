@@ -1,0 +1,260 @@
+// Package netfile provides the machinery every access method in this
+// repository shares: the binary node-record codec (node data plus
+// successor- and predecessor-lists, as in the paper's adjacency-list
+// representation), the data file built from slotted pages with a
+// B+-tree node index and an LRU buffer pool, and the paper's search
+// operations Find, Get-A-successor, Get-successors and route
+// evaluation. Access methods (CCAM, DFS-AM, BFS-AM, WDFS-AM, Grid
+// File) differ only in how they place records on pages and how they
+// maintain the placement under updates.
+package netfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// Errors returned by record and file operations.
+var (
+	ErrCorruptRecord = errors.New("netfile: corrupt record")
+	ErrNotFound      = errors.New("netfile: node not found")
+	ErrDuplicate     = errors.New("netfile: node already exists")
+	ErrNotSuccessor  = errors.New("netfile: node is not a successor")
+)
+
+// SuccEntry is one successor-list element: the edge's end node and its
+// cost (e.g. current travel time).
+type SuccEntry struct {
+	To   graph.NodeID
+	Cost float32
+}
+
+// Record is the stored form of a network node: node data (id,
+// coordinates, attribute payload), the successor-list and the
+// predecessor-list. Records have no fixed format — list lengths vary
+// across nodes.
+type Record struct {
+	ID    graph.NodeID
+	Pos   geom.Point
+	Attrs []byte
+	Succs []SuccEntry
+	Preds []graph.NodeID
+}
+
+// Record wire format (little endian):
+//
+//	[0:4)   id
+//	[4:12)  x float64
+//	[12:20) y float64
+//	[20:22) attr length a
+//	[22:24) successor count s
+//	[24:26) predecessor count p
+//	[26:26+a)        attrs
+//	... s × (to uint32, cost float32)
+//	... p × (from uint32)
+const recordHeaderSize = 26
+
+// EncodedSize returns the number of bytes EncodeRecord will produce.
+func (r *Record) EncodedSize() int {
+	return recordHeaderSize + len(r.Attrs) + 8*len(r.Succs) + 4*len(r.Preds)
+}
+
+// EncodeRecord serializes r.
+func EncodeRecord(r *Record) []byte {
+	buf := make([]byte, r.EncodedSize())
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(r.ID))
+	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(r.Pos.X))
+	binary.LittleEndian.PutUint64(buf[12:20], math.Float64bits(r.Pos.Y))
+	binary.LittleEndian.PutUint16(buf[20:22], uint16(len(r.Attrs)))
+	binary.LittleEndian.PutUint16(buf[22:24], uint16(len(r.Succs)))
+	binary.LittleEndian.PutUint16(buf[24:26], uint16(len(r.Preds)))
+	o := recordHeaderSize
+	copy(buf[o:], r.Attrs)
+	o += len(r.Attrs)
+	for _, s := range r.Succs {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(s.To))
+		binary.LittleEndian.PutUint32(buf[o+4:], math.Float32bits(s.Cost))
+		o += 8
+	}
+	for _, p := range r.Preds {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(p))
+		o += 4
+	}
+	return buf
+}
+
+// DecodeRecord parses a record image. The returned record owns its
+// memory (no aliasing of buf).
+func DecodeRecord(buf []byte) (*Record, error) {
+	if len(buf) < recordHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptRecord, len(buf))
+	}
+	a := int(binary.LittleEndian.Uint16(buf[20:22]))
+	s := int(binary.LittleEndian.Uint16(buf[22:24]))
+	p := int(binary.LittleEndian.Uint16(buf[24:26]))
+	want := recordHeaderSize + a + 8*s + 4*p
+	if len(buf) != want {
+		return nil, fmt.Errorf("%w: have %d bytes, header implies %d", ErrCorruptRecord, len(buf), want)
+	}
+	r := &Record{
+		ID: graph.NodeID(binary.LittleEndian.Uint32(buf[0:4])),
+		Pos: geom.Point{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(buf[12:20])),
+		},
+	}
+	o := recordHeaderSize
+	if a > 0 {
+		r.Attrs = append([]byte(nil), buf[o:o+a]...)
+		o += a
+	}
+	if s > 0 {
+		r.Succs = make([]SuccEntry, s)
+		for i := range r.Succs {
+			r.Succs[i] = SuccEntry{
+				To:   graph.NodeID(binary.LittleEndian.Uint32(buf[o:])),
+				Cost: math.Float32frombits(binary.LittleEndian.Uint32(buf[o+4:])),
+			}
+			o += 8
+		}
+	}
+	if p > 0 {
+		r.Preds = make([]graph.NodeID, p)
+		for i := range r.Preds {
+			r.Preds[i] = graph.NodeID(binary.LittleEndian.Uint32(buf[o:]))
+			o += 4
+		}
+	}
+	return r, nil
+}
+
+// RecordID extracts just the node id from a record image, for cheap
+// in-page scans.
+func RecordID(buf []byte) (graph.NodeID, error) {
+	if len(buf) < 4 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrCorruptRecord, len(buf))
+	}
+	return graph.NodeID(binary.LittleEndian.Uint32(buf[0:4])), nil
+}
+
+// RecordFromNode builds the stored record of node id in g.
+func RecordFromNode(g *graph.Network, id graph.NodeID) (*Record, error) {
+	n, err := g.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{ID: id, Pos: n.Pos}
+	if n.Attrs != nil {
+		r.Attrs = append([]byte(nil), n.Attrs...)
+	}
+	for _, e := range g.SuccessorEdges(id) {
+		r.Succs = append(r.Succs, SuccEntry{To: e.To, Cost: float32(e.Cost)})
+	}
+	r.Preds = g.Predecessors(id)
+	return r, nil
+}
+
+// RecordSizer returns a sizeOf function for partitioning: the encoded
+// record size of each node in g.
+func RecordSizer(g *graph.Network) func(graph.NodeID) int {
+	return func(id graph.NodeID) int {
+		r, err := RecordFromNode(g, id)
+		if err != nil {
+			return recordHeaderSize
+		}
+		return r.EncodedSize()
+	}
+}
+
+// StoredSizer is RecordSizer plus the slotted-page per-record overhead;
+// use it as the sizeOf function when clustering nodes into pages of
+// budget PageBudget(pageSize), so that the resulting groups are
+// guaranteed to physically fit.
+func StoredSizer(g *graph.Network) func(graph.NodeID) int {
+	base := RecordSizer(g)
+	return func(id graph.NodeID) int { return base(id) + storage.PerRecordOverhead }
+}
+
+// PageBudget returns the byte budget available to StoredSizer-sized
+// records on one data page of the given size.
+func PageBudget(pageSize int) int {
+	return pageSize - storage.SlottedHeaderOverhead - storage.PerRecordOverhead
+}
+
+// HasSucc reports whether succ appears in r's successor-list.
+func (r *Record) HasSucc(succ graph.NodeID) bool {
+	for _, s := range r.Succs {
+		if s.To == succ {
+			return true
+		}
+	}
+	return false
+}
+
+// AddSucc appends an entry to the successor-list (no duplicate check).
+func (r *Record) AddSucc(to graph.NodeID, cost float32) {
+	r.Succs = append(r.Succs, SuccEntry{To: to, Cost: cost})
+}
+
+// RemoveSucc deletes the entry for 'to'; reports whether it existed.
+func (r *Record) RemoveSucc(to graph.NodeID) bool {
+	for i, s := range r.Succs {
+		if s.To == to {
+			r.Succs = append(r.Succs[:i], r.Succs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AddPred appends an entry to the predecessor-list.
+func (r *Record) AddPred(from graph.NodeID) {
+	r.Preds = append(r.Preds, from)
+}
+
+// RemovePred deletes the entry for 'from'; reports whether it existed.
+func (r *Record) RemovePred(from graph.NodeID) bool {
+	for i, p := range r.Preds {
+		if p == from {
+			r.Preds = append(r.Preds[:i], r.Preds[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the deduplicated neighbor-list of the record.
+func (r *Record) Neighbors() []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, s := range r.Succs {
+		if !seen[s.To] {
+			seen[s.To] = true
+			out = append(out, s.To)
+		}
+	}
+	for _, p := range r.Preds {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	c := &Record{ID: r.ID, Pos: r.Pos}
+	if r.Attrs != nil {
+		c.Attrs = append([]byte(nil), r.Attrs...)
+	}
+	c.Succs = append([]SuccEntry(nil), r.Succs...)
+	c.Preds = append([]graph.NodeID(nil), r.Preds...)
+	return c
+}

@@ -1,0 +1,177 @@
+package netfile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ccam/internal/btree"
+	"ccam/internal/buffer"
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/rtree"
+	"ccam/internal/storage"
+)
+
+// SpatialKind selects the secondary spatial index structure. The paper
+// uses a B+-tree over the Z-order of each node's coordinates and notes
+// that "other access methods such as R-tree and Grid File etc. can
+// alternatively be created on top of the data file as secondary
+// indices".
+type SpatialKind int
+
+// Spatial index kinds.
+const (
+	// SpatialZOrder is a B+-tree keyed by the Z-order (Morton code) of
+	// the node position, scanned with BIGMIN jumps — the paper's
+	// default.
+	SpatialZOrder SpatialKind = iota
+	// SpatialRTree is Guttman's R-tree with quadratic splits.
+	SpatialRTree
+)
+
+// String implements fmt.Stringer.
+func (k SpatialKind) String() string {
+	switch k {
+	case SpatialZOrder:
+		return "zorder"
+	case SpatialRTree:
+		return "rtree"
+	default:
+		return fmt.Sprintf("spatial(%d)", int(k))
+	}
+}
+
+// spatialIndex abstracts the memory-resident secondary spatial index:
+// point entries (node position → node id) with range and k-nearest
+// search. The data page of a result is resolved through the node
+// index.
+type spatialIndex interface {
+	put(p geom.Point, id graph.NodeID) error
+	remove(p geom.Point, id graph.NodeID) error
+	// search visits ids of entries inside rect; fn returning false
+	// stops early.
+	search(rect geom.Rect, fn func(id graph.NodeID) bool) error
+}
+
+func newSpatialIndex(kind SpatialKind, quant geom.Quantizer) (spatialIndex, error) {
+	switch kind {
+	case SpatialZOrder:
+		st := storage.NewMemStore(4096)
+		pool := buffer.NewPool(st, 4096)
+		tree, err := btree.New(pool)
+		if err != nil {
+			return nil, fmt.Errorf("netfile: create z-order index: %w", err)
+		}
+		return &zorderIndex{tree: tree, quant: quant}, nil
+	case SpatialRTree:
+		return &rtreeIndex{tree: rtree.New(16)}, nil
+	default:
+		return nil, fmt.Errorf("netfile: unknown spatial index kind %d", kind)
+	}
+}
+
+// --- Z-order implementation (the paper's secondary index) ---
+
+type zorderIndex struct {
+	tree  *btree.Tree
+	quant geom.Quantizer
+}
+
+// key builds the index key: a 32-bit Z-order value in the high half (so
+// keys sort by Z) with the node id as tiebreak in the low half.
+func (z *zorderIndex) key(p geom.Point, id graph.NodeID) uint64 {
+	ix, iy := z.quant.Grid(p)
+	z32 := geom.Interleave(ix>>15, iy>>15) // 16 bits per axis
+	return z32<<32 | uint64(id)
+}
+
+func (z *zorderIndex) put(p geom.Point, id graph.NodeID) error {
+	return z.tree.Put(z.key(p, id), uint64(id))
+}
+
+func (z *zorderIndex) remove(p geom.Point, id graph.NodeID) error {
+	err := z.tree.Delete(z.key(p, id))
+	if errors.Is(err, btree.ErrKeyNotFound) {
+		return fmt.Errorf("%w: spatial entry for %d", ErrNotFound, id)
+	}
+	return err
+}
+
+func (z *zorderIndex) search(rect geom.Rect, fn func(graph.NodeID) bool) error {
+	loX, loY := z.quant.Grid(rect.Min)
+	hiX, hiY := z.quant.Grid(rect.Max)
+	lo32 := geom.Interleave(loX>>15, loY>>15)
+	hi32 := geom.Interleave(hiX>>15, hiY>>15)
+	it := z.tree.Seek(lo32 << 32)
+	for it.Next() {
+		key := it.Key()
+		if key > hi32<<32|0xffffffff {
+			break
+		}
+		z32 := key >> 32
+		if !geom.InZRect(z32, lo32, hi32) {
+			nz, ok := geom.BigMin(z32, lo32, hi32)
+			if !ok {
+				break
+			}
+			it = z.tree.Seek(nz << 32)
+			continue
+		}
+		if !fn(graph.NodeID(key & 0xffffffff)) {
+			return it.Err()
+		}
+	}
+	return it.Err()
+}
+
+// --- R-tree implementation ---
+
+type rtreeIndex struct {
+	tree *rtree.Tree
+}
+
+func (r *rtreeIndex) put(p geom.Point, id graph.NodeID) error {
+	// Upsert semantics: drop a stale entry for the same (point, id) so
+	// reorganization's re-puts stay idempotent.
+	_ = r.tree.Delete(p, uint64(id))
+	r.tree.Insert(p, uint64(id))
+	return nil
+}
+
+func (r *rtreeIndex) remove(p geom.Point, id graph.NodeID) error {
+	if err := r.tree.Delete(p, uint64(id)); err != nil {
+		return fmt.Errorf("%w: spatial entry for %d", ErrNotFound, id)
+	}
+	return nil
+}
+
+func (r *rtreeIndex) search(rect geom.Rect, fn func(graph.NodeID) bool) error {
+	r.tree.Search(rect, func(_ geom.Point, ref uint64) bool {
+		return fn(graph.NodeID(ref))
+	})
+	return nil
+}
+
+// nearestExact returns the k nearest node ids via branch-and-bound.
+func (r *rtreeIndex) nearestExact(p geom.Point, k int) []graph.NodeID {
+	nn := r.tree.Nearest(p, k)
+	out := make([]graph.NodeID, len(nn))
+	for i, n := range nn {
+		out[i] = graph.NodeID(n.Ref)
+	}
+	return out
+}
+
+// sortByDistance orders records by true Euclidean distance from p.
+func sortByDistance(recs []*Record, p geom.Point) {
+	sort.Slice(recs, func(i, j int) bool {
+		di := math.Hypot(recs[i].Pos.X-p.X, recs[i].Pos.Y-p.Y)
+		dj := math.Hypot(recs[j].Pos.X-p.X, recs[j].Pos.Y-p.Y)
+		if di != dj {
+			return di < dj
+		}
+		return recs[i].ID < recs[j].ID
+	})
+}

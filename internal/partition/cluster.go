@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// ClusterNodesIntoPages is the paper's Figure 2: top-down connectivity
+// clustering. The node set starts as one subset; subsets exceeding
+// pageSize bytes are repeatedly bipartitioned (with MinPgSize =
+// ⌈pageSize/2⌉ as the side floor) until every subset fits in a page.
+// sizeOf gives the record byte size of each node. The result is one
+// node-id slice per data page.
+func ClusterNodesIntoPages(g *graph.Network, sizeOf func(graph.NodeID) int, pageSize int, part Bipartitioner, rng *rand.Rand) ([][]graph.NodeID, error) {
+	if g.NumNodes() == 0 {
+		return nil, ErrEmptyGraph
+	}
+	for _, id := range g.NodeIDs() {
+		if s := sizeOf(id); s > pageSize {
+			return nil, fmt.Errorf("%w: node %d needs %d bytes, page is %d", ErrNodeTooLarge, id, s, pageSize)
+		}
+	}
+	minPgSize := (pageSize + 1) / 2
+
+	subsetSize := func(ids []graph.NodeID) int {
+		total := 0
+		for _, id := range ids {
+			total += sizeOf(id)
+		}
+		return total
+	}
+
+	frontier := [][]graph.NodeID{g.NodeIDs()}
+	var pages [][]graph.NodeID
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if subsetSize(cur) <= pageSize {
+			pages = append(pages, cur)
+			continue
+		}
+		keep := make(map[graph.NodeID]bool, len(cur))
+		for _, id := range cur {
+			keep[id] = true
+		}
+		sub := g.Subnetwork(keep)
+		w := BuildWeighted(sub, sizeOf)
+		a, b, err := part.Bipartition(w, minPgSize, rng)
+		if err != nil {
+			return nil, fmt.Errorf("partition: clustering subset of %d nodes: %w", len(cur), err)
+		}
+		if len(a) == 0 || len(b) == 0 {
+			return nil, fmt.Errorf("partition: %s returned an empty side", part.Name())
+		}
+		for _, half := range [][]graph.NodeID{a, b} {
+			if subsetSize(half) > pageSize {
+				frontier = append(frontier, half)
+			} else {
+				pages = append(pages, half)
+			}
+		}
+	}
+	return pages, nil
+}
+
+// PackSequential assigns nodes to pages greedily in the given order,
+// starting a new page when the next record would overflow. This is the
+// packing primitive under the topological access methods (DFS-AM,
+// BFS-AM, WDFS-AM) and the paper's figure-1 style layouts.
+func PackSequential(order []graph.NodeID, sizeOf func(graph.NodeID) int, pageSize int) ([][]graph.NodeID, error) {
+	var pages [][]graph.NodeID
+	var cur []graph.NodeID
+	used := 0
+	for _, id := range order {
+		s := sizeOf(id)
+		if s > pageSize {
+			return nil, fmt.Errorf("%w: node %d needs %d bytes, page is %d", ErrNodeTooLarge, id, s, pageSize)
+		}
+		if used+s > pageSize && len(cur) > 0 {
+			pages = append(pages, cur)
+			cur = nil
+			used = 0
+		}
+		cur = append(cur, id)
+		used += s
+	}
+	if len(cur) > 0 {
+		pages = append(pages, cur)
+	}
+	return pages, nil
+}
+
+// PagesQuality summarizes a page assignment for reports and tests.
+type PagesQuality struct {
+	Pages       int
+	CRR         float64
+	WCRR        float64
+	MinFill     float64 // fill factor of the emptiest page
+	AvgFill     float64
+	MaxOverflow int // bytes over pageSize in the fullest page (0 if none)
+}
+
+// EvaluatePages computes quality metrics of a page assignment.
+func EvaluatePages(g *graph.Network, pages [][]graph.NodeID, sizeOf func(graph.NodeID) int, pageSize int) PagesQuality {
+	placement := make(graph.Placement)
+	minFill := 1.0
+	var fillSum float64
+	maxOver := 0
+	for i, pg := range pages {
+		used := 0
+		for _, id := range pg {
+			placement[id] = storage.PageID(i)
+			used += sizeOf(id)
+		}
+		fill := float64(used) / float64(pageSize)
+		if fill < minFill {
+			minFill = fill
+		}
+		fillSum += fill
+		if used > pageSize && used-pageSize > maxOver {
+			maxOver = used - pageSize
+		}
+	}
+	q := PagesQuality{
+		Pages:       len(pages),
+		CRR:         graph.CRR(g, placement),
+		WCRR:        graph.WCRR(g, placement),
+		MinFill:     minFill,
+		MaxOverflow: maxOver,
+	}
+	if len(pages) > 0 {
+		q.AvgFill = fillSum / float64(len(pages))
+	}
+	return q
+}

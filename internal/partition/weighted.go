@@ -1,0 +1,201 @@
+// Package partition implements the graph-partitioning heuristics CCAM
+// clusters with: Kernighan–Lin two-way swaps, Fiduccia–Mattheyses
+// single-node moves with best-prefix reversion, and the Cheng–Wei
+// two-way ratio-cut adaptation the paper uses, plus the
+// size-constrained top-down ClusterNodesIntoPages procedure of the
+// paper's Figure 2 and a greedy M-way refinement pass (the paper's
+// optional extension).
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ccam/internal/graph"
+)
+
+// Errors returned by partitioning.
+var (
+	ErrEmptyGraph   = errors.New("partition: empty graph")
+	ErrNodeTooLarge = errors.New("partition: node record larger than page capacity")
+	ErrInfeasible   = errors.New("partition: size constraints infeasible")
+)
+
+// Weighted is the internal working representation: nodes are dense
+// indexes with byte sizes; edges are undirected with accumulated
+// weights (a directed pair u→v, v→u collapses into one undirected edge
+// whose weight is the sum, since an unsplit edge in either direction
+// contributes to CRR/WCRR).
+type Weighted struct {
+	IDs   []graph.NodeID // dense index -> node id
+	Size  []int          // record size per node
+	Adj   [][]WEdge      // undirected adjacency
+	Total int            // sum of sizes
+}
+
+// WEdge is one endpoint's view of an undirected weighted edge.
+type WEdge struct {
+	To int
+	W  float64
+}
+
+// BuildWeighted projects a network onto the working representation.
+// sizeOf returns the record byte size of each node; uniform weights use
+// the network's edge weights as-is (weight 0 edges still connect nodes
+// but contribute no gain).
+func BuildWeighted(g *graph.Network, sizeOf func(graph.NodeID) int) *Weighted {
+	ids := g.NodeIDs()
+	index := make(map[graph.NodeID]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	w := &Weighted{
+		IDs:  ids,
+		Size: make([]int, len(ids)),
+		Adj:  make([][]WEdge, len(ids)),
+	}
+	for i, id := range ids {
+		w.Size[i] = sizeOf(id)
+		w.Total += w.Size[i]
+	}
+	// Collapse directed edges into undirected accumulated weights.
+	acc := make(map[[2]int]float64)
+	for _, e := range g.Edges() {
+		a, b := index[e.From], index[e.To]
+		if a > b {
+			a, b = b, a
+		}
+		acc[[2]int{a, b}] += e.Weight
+	}
+	for k, wt := range acc {
+		w.Adj[k[0]] = append(w.Adj[k[0]], WEdge{To: k[1], W: wt})
+		w.Adj[k[1]] = append(w.Adj[k[1]], WEdge{To: k[0], W: wt})
+	}
+	for i := range w.Adj {
+		es := w.Adj[i]
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return w
+}
+
+// N returns the number of nodes.
+func (w *Weighted) N() int { return len(w.IDs) }
+
+// CutWeight returns the total weight of edges crossing the partition
+// expressed as side[i] booleans (false = A, true = B).
+func (w *Weighted) CutWeight(side []bool) float64 {
+	var cut float64
+	for u := range w.Adj {
+		for _, e := range w.Adj[u] {
+			if e.To > u && side[u] != side[e.To] {
+				cut += e.W
+			}
+		}
+	}
+	return cut
+}
+
+// sideSizes returns the total byte size of each side.
+func (w *Weighted) sideSizes(side []bool) (sa, sb int) {
+	for i, s := range side {
+		if s {
+			sb += w.Size[i]
+		} else {
+			sa += w.Size[i]
+		}
+	}
+	return sa, sb
+}
+
+// seedPartition grows side A from a random start by BFS until it holds
+// roughly half the total size; the rest is side B. A connected seed
+// matters on road networks: random assignment starts with a terrible
+// cut the local search cannot always escape.
+func (w *Weighted) seedPartition(rng *rand.Rand) []bool {
+	n := w.N()
+	side := make([]bool, n)
+	for i := range side {
+		side[i] = true // everything starts in B
+	}
+	start := rng.Intn(n)
+	target := w.Total / 2
+	size := 0
+	queue := []int{start}
+	side[start] = false
+	size += w.Size[start]
+	for len(queue) > 0 && size < target {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range w.Adj[cur] {
+			if side[e.To] && size < target {
+				side[e.To] = false
+				size += w.Size[e.To]
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	// Disconnected leftovers: top up A with arbitrary B nodes if A is
+	// still far short (keeps constraints feasible).
+	if size < target/2 {
+		for i := 0; i < n && size < target; i++ {
+			if side[i] {
+				side[i] = false
+				size += w.Size[i]
+			}
+		}
+	}
+	return side
+}
+
+// gains computes, for every node, the cut-weight reduction of moving it
+// to the other side (external minus internal incident weight).
+func (w *Weighted) gains(side []bool) []float64 {
+	g := make([]float64, w.N())
+	for u := range w.Adj {
+		for _, e := range w.Adj[u] {
+			if side[u] != side[e.To] {
+				g[u] += e.W
+			} else {
+				g[u] -= e.W
+			}
+		}
+	}
+	return g
+}
+
+// split materializes the two sides as node-id slices.
+func (w *Weighted) split(side []bool) (a, b []graph.NodeID) {
+	for i, s := range side {
+		if s {
+			b = append(b, w.IDs[i])
+		} else {
+			a = append(a, w.IDs[i])
+		}
+	}
+	return a, b
+}
+
+// Bipartitioner cuts a weighted graph into two sides, each of total
+// size at least minSize bytes whenever feasible. Implementations strive
+// to minimize the cut weight (maximize CRR/WCRR of the eventual
+// placement).
+type Bipartitioner interface {
+	// Name identifies the heuristic in reports.
+	Name() string
+	// Bipartition splits w. Both returned sides are non-empty, and each
+	// side's byte size is >= minSize when w.Total >= 2*minSize.
+	Bipartition(w *Weighted, minSize int, rng *rand.Rand) (a, b []graph.NodeID, err error)
+}
+
+// checkFeasible validates common preconditions.
+func checkFeasible(w *Weighted, minSize int) error {
+	if w.N() == 0 {
+		return ErrEmptyGraph
+	}
+	if w.N() == 1 {
+		return fmt.Errorf("%w: single node cannot be bipartitioned", ErrInfeasible)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is an os.File-backed Store. Page 0 of the file is a
+// metadata page holding the page size, the allocation high-water mark
+// and the head of the free list; user pages start at file offset
+// pageSize. Freed pages are chained through their first 8 bytes.
+//
+// FileStore exists so CCAM files can be durable; the experiments use
+// MemStore, and both implementations pass the same conformance tests.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	next     PageID
+	free     []PageID
+	live     map[PageID]bool
+	stats    Stats
+	closed   bool
+}
+
+// fileHeader layout within metadata page:
+//
+//	[0:8)   magic
+//	[8:12)  page size
+//	[12:16) next page id (allocation high-water mark)
+//	[16:20) number of free pages n
+//	[20:20+4n) free page ids
+const fsMagic uint64 = 0xCCA4F11E00000001
+
+// CreateFileStore creates (truncating) a page file at path.
+func CreateFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("storage: page size %d too small for file store", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create file store: %w", err)
+	}
+	fs := &FileStore{f: f, pageSize: pageSize, live: make(map[PageID]bool)}
+	if err := fs.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// OpenFileStore opens an existing page file created by CreateFileStore.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open file store: %w", err)
+	}
+	var hdr [20]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read file store header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != fsMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a page file", path)
+	}
+	ps := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	fs := &FileStore{
+		f:        f,
+		pageSize: ps,
+		next:     PageID(binary.LittleEndian.Uint32(hdr[12:16])),
+		live:     make(map[PageID]bool),
+	}
+	nfree := int(binary.LittleEndian.Uint32(hdr[16:20]))
+	if nfree > 0 {
+		buf := make([]byte, 4*nfree)
+		if _, err := f.ReadAt(buf, 20); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: read free list: %w", err)
+		}
+		for i := 0; i < nfree; i++ {
+			fs.free = append(fs.free, PageID(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	freed := make(map[PageID]bool, len(fs.free))
+	for _, id := range fs.free {
+		freed[id] = true
+	}
+	for id := PageID(0); id < fs.next; id++ {
+		if !freed[id] {
+			fs.live[id] = true
+		}
+	}
+	return fs, nil
+}
+
+func (fs *FileStore) writeHeader() error {
+	// Header must fit in the metadata page.
+	need := 20 + 4*len(fs.free)
+	if need > fs.pageSize {
+		// Compact: drop excess free ids (they leak space in the file but
+		// keep the structure valid). In practice free lists stay small.
+		fs.free = fs.free[:(fs.pageSize-20)/4]
+	}
+	buf := make([]byte, fs.pageSize)
+	binary.LittleEndian.PutUint64(buf[0:8], fsMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(fs.pageSize))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(fs.next))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(fs.free)))
+	for i, id := range fs.free {
+		binary.LittleEndian.PutUint32(buf[20+4*i:], uint32(id))
+	}
+	if _, err := fs.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: write file store header: %w", err)
+	}
+	return nil
+}
+
+func (fs *FileStore) offset(id PageID) int64 {
+	return int64(fs.pageSize) * (int64(id) + 1) // +1 skips metadata page
+}
+
+// PageSize implements Store.
+func (fs *FileStore) PageSize() int { return fs.pageSize }
+
+// Allocate implements Store.
+func (fs *FileStore) Allocate() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return InvalidPageID, ErrStoreClosed
+	}
+	var id PageID
+	if n := len(fs.free); n > 0 {
+		id = fs.free[n-1]
+		fs.free = fs.free[:n-1]
+	} else {
+		id = fs.next
+		fs.next++
+	}
+	zero := make([]byte, fs.pageSize)
+	if _, err := fs.f.WriteAt(zero, fs.offset(id)); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", id, err)
+	}
+	fs.live[id] = true
+	fs.stats.Allocs++
+	return id, nil
+}
+
+// ReadPage implements Store.
+func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	if len(buf) != fs.pageSize {
+		return ErrSizeMismatch
+	}
+	if !fs.live[id] {
+		return fmt.Errorf("%w: page %d", ErrPageNotFound, id)
+	}
+	if _, err := fs.f.ReadAt(buf, fs.offset(id)); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	fs.stats.Reads++
+	return nil
+}
+
+// WritePage implements Store.
+func (fs *FileStore) WritePage(id PageID, buf []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	if len(buf) != fs.pageSize {
+		return ErrSizeMismatch
+	}
+	if !fs.live[id] {
+		return fmt.Errorf("%w: page %d", ErrPageNotFound, id)
+	}
+	if _, err := fs.f.WriteAt(buf, fs.offset(id)); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	fs.stats.Writes++
+	return nil
+}
+
+// Free implements Store.
+func (fs *FileStore) Free(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	if !fs.live[id] {
+		return fmt.Errorf("%w: page %d", ErrPageNotFound, id)
+	}
+	delete(fs.live, id)
+	fs.free = append(fs.free, id)
+	fs.stats.Frees++
+	return nil
+}
+
+// NumPages implements Store.
+func (fs *FileStore) NumPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.live)
+}
+
+// PageIDs implements Store.
+func (fs *FileStore) PageIDs() []PageID {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]PageID, 0, len(fs.live))
+	for id := range fs.live {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Stats implements Store.
+func (fs *FileStore) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats implements Store.
+func (fs *FileStore) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+// Sync flushes the header and file contents to stable storage.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	if err := fs.writeHeader(); err != nil {
+		return err
+	}
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store. The header is flushed before closing.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if err := fs.writeHeader(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	if err := fs.f.Close(); err != nil {
+		return fmt.Errorf("storage: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,494 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// storeConformance exercises any Store implementation.
+func storeConformance(t *testing.T, s Store) {
+	t.Helper()
+	ps := s.PageSize()
+
+	id1, err := s.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	id2, err := s.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if id1 == id2 {
+		t.Fatal("Allocate returned duplicate IDs")
+	}
+	if got := s.NumPages(); got != 2 {
+		t.Fatalf("NumPages = %d, want 2", got)
+	}
+
+	w := make([]byte, ps)
+	for i := range w {
+		w[i] = byte(i)
+	}
+	if err := s.WritePage(id1, w); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	r := make([]byte, ps)
+	if err := s.ReadPage(id1, r); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Fatal("read back differs from written page")
+	}
+
+	// Fresh page is zeroed.
+	if err := s.ReadPage(id2, r); err != nil {
+		t.Fatalf("ReadPage fresh: %v", err)
+	}
+	for _, b := range r {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+
+	// Size mismatch rejected.
+	if err := s.WritePage(id1, w[:ps-1]); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("short write err = %v, want ErrSizeMismatch", err)
+	}
+	if err := s.ReadPage(id1, r[:ps-1]); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("short read err = %v, want ErrSizeMismatch", err)
+	}
+
+	// Free + reuse.
+	if err := s.Free(id1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := s.ReadPage(id1, r); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("read freed page err = %v, want ErrPageNotFound", err)
+	}
+	if err := s.Free(id1); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("double free err = %v, want ErrPageNotFound", err)
+	}
+	id3, err := s.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate after free: %v", err)
+	}
+	if id3 != id1 {
+		t.Logf("note: store did not recycle freed id (got %d, freed %d)", id3, id1)
+	}
+	if err := s.ReadPage(id3, r); err != nil {
+		t.Fatalf("ReadPage recycled: %v", err)
+	}
+	for _, b := range r {
+		if b != 0 {
+			t.Fatal("recycled page not zeroed")
+		}
+	}
+
+	st := s.Stats()
+	if st.Reads == 0 || st.Writes == 0 || st.Allocs != 3 || st.Frees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Total() != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestMemStoreConformance(t *testing.T) {
+	s := NewMemStore(512)
+	defer s.Close()
+	storeConformance(t, s)
+}
+
+func TestFileStoreConformance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeConformance(t, s)
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := s.Allocate()
+	id2, _ := s.Allocate()
+	id3, _ := s.Allocate()
+	w := make([]byte, 256)
+	copy(w, []byte("persistent payload"))
+	if err := s.WritePage(id2, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(id3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.PageSize() != 256 {
+		t.Fatalf("page size = %d, want 256", s2.PageSize())
+	}
+	if s2.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", s2.NumPages())
+	}
+	r := make([]byte, 256)
+	if err := s2.ReadPage(id2, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("payload lost across reopen")
+	}
+	// Freed page stays freed and is recycled.
+	if err := s2.ReadPage(id3, r); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("freed page readable after reopen: %v", err)
+	}
+	id4, err := s2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id4 != id3 {
+		t.Fatalf("recycled id = %d, want %d", id4, id3)
+	}
+	_ = id1
+}
+
+func TestOpenFileStoreRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	if err := os.WriteFile(path, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("OpenFileStore accepted a garbage file")
+	}
+}
+
+func TestMemStoreClosed(t *testing.T) {
+	s := NewMemStore(128)
+	id, _ := s.Allocate()
+	s.Close()
+	buf := make([]byte, 128)
+	if err := s.ReadPage(id, buf); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("err = %v, want ErrStoreClosed", err)
+	}
+	if _, err := s.Allocate(); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("err = %v, want ErrStoreClosed", err)
+	}
+}
+
+func TestSlottedPageBasic(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 256))
+	if p.Len() != 0 {
+		t.Fatalf("fresh page Len = %d", p.Len())
+	}
+	s1, err := p.Insert([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("bravo-longer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	got, err := p.Get(s1)
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("Get(s1) = %q, %v", got, err)
+	}
+	got, err = p.Get(s2)
+	if err != nil || string(got) != "bravo-longer" {
+		t.Fatalf("Get(s2) = %q, %v", got, err)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s1); !errors.Is(err, ErrSlotNotFound) {
+		t.Fatalf("Get deleted = %v", err)
+	}
+	if err := p.Delete(s1); !errors.Is(err, ErrSlotNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+	// Slot of s2 survives deletion of s1.
+	got, err = p.Get(s2)
+	if err != nil || string(got) != "bravo-longer" {
+		t.Fatalf("Get(s2) after delete = %q, %v", got, err)
+	}
+}
+
+func TestSlottedPageTagAndReset(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 128))
+	p.SetTag(0xDEADBEEF)
+	if p.Tag() != 0xDEADBEEF {
+		t.Fatalf("tag = %#x", p.Tag())
+	}
+	p.Insert([]byte("x"))
+	p.Reset()
+	if p.Len() != 0 || p.Tag() != 0 {
+		t.Fatal("Reset did not clear page")
+	}
+}
+
+func TestSlottedPageRejectsOversized(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 128))
+	if _, err := p.Insert(make([]byte, 128)); !errors.Is(err, ErrRecordTooBig) {
+		t.Fatalf("err = %v, want ErrRecordTooBig", err)
+	}
+	if _, err := p.Insert(make([]byte, p.Capacity())); err != nil {
+		t.Fatalf("capacity-sized insert failed: %v", err)
+	}
+}
+
+func TestSlottedPageFullThenDelete(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 256))
+	rec := make([]byte, 40)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected insert err: %v", err)
+			}
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 4 {
+		t.Fatalf("expected several records, got %d", len(slots))
+	}
+	if err := p.Delete(slots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(rec); err != nil {
+		t.Fatalf("insert after delete should succeed (compaction): %v", err)
+	}
+}
+
+func TestSlottedPageCompactionPreservesRecords(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 512))
+	rng := rand.New(rand.NewSource(42))
+	contents := map[int][]byte{}
+	// Interleave inserts and deletes to fragment the heap.
+	for i := 0; i < 200; i++ {
+		if len(contents) > 0 && rng.Intn(3) == 0 {
+			for s := range contents {
+				if err := p.Delete(s); err != nil {
+					t.Fatal(err)
+				}
+				delete(contents, s)
+				break
+			}
+			continue
+		}
+		rec := make([]byte, 8+rng.Intn(32))
+		rng.Read(rec)
+		s, err := p.Insert(rec)
+		if err != nil {
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if _, dup := contents[s]; dup {
+			t.Fatalf("slot %d reused while live", s)
+		}
+		contents[s] = append([]byte(nil), rec...)
+	}
+	if p.Len() != len(contents) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(contents))
+	}
+	for s, want := range contents {
+		got, err := p.Get(s)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", s, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("slot %d content corrupted", s)
+		}
+	}
+	// Slots() matches the live set.
+	live := p.Slots()
+	if len(live) != len(contents) {
+		t.Fatalf("Slots len = %d, want %d", len(live), len(contents))
+	}
+	for _, s := range live {
+		if _, ok := contents[s]; !ok {
+			t.Fatalf("Slots reported dead slot %d", s)
+		}
+	}
+}
+
+func TestSlottedPageUpdate(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 256))
+	s, err := p.Insert([]byte("short"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := p.Insert([]byte("other-record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink in place.
+	if err := p.Update(s, []byte("st")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(s); string(got) != "st" {
+		t.Fatalf("after shrink = %q", got)
+	}
+	// Grow.
+	long := bytes.Repeat([]byte("g"), 100)
+	if err := p.Update(s, long); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(s); !bytes.Equal(got, long) {
+		t.Fatal("grown record corrupted")
+	}
+	if got, _ := p.Get(other); string(got) != "other-record" {
+		t.Fatal("neighbor record damaged by update")
+	}
+	// Grow past capacity fails and leaves record intact.
+	if err := p.Update(s, make([]byte, 500)); !errors.Is(err, ErrPageFull) && !errors.Is(err, ErrRecordTooBig) {
+		t.Fatalf("oversized update err = %v", err)
+	}
+}
+
+func TestSlottedPageLoadValidates(t *testing.T) {
+	buf := make([]byte, 128)
+	buf[0] = 0xFF // absurd slot count
+	buf[1] = 0xFF
+	if _, err := LoadSlottedPage(buf); !errors.Is(err, ErrCorruptedPage) {
+		t.Fatalf("err = %v, want ErrCorruptedPage", err)
+	}
+	// Round trip through bytes.
+	p := NewSlottedPage(make([]byte, 128))
+	s, _ := p.Insert([]byte("roundtrip"))
+	q, err := LoadSlottedPage(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Get(s)
+	if err != nil || string(got) != "roundtrip" {
+		t.Fatalf("Get after load = %q, %v", got, err)
+	}
+}
+
+func TestSlottedPageFreeSpaceMonotone(t *testing.T) {
+	p := NewSlottedPage(make([]byte, 512))
+	prev := p.FreeSpace()
+	for i := 0; i < 10; i++ {
+		if _, err := p.Insert(make([]byte, 20)); err != nil {
+			t.Fatal(err)
+		}
+		fs := p.FreeSpace()
+		if fs >= prev {
+			t.Fatalf("FreeSpace did not decrease: %d -> %d", prev, fs)
+		}
+		prev = fs
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 5, Allocs: 2, Frees: 1}
+	b := Stats{Reads: 4, Writes: 2, Allocs: 1, Frees: 0}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 3 || d.Allocs != 1 || d.Frees != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.Total() != 9 {
+		t.Fatalf("Total = %d", d.Total())
+	}
+}
+
+func TestSlottedPageQuickProperty(t *testing.T) {
+	// Property: for any sequence of insert/delete/update operations the
+	// page behaves like a map slot -> bytes.
+	f := func(ops []uint16, seed int64) bool {
+		p := NewSlottedPage(make([]byte, 512))
+		rng := rand.New(rand.NewSource(seed))
+		shadow := map[int][]byte{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // insert
+				rec := make([]byte, 1+int(op%97))
+				rng.Read(rec)
+				s, err := p.Insert(rec)
+				if err != nil {
+					if errors.Is(err, ErrPageFull) || errors.Is(err, ErrRecordTooBig) {
+						continue
+					}
+					return false
+				}
+				shadow[s] = append([]byte(nil), rec...)
+			case 1: // delete an arbitrary live slot
+				for s := range shadow {
+					if err := p.Delete(s); err != nil {
+						return false
+					}
+					delete(shadow, s)
+					break
+				}
+			case 2: // update an arbitrary live slot
+				for s := range shadow {
+					rec := make([]byte, 1+int(op%61))
+					rng.Read(rec)
+					if err := p.Update(s, rec); err != nil {
+						if errors.Is(err, ErrPageFull) {
+							break
+						}
+						return false
+					}
+					shadow[s] = append([]byte(nil), rec...)
+					break
+				}
+			}
+		}
+		if p.Len() != len(shadow) {
+			return false
+		}
+		for s, want := range shadow {
+			got, err := p.Get(s)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStorePageIDs(t *testing.T) {
+	s := NewMemStore(128)
+	defer s.Close()
+	var want []PageID
+	for i := 0; i < 5; i++ {
+		id, _ := s.Allocate()
+		want = append(want, id)
+	}
+	s.Free(want[2])
+	ids := s.PageIDs()
+	if len(ids) != 4 {
+		t.Fatalf("PageIDs = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("PageIDs not ascending")
+		}
+	}
+}
