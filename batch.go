@@ -1,0 +1,141 @@
+package ccam
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachLimit runs fn(0..n-1) on up to `workers` goroutines, stopping
+// at the first error or context cancellation and returning it. Work is
+// handed out through an atomic cursor, so cheap items don't wait on
+// expensive ones.
+func forEachLimit(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// FindBatch retrieves the records of every id, fanning the lookups
+// across a worker pool bounded by Options.Parallelism (default
+// runtime.GOMAXPROCS(0)). Results are positional: out[i] is the record
+// of ids[i]. The first lookup error, or a context cancellation, stops
+// the remaining work and is returned; partial results are discarded.
+func (s *Store) FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Record, len(ids))
+	err = forEachLimit(ctx, len(ids), s.parallelism, func(i int) error {
+		rec, err := f.Find(ids[i])
+		if err != nil {
+			return err
+		}
+		out[i] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvaluateRoutes evaluates every route, fanning the evaluations across
+// a worker pool bounded by Options.Parallelism (default
+// runtime.GOMAXPROCS(0)). Results are positional: out[i] is the
+// aggregate of routes[i]. The first evaluation error, or a context
+// cancellation, stops the remaining work and is returned.
+func (s *Store) EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggregate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RouteAggregate, len(routes))
+	err = forEachLimit(ctx, len(routes), s.parallelism, func(i int) error {
+		agg, err := f.EvaluateRoute(routes[i])
+		if err != nil {
+			return err
+		}
+		out[i] = agg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RangeQueryCtx is RangeQuery with cooperative cancellation: the
+// context is checked before each candidate record fetch, so canceling
+// it stops the index scan without paying for the remaining page reads.
+func (s *Store) RangeQueryCtx(ctx context.Context, rect Rect) ([]*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	return f.RangeQueryCtx(ctx, rect)
+}

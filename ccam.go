@@ -36,6 +36,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"time"
 
 	iccam "ccam/internal/ccam"
 	"ccam/internal/geom"
@@ -148,6 +149,15 @@ type Options struct {
 	// Spatial selects the secondary spatial index: SpatialZOrder (the
 	// paper's Z-ordered B+-tree, the default) or SpatialRTree.
 	Spatial SpatialIndexKind
+	// Parallelism bounds the worker pool of the batch queries
+	// (FindBatch, EvaluateRoutes). Zero means runtime.GOMAXPROCS(0).
+	Parallelism int
+	// ReadLatency, when positive, charges that much simulated
+	// wall-clock time per physical data-page read of the in-memory
+	// store, reproducing the paper's disk-resident regime for
+	// throughput experiments (page-access counts are unaffected).
+	// Ignored when Path is set.
+	ReadLatency time.Duration
 }
 
 // SpatialIndexKind selects the secondary spatial index structure.
@@ -162,14 +172,22 @@ const (
 )
 
 // Store is a CCAM file: the paper's access method behind a convenience
-// facade. All methods are safe for concurrent use; operations are
-// serialized by an internal lock (the underlying file machinery is
-// single-threaded, matching the one-query-at-a-time cost model of the
-// paper).
+// facade. All methods are safe for concurrent use under a
+// reader-writer lock: the query operations (Find, GetASuccessor,
+// GetSuccessors, EvaluateRoute, RangeQuery, Nearest, the graph
+// searches, Scan and the read-only accessors) take a shared lock and
+// run in parallel with each other, while Build, Insert, Delete,
+// InsertEdge, DeleteEdge, SetEdgeCost, ResetIO, Flush and Close are
+// exclusive. This departs from the paper's one-query-at-a-time cost
+// model on purpose — route-evaluation workloads are read-dominated —
+// without changing any per-operation page-access count. FindBatch and
+// EvaluateRoutes additionally fan one call's work across a bounded
+// worker pool (see Options.Parallelism).
 type Store struct {
-	mu sync.Mutex
-	m  *iccam.Method
-	fs *storage.FileStore
+	mu          sync.RWMutex
+	m           *iccam.Method
+	fs          *storage.FileStore
+	parallelism int
 }
 
 // Open creates a new, empty CCAM store.
@@ -178,11 +196,12 @@ func Open(opts Options) (*Store, error) {
 		opts.PageSize = 2048
 	}
 	cfg := iccam.Config{
-		PageSize:  opts.PageSize,
-		PoolPages: opts.PoolPages,
-		Seed:      opts.Seed,
-		Dynamic:   opts.Dynamic,
-		Spatial:   opts.Spatial,
+		PageSize:    opts.PageSize,
+		PoolPages:   opts.PoolPages,
+		Seed:        opts.Seed,
+		Dynamic:     opts.Dynamic,
+		Spatial:     opts.Spatial,
+		ReadLatency: opts.ReadLatency,
 	}
 	var fs *storage.FileStore
 	if opts.Path != "" {
@@ -197,7 +216,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{m: m, fs: fs}, nil
+	return &Store{m: m, fs: fs, parallelism: opts.Parallelism}, nil
 }
 
 // Build loads network g into the store (the paper's Create()),
@@ -218,8 +237,8 @@ func (s *Store) file() (*netfile.File, error) {
 
 // Find retrieves the record of a node.
 func (s *Store) Find(id NodeID) (*Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, err
@@ -230,8 +249,8 @@ func (s *Store) Find(id NodeID) (*Record, error) {
 // GetASuccessor retrieves the record of succ, a successor of cur; the
 // buffered page containing cur is searched first.
 func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, err
@@ -241,8 +260,8 @@ func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
 
 // GetSuccessors retrieves the records of all successors of a node.
 func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, err
@@ -253,8 +272,8 @@ func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
 // EvaluateRoute computes the aggregate property of a route as a Find
 // followed by Get-A-successor operations.
 func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return RouteAggregate{}, err
@@ -265,8 +284,8 @@ func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
 // RangeQuery returns all records whose positions lie inside rect, via
 // the Z-ordered secondary index.
 func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, err
@@ -302,21 +321,30 @@ func (s *Store) DeleteEdge(from, to NodeID, policy Policy) error {
 	return s.m.DeleteEdge(from, to, policy)
 }
 
-// Contains reports whether a node is stored.
-func (s *Store) Contains(id NodeID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Has reports whether a node is stored. Unlike Contains, it surfaces
+// real failures: an unbuilt store or an index error comes back as a
+// non-nil error instead of being conflated with "absent".
+func (s *Store) Has(id NodeID) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
-		return false
+		return false, err
 	}
-	return f.Has(id)
+	return f.HasRecord(id)
+}
+
+// Contains reports whether a node is stored. It is a convenience
+// wrapper around Has that treats every failure as "not stored".
+func (s *Store) Contains(id NodeID) bool {
+	ok, err := s.Has(id)
+	return err == nil && ok
 }
 
 // Len returns the number of stored node records.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return 0
@@ -326,8 +354,8 @@ func (s *Store) Len() int {
 
 // NumPages returns the number of data pages in the file.
 func (s *Store) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return 0
@@ -337,8 +365,8 @@ func (s *Store) NumPages() int {
 
 // Placement returns the current node → data page assignment.
 func (s *Store) Placement() Placement {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return Placement{}
@@ -354,10 +382,12 @@ func (s *Store) CRR(g *Network) float64 { return CRR(g, s.Placement()) }
 // against network g.
 func (s *Store) WCRR(g *Network) float64 { return WCRR(g, s.Placement()) }
 
-// IO returns the physical data-page I/O counters.
+// IO returns the physical data-page I/O counters. The snapshot is
+// consistent under concurrent readers: every counter is an atomic
+// load, so no field is ever torn mid-increment.
 func (s *Store) IO() IOStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return IOStats{}
@@ -496,8 +526,8 @@ func (s *Store) SetEdgeCost(from, to NodeID, cost float32) error {
 // Nearest returns the k stored records closest to p by Euclidean
 // distance, nearest first, through the spatial index.
 func (s *Store) Nearest(p Point, k int) ([]*Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, err
@@ -518,8 +548,8 @@ type (
 // ShortestPath computes a cheapest path between two stored nodes with
 // Dijkstra's algorithm over the file (Get-successors expansions).
 func (s *Store) ShortestPath(src, dst NodeID) (Path, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return Path{}, err
@@ -532,8 +562,8 @@ func (s *Store) ShortestPath(src, dst NodeID) (Path, error) {
 // bound on edge cost per unit of Euclidean distance; 0 falls back to
 // Dijkstra).
 func (s *Store) ShortestPathAStar(src, dst NodeID, minCostPerUnit float64) (Path, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return Path{}, err
@@ -544,8 +574,8 @@ func (s *Store) ShortestPathAStar(src, dst NodeID, minCostPerUnit float64) (Path
 // EvaluateTour evaluates a closed tour (the route plus the edge back to
 // its start).
 func (s *Store) EvaluateTour(tour Route) (TourAggregate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return TourAggregate{}, err
@@ -557,8 +587,8 @@ func (s *Store) EvaluateTour(tour Route) (TourAggregate, error) {
 // facility by network distance, returning the allocations plus the
 // total and maximum assignment costs.
 func (s *Store) LocationAllocation(facilities []NodeID) ([]Allocation, float64, float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, 0, 0, err
@@ -595,7 +625,7 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		fs.Close()
 		return nil, err
 	}
-	return &Store{m: m, fs: fs}, nil
+	return &Store{m: m, fs: fs, parallelism: opts.Parallelism}, nil
 }
 
 // RouteUnitAggregate is the result of an aggregate query over a
@@ -607,8 +637,8 @@ type RouteUnitAggregate = netfile.RouteUnitAggregate
 // decision-support query (comparing ridership or flow across named
 // routes).
 func (s *Store) EvaluateRouteUnit(name string, members [][2]NodeID) (RouteUnitAggregate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return RouteUnitAggregate{}, err
@@ -619,8 +649,8 @@ func (s *Store) EvaluateRouteUnit(name string, members [][2]NodeID) (RouteUnitAg
 // Scan visits every stored record, page by page (a sequential scan). fn
 // returning false stops early.
 func (s *Store) Scan(fn func(rec *Record) bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return err

@@ -12,10 +12,14 @@
 //	ccam-bench -exp ablation-partitioner
 //	ccam-bench -exp ablation-buffer
 //	ccam-bench -exp ablation-scale
+//	ccam-bench -exp throughput -parallel 8
 //
 // Flags -seed, -rows and -cols change the synthetic road map; the
 // defaults reproduce the paper-scale Minneapolis map (1079 nodes,
-// ~3057 edges).
+// ~3057 edges). The throughput experiment sweeps the batch-query
+// worker pool up to -parallel workers against a simulated disk and is
+// not part of -exp all, because it reports wall-clock scaling rather
+// than the paper's page-access counts.
 package main
 
 import (
@@ -30,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput (not part of all: it measures wall-clock, not page counts)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
 	cols := flag.Int("cols", 0, "override road map lattice cols")
+	parallel := flag.Int("parallel", 8, "largest worker-pool size the throughput experiment sweeps")
 	flag.Parse()
 
 	opts := graph.MinneapolisLikeOpts()
@@ -47,13 +52,13 @@ func main() {
 	}
 	setup := bench.Setup{MapOpts: opts, Seed: *seed}
 
-	if err := run(os.Stdout, *exp, setup); err != nil {
+	if err := run(os.Stdout, *exp, setup, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, setup bench.Setup) error {
+func run(w io.Writer, exp string, setup bench.Setup, parallel int) error {
 	g, err := setup.Network()
 	if err != nil {
 		return err
@@ -164,6 +169,19 @@ func run(w io.Writer, exp string, setup bench.Setup) error {
 			return err
 		}
 		res.Print(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	// The throughput experiment measures wall-clock scaling of the
+	// concurrent read path, not page-access counts, and sleeps to
+	// simulate disk latency — so it runs only when asked for by name.
+	if exp == "throughput" {
+		if err := runThroughput(w, g, throughputConfig{
+			MaxWorkers: parallel,
+			Seed:       setup.Seed,
+		}); err != nil {
+			return err
+		}
 		fmt.Fprintln(w)
 		ran = true
 	}

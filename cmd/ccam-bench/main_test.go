@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"ccam/internal/bench"
 	"ccam/internal/graph"
@@ -32,7 +33,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for exp, marker := range cases {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, exp, tinySetup()); err != nil {
+			if err := run(&buf, exp, tinySetup(), 2); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 			out := buf.String()
@@ -61,7 +62,29 @@ func TestRunScaleExperiment(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", tinySetup()); err == nil {
+	if err := run(&buf, "nope", tinySetup(), 2); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunThroughputExperiment(t *testing.T) {
+	// Tiny batches keep the simulated-disk sleeps short; the point here
+	// is the plumbing, not the speedup numbers.
+	var buf bytes.Buffer
+	g, err := tinySetup().Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := throughputConfig{MaxWorkers: 2, ReadLatency: 20 * time.Microsecond,
+		Finds: 64, Routes: 8, RouteLen: 6, Seed: 3}
+	if err := runThroughput(&buf, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Concurrent throughput") {
+		t.Fatalf("missing marker:\n%s", out)
+	}
+	if !strings.Contains(out, "workers") || !strings.Contains(out, "1.00x") {
+		t.Fatalf("missing sweep table:\n%s", out)
 	}
 }

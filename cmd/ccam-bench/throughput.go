@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ccam"
+	"ccam/internal/graph"
+)
+
+// throughputConfig parameterizes the concurrent-throughput experiment.
+type throughputConfig struct {
+	// MaxWorkers is the largest worker-pool size swept (the -parallel
+	// flag); the sweep doubles from 1.
+	MaxWorkers int
+	// ReadLatency is the simulated seek+transfer time per physical
+	// data-page read.
+	ReadLatency time.Duration
+	// Finds is the number of point lookups per batch.
+	Finds int
+	// Routes and RouteLen shape the route-evaluation batch.
+	Routes, RouteLen int
+	// Seed drives the workload generator.
+	Seed int64
+}
+
+// runThroughput measures batch-query throughput against the simulated
+// disk while sweeping the worker pool. The store's read path is
+// latched shared and buffer-pool misses release the latch during the
+// physical read, so workers overlap their I/O waits; on a disk-bound
+// workload the speedup approaches the worker count without needing
+// that many CPUs.
+func runThroughput(w io.Writer, g *graph.Network, cfg throughputConfig) error {
+	if cfg.MaxWorkers < 1 {
+		cfg.MaxWorkers = 8
+	}
+	if cfg.ReadLatency <= 0 {
+		cfg.ReadLatency = 200 * time.Microsecond
+	}
+	if cfg.Finds <= 0 {
+		cfg.Finds = 2000
+	}
+	if cfg.Routes <= 0 {
+		cfg.Routes = 128
+	}
+	if cfg.RouteLen <= 0 {
+		cfg.RouteLen = 20
+	}
+
+	fmt.Fprintln(w, "Concurrent throughput: batch queries over the simulated disk")
+	fmt.Fprintf(w, "read latency %v/page; batches of %d finds and %d routes of length %d\n",
+		cfg.ReadLatency, cfg.Finds, cfg.Routes, cfg.RouteLen)
+	fmt.Fprintf(w, "%-8s  %12s  %8s  %12s  %8s\n",
+		"workers", "finds/sec", "speedup", "routes/sec", "speedup")
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodeIDs := g.NodeIDs()
+	ids := make([]ccam.NodeID, cfg.Finds)
+	for i := range ids {
+		ids[i] = nodeIDs[rng.Intn(len(nodeIDs))]
+	}
+	routes, err := ccam.RandomWalkRoutes(g, cfg.Routes, cfg.RouteLen, rng)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	var findBase, routeBase float64
+	for workers := 1; workers <= cfg.MaxWorkers; workers *= 2 {
+		s, err := ccam.OpenWith(
+			ccam.WithPageSize(2048),
+			ccam.WithPoolPages(32),
+			ccam.WithSeed(1),
+			ccam.WithParallelism(workers),
+			ccam.WithReadLatency(cfg.ReadLatency),
+		)
+		if err != nil {
+			return err
+		}
+		if err := s.Build(g); err != nil {
+			s.Close()
+			return err
+		}
+
+		start := time.Now()
+		if _, err := s.FindBatch(ctx, ids); err != nil {
+			s.Close()
+			return err
+		}
+		findsPerSec := float64(cfg.Finds) / time.Since(start).Seconds()
+
+		start = time.Now()
+		if _, err := s.EvaluateRoutes(ctx, routes); err != nil {
+			s.Close()
+			return err
+		}
+		routesPerSec := float64(cfg.Routes) / time.Since(start).Seconds()
+		s.Close()
+
+		if workers == 1 {
+			findBase, routeBase = findsPerSec, routesPerSec
+		}
+		fmt.Fprintf(w, "%-8d  %12.0f  %7.2fx  %12.0f  %7.2fx\n",
+			workers, findsPerSec, findsPerSec/findBase, routesPerSec, routesPerSec/routeBase)
+	}
+	return nil
+}

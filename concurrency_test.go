@@ -1,0 +1,398 @@
+package ccam
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// builtStore opens a store over the small test map and loads it.
+func builtStore(t *testing.T, opts Options) (*Store, *Network) {
+	t.Helper()
+	g := testMap(t)
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+// TestConcurrentReaders races the full query surface — Find,
+// GetSuccessors, EvaluateRoute, RangeQuery, Nearest, Has — across 8
+// goroutines and checks every result for correctness, not just the
+// absence of errors. Run with -race to verify the read path shares the
+// store without data races.
+func TestConcurrentReaders(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 5})
+	ids := g.NodeIDs()
+	routes, err := RandomWalkRoutes(g, 32, 8, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := g.Bounds()
+	window := NewRect(
+		Point{X: bb.Min.X + bb.Width()*0.3, Y: bb.Min.Y + bb.Height()*0.3},
+		Point{X: bb.Min.X + bb.Width()*0.7, Y: bb.Min.Y + bb.Height()*0.7},
+	)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 150; i++ {
+				switch i % 5 {
+				case 0:
+					id := ids[rng.Intn(len(ids))]
+					rec, err := s.Find(id)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if rec.ID != id {
+						errCh <- errors.New("Find returned wrong record")
+						return
+					}
+				case 1:
+					id := ids[rng.Intn(len(ids))]
+					succs, err := s.GetSuccessors(id)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(succs) != len(g.SuccessorEdges(id)) {
+						errCh <- errors.New("GetSuccessors returned wrong count")
+						return
+					}
+				case 2:
+					r := routes[rng.Intn(len(routes))]
+					agg, err := s.EvaluateRoute(r)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if agg.Nodes != len(r) {
+						errCh <- errors.New("EvaluateRoute returned wrong node count")
+						return
+					}
+				case 3:
+					recs, err := s.RangeQuery(window)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for _, rec := range recs {
+						if !window.Contains(rec.Pos) {
+							errCh <- errors.New("RangeQuery returned record outside window")
+							return
+						}
+					}
+				case 4:
+					id := ids[rng.Intn(len(ids))]
+					ok, err := s.Has(id)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !ok {
+						errCh <- errors.New("Has reported a stored node absent")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestReadersWithWriter races parallel readers against a writer that
+// churns one node (Delete + Insert under the second-order policy) and
+// refreshes edge costs. Readers avoid the churned node, so every read
+// must succeed even while pages reorganize underneath them.
+func TestReadersWithWriter(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 6})
+	ids := g.NodeIDs()
+	churn := ids[len(ids)/2]
+	stable := make([]NodeID, 0, len(ids)-1)
+	for _, id := range ids {
+		if id != churn {
+			stable = append(stable, id)
+		}
+	}
+	all, err := RandomWalkRoutes(g, 64, 6, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routes []Route
+	for _, r := range all {
+		hitsChurn := false
+		for _, id := range r {
+			if id == churn {
+				hitsChurn = true
+				break
+			}
+		}
+		if !hitsChurn {
+			routes = append(routes, r)
+		}
+	}
+	if len(routes) == 0 {
+		t.Fatal("no routes avoid the churned node; enlarge the map")
+	}
+	var safeEdge Edge
+	found := false
+	for _, e := range g.Edges() {
+		if e.From != churn && e.To != churn {
+			safeEdge, found = e, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no edge avoids the churned node")
+	}
+	bb := g.Bounds()
+	window := NewRect(
+		Point{X: bb.Min.X, Y: bb.Min.Y},
+		Point{X: bb.Min.X + bb.Width()*0.5, Y: bb.Min.Y + bb.Height()*0.5},
+	)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 9)
+	// Writer: churn one node and refresh a travel time, 40 rounds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			op, err := InsertOpFromNode(g, churn)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Delete(churn, SecondOrder); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Insert(op, SecondOrder); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.SetEdgeCost(safeEdge.From, safeEdge.To, float32(safeEdge.Cost)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			for i := 0; i < 120; i++ {
+				switch i % 3 {
+				case 0:
+					id := stable[rng.Intn(len(stable))]
+					rec, err := s.Find(id)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if rec.ID != id {
+						errCh <- errors.New("Find returned wrong record during churn")
+						return
+					}
+				case 1:
+					r := routes[rng.Intn(len(routes))]
+					if _, err := s.EvaluateRoute(r); err != nil {
+						errCh <- err
+						return
+					}
+				case 2:
+					if _, err := s.RangeQuery(window); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// The file must still be exact after the churn.
+	if s.Len() != g.NumNodes() {
+		t.Fatalf("store has %d nodes, want %d", s.Len(), g.NumNodes())
+	}
+}
+
+func TestFindBatch(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 3, Parallelism: 4})
+	ids := g.NodeIDs()
+	recs, err := s.FindBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ids) {
+		t.Fatalf("got %d records, want %d", len(recs), len(ids))
+	}
+	for i, rec := range recs {
+		if rec == nil || rec.ID != ids[i] {
+			t.Fatalf("recs[%d] is not the record of node %d", i, ids[i])
+		}
+	}
+	// An unknown id stops the batch with ErrNotFound.
+	bad := append([]NodeID{}, ids[:4]...)
+	bad = append(bad, 1<<30)
+	if _, err := s.FindBatch(context.Background(), bad); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("batch with unknown id: got %v, want ErrNotFound", err)
+	}
+	// The empty batch is a no-op.
+	empty, err := s.FindBatch(context.Background(), nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: got %v, %v", empty, err)
+	}
+}
+
+func TestFindBatchCancellation(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 3})
+	ids := g.NodeIDs()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.FindBatch(ctx, ids); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled FindBatch: got %v, want context.Canceled", err)
+	}
+	if _, err := s.EvaluateRoutes(ctx, []Route{{ids[0]}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled EvaluateRoutes: got %v, want context.Canceled", err)
+	}
+}
+
+func TestEvaluateRoutesMatchesSerial(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 4, Parallelism: 8})
+	routes, err := RandomWalkRoutes(g, 24, 10, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.EvaluateRoutes(context.Background(), routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range routes {
+		want, err := s.EvaluateRoute(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Fatalf("route %d: batch %+v != serial %+v", i, batch[i], want)
+		}
+	}
+}
+
+func TestRangeQueryCtx(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 4})
+	bb := g.Bounds()
+	window := NewRect(bb.Min, Point{X: bb.Min.X + bb.Width()*0.6, Y: bb.Min.Y + bb.Height()*0.6})
+	want, err := s.RangeQuery(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RangeQueryCtx(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RangeQueryCtx returned %d records, RangeQuery %d", len(got), len(want))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RangeQueryCtx(ctx, window); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled RangeQueryCtx: got %v, want context.Canceled", err)
+	}
+}
+
+// TestOpenWithMatchesOpen verifies the functional options produce a
+// store identical to the equivalent Options struct: same placement,
+// page count and record count.
+func TestOpenWithMatchesOpen(t *testing.T) {
+	g := testMap(t)
+	a, err := Open(Options{PageSize: 1024, PoolPages: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenWith(WithPageSize(1024), WithPoolPages(8), WithSeed(21), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.NumPages() != b.NumPages() {
+		t.Fatalf("stores differ: %d/%d nodes, %d/%d pages", a.Len(), b.Len(), a.NumPages(), b.NumPages())
+	}
+	pa, pb := a.Placement(), b.Placement()
+	if len(pa) != len(pb) {
+		t.Fatalf("placements differ in size: %d vs %d", len(pa), len(pb))
+	}
+	for id, pid := range pa {
+		if pb[id] != pid {
+			t.Fatalf("node %d placed on page %d vs %d", id, pid, pb[id])
+		}
+	}
+}
+
+func TestHasSurfacesErrors(t *testing.T) {
+	s, err := Open(Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Unbuilt store: Has errors, Contains stays a quiet false.
+	if _, err := s.Has(1); err == nil {
+		t.Fatal("Has on unbuilt store returned nil error")
+	}
+	if s.Contains(1) {
+		t.Fatal("Contains on unbuilt store returned true")
+	}
+	g := testMap(t)
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	id := g.NodeIDs()[0]
+	if ok, err := s.Has(id); err != nil || !ok {
+		t.Fatalf("Has(%d) = %v, %v; want true, nil", id, ok, err)
+	}
+	if ok, err := s.Has(1 << 30); err != nil || ok {
+		t.Fatalf("Has(missing) = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestIOStatsString(t *testing.T) {
+	s, g := builtStore(t, Options{PageSize: 1024, Seed: 2})
+	if _, err := s.Find(g.NodeIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	got := s.IO().String()
+	for _, want := range []string{"reads=", "writes=", "allocs=", "frees=", "total="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("IOStats.String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -11,6 +11,9 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"ccam/internal/storage"
 )
@@ -50,28 +53,77 @@ func (s Stats) Sub(earlier Stats) Stats {
 	}
 }
 
-// frame is one buffered page.
-type frame struct {
-	id    storage.PageID
-	data  []byte
-	dirty bool
-	pins  int
-	// LRU list links (intrusive doubly linked list over frame indexes).
-	prev, next int
+// poolCounters is the mutable form of Stats: atomics, so Stats() can
+// snapshot without tearing while parallel readers drive the pool.
+type poolCounters struct {
+	fetches, hits, misses, evictions, flushes atomic.Int64
 }
 
-// Pool is an LRU buffer pool. It is not safe for concurrent use; each
-// access method owns its pool, matching the single-query-at-a-time cost
-// model of the paper.
+func (c *poolCounters) snapshot() Stats {
+	return Stats{
+		Fetches:   c.fetches.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Flushes:   c.flushes.Load(),
+	}
+}
+
+func (c *poolCounters) reset() {
+	c.fetches.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.flushes.Store(0)
+}
+
+// frame is one buffered page. pins, lastUsed and dirty are atomics so
+// that hits — the hot path — can pin and touch a frame while holding
+// only the shared latch. loading is non-nil while the frame's physical
+// read is still in flight; it is closed (under the exclusive latch)
+// when the read completes, and loadErr is valid from then on.
+type frame struct {
+	id       storage.PageID
+	data     []byte
+	dirty    atomic.Bool
+	pins     atomic.Int64
+	lastUsed atomic.Int64
+	loading  chan struct{}
+	loadErr  error
+}
+
+// Pool is an LRU buffer pool, safe for concurrent use. A reader-writer
+// latch guards the frame table: hits take it shared (pin count and
+// recency are atomics), so parallel readers stream through buffered
+// pages without serializing. A miss takes the latch exclusively only
+// long enough to claim a victim frame and publish it as
+// loading-in-progress, then releases it for the physical read — so
+// concurrent misses on distinct pages overlap their I/O, which is where
+// the throughput of a disk-resident file comes from. Concurrent
+// requests for a page being read wait on the in-flight read instead of
+// issuing their own (and count as hits: only one physical read
+// happens).
+//
+// Frame images are protected by the pin protocol: a pinned or loading
+// frame is never recycled, and writers are excluded from overlapping
+// readers by the access-method level lock above. Eviction is exact
+// LRU: recency is a global logical clock sampled per fetch, and the
+// victim is the unpinned frame with the smallest stamp.
+//
+// Sizing note for parallel readers: every in-flight Fetch holds a pin,
+// so capacity should comfortably exceed the worker count times the
+// pages a single operation keeps pinned (Get-A-successor pins two);
+// otherwise bursts can exhaust the pool and fail with ErrAllPinned.
 type Pool struct {
-	store  storage.Store
+	mu    sync.RWMutex
+	store storage.Store
+	// frames is allocated once and never resized, so &frames[i] stays
+	// valid across latch releases.
 	frames []frame
 	table  map[storage.PageID]int // page -> frame index
-	// LRU list: head = most recent, tail = least recent. -1 terminates.
-	head, tail int
-	freeList   []int
-	stats      Stats
-	closed     bool
+	clock  atomic.Int64           // logical time for LRU stamps
+	stats  poolCounters
+	closed bool
 }
 
 // NewPool returns a pool with capacity frames over store. Capacity must
@@ -81,15 +133,12 @@ func NewPool(store storage.Store, capacity int) *Pool {
 		panic(fmt.Sprintf("buffer: invalid pool capacity %d", capacity))
 	}
 	p := &Pool{
-		store: store,
-		table: make(map[storage.PageID]int, capacity),
-		head:  -1,
-		tail:  -1,
+		store:  store,
+		table:  make(map[storage.PageID]int, capacity),
+		frames: make([]frame, capacity),
 	}
-	p.frames = make([]frame, capacity)
-	for i := capacity - 1; i >= 0; i-- {
-		p.frames[i] = frame{id: storage.InvalidPageID, prev: -1, next: -1}
-		p.freeList = append(p.freeList, i)
+	for i := range p.frames {
+		p.frames[i].id = storage.InvalidPageID
 	}
 	return p
 }
@@ -100,58 +149,124 @@ func (p *Pool) Capacity() int { return len(p.frames) }
 // Store returns the underlying page store.
 func (p *Pool) Store() storage.Store { return p.store }
 
-// Stats returns a snapshot of the pool counters.
-func (p *Pool) Stats() Stats { return p.stats }
+// Stats returns a snapshot of the pool counters. Counters are atomics,
+// so the snapshot is safe while parallel readers drive the pool.
+func (p *Pool) Stats() Stats { return p.stats.snapshot() }
 
 // ResetStats zeroes the pool counters (not the store's).
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() { p.stats.reset() }
 
 // Contains reports whether the page is currently buffered, without
 // touching recency or counters. Get-A-successor uses this to probe the
 // buffer before paying for a Find.
 func (p *Pool) Contains(id storage.PageID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	_, ok := p.table[id]
 	return ok
+}
+
+// pinResident pins the table-resident frame fi and returns its image,
+// waiting out an in-flight read if there is one. Called with the latch
+// held (shared or exclusive); releases it.
+func (p *Pool) pinResident(fi int, unlock func()) ([]byte, error) {
+	f := &p.frames[fi]
+	f.pins.Add(1)
+	f.lastUsed.Store(p.clock.Add(1))
+	ch := f.loading
+	data := f.data
+	unlock()
+	p.stats.fetches.Add(1)
+	p.stats.hits.Add(1)
+	if ch != nil {
+		<-ch
+		// loadErr was written before the channel close and the frame
+		// cannot be recycled while our pin is held, so this read is
+		// ordered. On failure the loader already unpublished the page;
+		// we only drop our pin.
+		if err := f.loadErr; err != nil {
+			f.pins.Add(-1)
+			return nil, err
+		}
+	}
+	return data, nil
 }
 
 // Fetch pins the page and returns its buffer-resident image. The caller
 // must Unpin exactly once per Fetch. The returned slice aliases the
 // frame and is valid until Unpin.
 func (p *Pool) Fetch(id storage.PageID) ([]byte, error) {
+	p.mu.RLock()
 	if p.closed {
+		p.mu.RUnlock()
 		return nil, ErrPoolClosed
 	}
-	p.stats.Fetches++
 	if fi, ok := p.table[id]; ok {
-		p.stats.Hits++
-		p.frames[fi].pins++
-		p.touch(fi)
-		return p.frames[fi].data, nil
+		return p.pinResident(fi, p.mu.RUnlock)
 	}
-	p.stats.Misses++
+	p.mu.RUnlock()
+	return p.fetchMiss(id)
+}
+
+// fetchMiss claims a frame for the page and performs the physical read
+// with the latch released, so concurrent misses overlap their I/O.
+func (p *Pool) fetchMiss(id storage.PageID) ([]byte, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	// Another goroutine may have faulted the page in (or begun to)
+	// while we upgraded the latch.
+	if fi, ok := p.table[id]; ok {
+		return p.pinResident(fi, func() { p.mu.Unlock() })
+	}
+	p.stats.fetches.Add(1)
+	p.stats.misses.Add(1)
 	fi, err := p.victim()
 	if err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
 	f := &p.frames[fi]
 	if f.data == nil {
 		f.data = make([]byte, p.store.PageSize())
 	}
-	if err := p.store.ReadPage(id, f.data); err != nil {
-		p.freeList = append(p.freeList, fi)
-		return nil, fmt.Errorf("buffer: fetch page %d: %w", id, err)
-	}
 	f.id = id
-	f.dirty = false
-	f.pins = 1
+	f.dirty.Store(false)
+	f.pins.Store(1)
+	f.lastUsed.Store(p.clock.Add(1))
+	ch := make(chan struct{})
+	f.loading = ch
+	f.loadErr = nil
 	p.table[id] = fi
-	p.pushFront(fi)
+	p.mu.Unlock()
+
+	readErr := p.store.ReadPage(id, f.data)
+
+	p.mu.Lock()
+	var result error
+	if readErr != nil {
+		result = fmt.Errorf("buffer: fetch page %d: %w", id, readErr)
+		f.loadErr = result
+		delete(p.table, id)
+		f.id = storage.InvalidPageID
+		f.pins.Add(-1) // waiters drop their own pins on wake-up
+	}
+	f.loading = nil
+	close(ch)
+	p.mu.Unlock()
+	if result != nil {
+		return nil, result
+	}
 	return f.data, nil
 }
 
 // FetchNew pins a freshly allocated page, returning its ID and a zeroed
 // buffer image without a physical read.
 func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return storage.InvalidPageID, nil, ErrPoolClosed
 	}
@@ -172,26 +287,31 @@ func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
 		}
 	}
 	f.id = id
-	f.dirty = true // must be written out even if untouched
-	f.pins = 1
+	f.dirty.Store(true) // must be written out even if untouched
+	f.pins.Store(1)
+	f.lastUsed.Store(p.clock.Add(1))
 	p.table[id] = fi
-	p.pushFront(fi)
-	p.stats.Fetches++
-	p.stats.Hits++ // allocation does not cost a read
+	p.stats.fetches.Add(1)
+	p.stats.hits.Add(1) // allocation does not cost a read
 	return id, f.data, nil
 }
 
 // Unpin releases one pin on the page, marking the frame dirty when the
 // caller modified it.
 func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	fi, ok := p.table[id]
-	if !ok || p.frames[fi].pins == 0 {
+	if !ok {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
 	}
 	f := &p.frames[fi]
-	f.pins--
 	if dirty {
-		f.dirty = true
+		f.dirty.Store(true)
+	}
+	if f.pins.Add(-1) < 0 {
+		f.pins.Add(1)
+		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
 	}
 	return nil
 }
@@ -199,23 +319,30 @@ func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
 // Discard drops the page from the pool without writing it back, even if
 // dirty. The page must be unpinned. Used when a page is freed.
 func (p *Pool) Discard(id storage.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	fi, ok := p.table[id]
 	if !ok {
 		return
 	}
-	if p.frames[fi].pins > 0 {
+	f := &p.frames[fi]
+	if f.pins.Load() > 0 {
 		panic(fmt.Sprintf("buffer: discard of pinned page %d", id))
 	}
-	p.unlink(fi)
 	delete(p.table, id)
-	p.frames[fi].id = storage.InvalidPageID
-	p.frames[fi].dirty = false
-	p.freeList = append(p.freeList, fi)
+	f.id = storage.InvalidPageID
+	f.dirty.Store(false)
 }
 
 // FlushAll writes every dirty frame back to the store. Pinned frames
 // are flushed too (they stay resident and pinned).
 func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushAllLocked()
+}
+
+func (p *Pool) flushAllLocked() error {
 	for fi := range p.frames {
 		if err := p.flushFrame(fi); err != nil {
 			return err
@@ -226,22 +353,26 @@ func (p *Pool) FlushAll() error {
 
 // Flush writes the page back if buffered and dirty.
 func (p *Pool) Flush(id storage.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if fi, ok := p.table[id]; ok {
 		return p.flushFrame(fi)
 	}
 	return nil
 }
 
+// flushFrame writes frame fi back if live and dirty. Caller holds the
+// exclusive latch.
 func (p *Pool) flushFrame(fi int) error {
 	f := &p.frames[fi]
-	if f.id == storage.InvalidPageID || !f.dirty {
+	if f.id == storage.InvalidPageID || !f.dirty.Load() {
 		return nil
 	}
 	if err := p.store.WritePage(f.id, f.data); err != nil {
 		return fmt.Errorf("buffer: flush page %d: %w", f.id, err)
 	}
-	f.dirty = false
-	p.stats.Flushes++
+	f.dirty.Store(false)
+	p.stats.flushes.Add(1)
 	return nil
 }
 
@@ -250,22 +381,22 @@ func (p *Pool) flushFrame(fi int) error {
 // reproduce the paper's per-operation page-access counts. It fails if
 // any frame is still pinned.
 func (p *Pool) Reset() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for fi := range p.frames {
-		if p.frames[fi].pins > 0 {
+		if p.frames[fi].pins.Load() > 0 {
 			return fmt.Errorf("buffer: reset with pinned page %d", p.frames[fi].id)
 		}
 	}
-	if err := p.FlushAll(); err != nil {
+	if err := p.flushAllLocked(); err != nil {
 		return err
 	}
 	for fi := range p.frames {
 		f := &p.frames[fi]
 		if f.id != storage.InvalidPageID {
 			delete(p.table, f.id)
-			p.unlink(fi)
 			f.id = storage.InvalidPageID
-			f.dirty = false
-			p.freeList = append(p.freeList, fi)
+			f.dirty.Store(false)
 		}
 	}
 	return nil
@@ -273,10 +404,12 @@ func (p *Pool) Reset() error {
 
 // Close flushes all dirty pages and invalidates the pool.
 func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
-	if err := p.FlushAll(); err != nil {
+	if err := p.flushAllLocked(); err != nil {
 		return err
 	}
 	p.closed = true
@@ -284,62 +417,31 @@ func (p *Pool) Close() error {
 }
 
 // victim returns a free frame index, evicting the least recently used
-// unpinned frame when necessary.
+// unpinned frame when necessary. Caller holds the exclusive latch, so
+// no new pins can appear on the chosen frame (pinning requires at
+// least the shared latch).
 func (p *Pool) victim() (int, error) {
-	if n := len(p.freeList); n > 0 {
-		fi := p.freeList[n-1]
-		p.freeList = p.freeList[:n-1]
-		return fi, nil
-	}
-	for fi := p.tail; fi != -1; fi = p.frames[fi].prev {
-		if p.frames[fi].pins == 0 {
-			if err := p.flushFrame(fi); err != nil {
-				return -1, err
-			}
-			delete(p.table, p.frames[fi].id)
-			p.unlink(fi)
-			p.frames[fi].id = storage.InvalidPageID
-			p.stats.Evictions++
+	best, bestUsed := -1, int64(math.MaxInt64)
+	for fi := range p.frames {
+		f := &p.frames[fi]
+		if f.pins.Load() != 0 || f.loading != nil {
+			continue
+		}
+		if f.id == storage.InvalidPageID {
 			return fi, nil
 		}
+		if u := f.lastUsed.Load(); u < bestUsed {
+			best, bestUsed = fi, u
+		}
 	}
-	return -1, ErrAllPinned
-}
-
-// --- intrusive LRU list ---
-
-func (p *Pool) pushFront(fi int) {
-	f := &p.frames[fi]
-	f.prev = -1
-	f.next = p.head
-	if p.head != -1 {
-		p.frames[p.head].prev = fi
+	if best == -1 {
+		return -1, ErrAllPinned
 	}
-	p.head = fi
-	if p.tail == -1 {
-		p.tail = fi
+	if err := p.flushFrame(best); err != nil {
+		return -1, err
 	}
-}
-
-func (p *Pool) unlink(fi int) {
-	f := &p.frames[fi]
-	if f.prev != -1 {
-		p.frames[f.prev].next = f.next
-	} else if p.head == fi {
-		p.head = f.next
-	}
-	if f.next != -1 {
-		p.frames[f.next].prev = f.prev
-	} else if p.tail == fi {
-		p.tail = f.prev
-	}
-	f.prev, f.next = -1, -1
-}
-
-func (p *Pool) touch(fi int) {
-	if p.head == fi {
-		return
-	}
-	p.unlink(fi)
-	p.pushFront(fi)
+	delete(p.table, p.frames[best].id)
+	p.frames[best].id = storage.InvalidPageID
+	p.stats.evictions.Add(1)
+	return best, nil
 }

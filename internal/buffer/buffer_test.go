@@ -2,8 +2,11 @@ package buffer
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"ccam/internal/storage"
 )
@@ -305,5 +308,110 @@ func TestResetRefusesPinnedPages(t *testing.T) {
 	p.Unpin(ids[0], false)
 	if err := p.Reset(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentFetch hammers the pool from parallel readers over a
+// working set larger than the pool, on a store with simulated read
+// latency so misses genuinely overlap. Every fetch must observe the
+// correct page image. Run with -race.
+func TestConcurrentFetch(t *testing.T) {
+	st := storage.NewMemStore(128)
+	st.SetReadLatency(50 * time.Microsecond)
+	var ids []storage.PageID
+	for i := 0; i < 40; i++ {
+		id, err := st.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		buf[0] = byte(i + 1)
+		if err := st.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	p := NewPool(st, 16)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for op := 0; op < 200; op++ {
+				i := rng.Intn(len(ids))
+				b, err := p.Fetch(ids[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if b[0] != byte(i+1) {
+					errCh <- fmt.Errorf("page %d holds image of page %d", i, int(b[0])-1)
+					p.Unpin(ids[i], false)
+					return
+				}
+				if err := p.Unpin(ids[i], false); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Fetches != 8*200 || s.Hits+s.Misses != s.Fetches {
+		t.Fatalf("stats don't add up: %+v", s)
+	}
+}
+
+// TestConcurrentFetchSingleFlight checks that parallel requests for the
+// same cold page coalesce onto one physical read: the waiters block on
+// the in-flight read instead of issuing their own.
+func TestConcurrentFetchSingleFlight(t *testing.T) {
+	st := storage.NewMemStore(128)
+	st.SetReadLatency(2 * time.Millisecond)
+	id, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	buf[0] = 0xCD
+	if err := st.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	p := NewPool(st, 4)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := p.Fetch(id)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if b[0] != 0xCD {
+				errCh <- fmt.Errorf("wrong image %x", b[0])
+			}
+			p.Unpin(id, false)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if r := st.Stats().Reads; r != 1 {
+		t.Fatalf("physical reads = %d, want 1 (single-flight)", r)
+	}
+	if s := p.Stats(); s.Misses != 1 || s.Hits != 7 {
+		t.Fatalf("stats = %+v, want 1 miss and 7 coalesced hits", s)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ccam/internal/graph"
 	"ccam/internal/netfile"
@@ -59,9 +60,19 @@ type Config struct {
 	LazyEvery int
 	// Store optionally supplies the data page store (nil = in-memory).
 	Store storage.Store
+	// ReadLatency charges simulated wall-clock time per physical
+	// data-page read of the in-memory store (see netfile.Options).
+	ReadLatency time.Duration
 }
 
 // Method is a CCAM file. It implements netfile.AccessMethod.
+//
+// Concurrency: Method adds no per-query state of its own — queries go
+// straight to the File, whose read operations are reentrant. The
+// mutable fields here (rng, updates) are touched only by Build,
+// Insert, Delete and the edge maintenance operations, which the owner
+// must serialize against everything else (the root ccam.Store holds a
+// write lock around them).
 type Method struct {
 	cfg  Config
 	f    *netfile.File
@@ -110,11 +121,12 @@ func (m *Method) File() *netfile.File { return m.f }
 // Build implements netfile.AccessMethod: the paper's Create().
 func (m *Method) Build(g *graph.Network) error {
 	f, err := netfile.Create(netfile.Options{
-		PageSize:  m.cfg.PageSize,
-		PoolPages: m.cfg.PoolPages,
-		Bounds:    g.Bounds(),
-		Store:     m.cfg.Store,
-		Spatial:   m.cfg.Spatial,
+		PageSize:    m.cfg.PageSize,
+		PoolPages:   m.cfg.PoolPages,
+		Bounds:      g.Bounds(),
+		Store:       m.cfg.Store,
+		Spatial:     m.cfg.Spatial,
+		ReadLatency: m.cfg.ReadLatency,
 	})
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"ccam/internal/btree"
 	"ccam/internal/buffer"
@@ -30,6 +31,12 @@ type Options struct {
 	// Store supplies the data page store; nil selects an in-memory
 	// simulated disk.
 	Store storage.Store
+	// ReadLatency, when positive, charges that much wall-clock time per
+	// physical data-page read of the in-memory simulated disk, so
+	// throughput experiments run in the paper's disk-resident regime.
+	// Ignored when Store is supplied. Index stores stay instantaneous:
+	// the paper assumes index pages are memory resident.
+	ReadLatency time.Duration
 }
 
 // File is the shared data file: slotted data pages holding node
@@ -38,6 +45,17 @@ type Options struct {
 // pages live on a separate store so data-page I/O — the paper's metric
 // — is metered in isolation; the paper assumes index pages are memory
 // resident.
+//
+// Concurrency: the query operations (Find, GetASuccessor,
+// GetSuccessors, EvaluateRoute, RangeQuery, Nearest, Scan and the
+// read-only accessors) keep no per-call state on File — scratch
+// buffers and cursors are locals, decoded records own their memory —
+// so any number of them may run in parallel; the buffer pool and page
+// stores carry their own latches. Mutating operations (record
+// insert/update/delete, page allocation, reorganization, ResetIO,
+// Flush) touch the pages/free maps and the index trees without
+// internal locking and must be serialized against all other calls by
+// the owner (the root ccam.Store does this with a reader-writer lock).
 type File struct {
 	pageSize  int
 	dataStore storage.Store
@@ -63,7 +81,11 @@ func Create(opts Options) (*File, error) {
 	}
 	st := opts.Store
 	if st == nil {
-		st = storage.NewMemStore(opts.PageSize)
+		ms := storage.NewMemStore(opts.PageSize)
+		if opts.ReadLatency > 0 {
+			ms.SetReadLatency(opts.ReadLatency)
+		}
+		st = ms
 	}
 	if st.PageSize() != opts.PageSize {
 		return nil, fmt.Errorf("netfile: store page size %d != %d", st.PageSize(), opts.PageSize)
@@ -138,10 +160,25 @@ func (f *File) PageOf(id graph.NodeID) (storage.PageID, error) {
 	return storage.PageID(v), nil
 }
 
-// Has reports whether node id is stored.
+// Has reports whether node id is stored. It swallows index errors; use
+// HasRecord when they must be surfaced.
 func (f *File) Has(id graph.NodeID) bool {
 	_, err := f.index.Get(uint64(id))
 	return err == nil
+}
+
+// HasRecord reports whether node id is stored, distinguishing a plain
+// miss (false, nil) from an index failure (false, err).
+func (f *File) HasRecord(id graph.NodeID) (bool, error) {
+	_, err := f.index.Get(uint64(id))
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, btree.ErrKeyNotFound):
+		return false, nil
+	default:
+		return false, err
+	}
 }
 
 // AllocatePage adds a fresh, empty data page and returns its id.

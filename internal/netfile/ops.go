@@ -1,6 +1,7 @@
 package netfile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,9 +108,19 @@ func (f *File) EvaluateRoute(route graph.Route) (RouteAggregate, error) {
 // rect, through the secondary spatial index (a Z-order scan with BIGMIN
 // jumps by default, or an R-tree search; paper §2.1).
 func (f *File) RangeQuery(rect geom.Rect) ([]*Record, error) {
+	return f.RangeQueryCtx(context.Background(), rect)
+}
+
+// RangeQueryCtx is RangeQuery with cooperative cancellation: ctx is
+// checked before each candidate record fetch, so a canceled context
+// stops the index scan without paying for the remaining page reads.
+func (f *File) RangeQueryCtx(ctx context.Context, rect geom.Rect) ([]*Record, error) {
 	var out []*Record
 	var ferr error
 	err := f.spatial.search(rect, func(id graph.NodeID) bool {
+		if ferr = ctx.Err(); ferr != nil {
+			return false
+		}
 		rec, err := f.ReadRecord(id)
 		if err != nil {
 			ferr = err

@@ -14,14 +14,19 @@ import (
 //
 // FileStore exists so CCAM files can be durable; the experiments use
 // MemStore, and both implementations pass the same conformance tests.
+//
+// Concurrency: ReadPage takes only the read latch (os.File.ReadAt is
+// safe for parallel callers); Allocate, WritePage and Free are
+// exclusive. The I/O counters are atomics so shared-latch readers
+// account without racing.
 type FileStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	f        *os.File
 	pageSize int
 	next     PageID
 	free     []PageID
 	live     map[PageID]bool
-	stats    Stats
+	stats    ioCounters
 	closed   bool
 }
 
@@ -145,14 +150,15 @@ func (fs *FileStore) Allocate() (PageID, error) {
 		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", id, err)
 	}
 	fs.live[id] = true
-	fs.stats.Allocs++
+	fs.stats.allocs.Add(1)
 	return id, nil
 }
 
-// ReadPage implements Store.
+// ReadPage implements Store. It takes only the read latch: ReadAt is a
+// positioned read, safe under concurrent callers.
 func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if fs.closed {
 		return ErrStoreClosed
 	}
@@ -165,7 +171,7 @@ func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
 	if _, err := fs.f.ReadAt(buf, fs.offset(id)); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
-	fs.stats.Reads++
+	fs.stats.reads.Add(1)
 	return nil
 }
 
@@ -185,7 +191,7 @@ func (fs *FileStore) WritePage(id PageID, buf []byte) error {
 	if _, err := fs.f.WriteAt(buf, fs.offset(id)); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
-	fs.stats.Writes++
+	fs.stats.writes.Add(1)
 	return nil
 }
 
@@ -201,21 +207,21 @@ func (fs *FileStore) Free(id PageID) error {
 	}
 	delete(fs.live, id)
 	fs.free = append(fs.free, id)
-	fs.stats.Frees++
+	fs.stats.frees.Add(1)
 	return nil
 }
 
 // NumPages implements Store.
 func (fs *FileStore) NumPages() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return len(fs.live)
 }
 
 // PageIDs implements Store.
 func (fs *FileStore) PageIDs() []PageID {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make([]PageID, 0, len(fs.live))
 	for id := range fs.live {
 		out = append(out, id)
@@ -224,19 +230,12 @@ func (fs *FileStore) PageIDs() []PageID {
 	return out
 }
 
-// Stats implements Store.
-func (fs *FileStore) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
-}
+// Stats implements Store. Every counter is loaded atomically, so the
+// snapshot never contains a torn value even while readers are running.
+func (fs *FileStore) Stats() Stats { return fs.stats.snapshot() }
 
 // ResetStats implements Store.
-func (fs *FileStore) ResetStats() {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.stats = Stats{}
-}
+func (fs *FileStore) ResetStats() { fs.stats.reset() }
 
 // Sync flushes the header and file contents to stable storage.
 func (fs *FileStore) Sync() error {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // PageID identifies a page within a store. Valid IDs start at 0.
@@ -43,6 +45,38 @@ type Stats struct {
 
 // Total returns Reads + Writes.
 func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// String renders the counters on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d total=%d",
+		s.Reads, s.Writes, s.Allocs, s.Frees, s.Total())
+}
+
+// ioCounters is the mutable form of Stats: each counter is a separate
+// atomic so readers holding only a read latch (ReadPage) can account
+// I/O without racing, and Stats() can load every field without
+// tearing. Counters are monotonic between resets.
+type ioCounters struct {
+	reads, writes, allocs, frees atomic.Int64
+}
+
+// snapshot atomically loads every counter into a Stats value.
+func (c *ioCounters) snapshot() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+	}
+}
+
+// reset zeroes every counter.
+func (c *ioCounters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
+}
 
 // Sub returns the change from an earlier snapshot.
 func (s Stats) Sub(earlier Stats) Stats {
@@ -85,14 +119,22 @@ type Store interface {
 // page transfers. It is the substrate for all experiments: the paper
 // reports page-access counts, not wall-clock I/O, so an exact counter
 // reproduces the metric.
+//
+// Concurrency: a reader-writer latch lets any number of ReadPage (and
+// other non-mutating) calls run in parallel; Allocate, WritePage and
+// Free are exclusive. The I/O counters are atomics so shared-latch
+// readers account without racing.
 type MemStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
 	free     []PageID
 	next     PageID
-	stats    Stats
+	stats    ioCounters
 	closed   bool
+	// readLatency is the simulated seek+transfer time charged per
+	// physical page read, in nanoseconds (atomic; 0 = instantaneous).
+	readLatency atomic.Int64
 }
 
 // NewMemStore returns a MemStore with the given page size.
@@ -108,6 +150,14 @@ func NewMemStore(pageSize int) *MemStore {
 
 // PageSize implements Store.
 func (m *MemStore) PageSize() int { return m.pageSize }
+
+// SetReadLatency makes every subsequent physical page read cost d of
+// wall-clock time, turning the instantaneous in-memory simulated disk
+// into a latency-accurate one. The paper reports page-access counts,
+// which d does not change; the throughput experiments use it to
+// reproduce the disk-resident regime, where concurrent readers gain by
+// overlapping I/O waits.
+func (m *MemStore) SetReadLatency(d time.Duration) { m.readLatency.Store(int64(d)) }
 
 // Allocate implements Store.
 func (m *MemStore) Allocate() (PageID, error) {
@@ -125,14 +175,19 @@ func (m *MemStore) Allocate() (PageID, error) {
 		m.next++
 	}
 	m.pages[id] = make([]byte, m.pageSize)
-	m.stats.Allocs++
+	m.stats.allocs.Add(1)
 	return id, nil
 }
 
-// ReadPage implements Store.
+// ReadPage implements Store. It takes only the read latch, so any
+// number of readers proceed in parallel; WritePage and Free exclude
+// them.
 func (m *MemStore) ReadPage(id PageID, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	if d := m.readLatency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.closed {
 		return ErrStoreClosed
 	}
@@ -144,7 +199,7 @@ func (m *MemStore) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: page %d", ErrPageNotFound, id)
 	}
 	copy(buf, p)
-	m.stats.Reads++
+	m.stats.reads.Add(1)
 	return nil
 }
 
@@ -163,7 +218,7 @@ func (m *MemStore) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: page %d", ErrPageNotFound, id)
 	}
 	copy(p, buf)
-	m.stats.Writes++
+	m.stats.writes.Add(1)
 	return nil
 }
 
@@ -179,21 +234,21 @@ func (m *MemStore) Free(id PageID) error {
 	}
 	delete(m.pages, id)
 	m.free = append(m.free, id)
-	m.stats.Frees++
+	m.stats.frees.Add(1)
 	return nil
 }
 
 // NumPages implements Store.
 func (m *MemStore) NumPages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.pages)
 }
 
 // PageIDs implements Store.
 func (m *MemStore) PageIDs() []PageID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]PageID, 0, len(m.pages))
 	for id := range m.pages {
 		out = append(out, id)
@@ -206,19 +261,12 @@ func sortIDs(s []PageID) {
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
-// Stats implements Store.
-func (m *MemStore) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
+// Stats implements Store. Every counter is loaded atomically, so the
+// snapshot never contains a torn value even while readers are running.
+func (m *MemStore) Stats() Stats { return m.stats.snapshot() }
 
 // ResetStats implements Store.
-func (m *MemStore) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
-}
+func (m *MemStore) ResetStats() { m.stats.reset() }
 
 // Close implements Store.
 func (m *MemStore) Close() error {

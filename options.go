@@ -1,0 +1,52 @@
+package ccam
+
+import "time"
+
+// Option is a functional configuration knob for OpenWith. Each With*
+// function edits one field of an Options value, so new knobs can be
+// added without growing call sites. Open(Options) remains the stable,
+// fully-spelled-out form; OpenWith(opts...) is sugar over it and the
+// two produce identical stores for equivalent settings.
+type Option func(*Options)
+
+// WithPageSize sets the disk block size in bytes (default 2048).
+func WithPageSize(n int) Option { return func(o *Options) { o.PageSize = n } }
+
+// WithPoolPages sets the buffer pool capacity in pages (default 32).
+func WithPoolPages(n int) Option { return func(o *Options) { o.PoolPages = n } }
+
+// WithDynamic selects the incremental create (CCAM-D).
+func WithDynamic() Option { return func(o *Options) { o.Dynamic = true } }
+
+// WithSeed sets the partitioner seed; equal seeds give identical files.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithPath stores data pages in an os.File-backed page store at path
+// instead of in memory.
+func WithPath(path string) Option { return func(o *Options) { o.Path = path } }
+
+// WithSpatial selects the secondary spatial index structure.
+func WithSpatial(kind SpatialIndexKind) Option {
+	return func(o *Options) { o.Spatial = kind }
+}
+
+// WithParallelism bounds the worker pool of the batch queries
+// (FindBatch, EvaluateRoutes). Zero means runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithReadLatency charges d of simulated wall-clock time per physical
+// data-page read of the in-memory store (the paper's disk-resident
+// regime for throughput experiments). Ignored with WithPath.
+func WithReadLatency(d time.Duration) Option {
+	return func(o *Options) { o.ReadLatency = d }
+}
+
+// OpenWith creates a new, empty CCAM store from functional options,
+// applied over the zero Options value (so defaults match Open exactly).
+func OpenWith(opts ...Option) (*Store, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return Open(o)
+}
