@@ -85,19 +85,28 @@ func (s *Store) FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error) 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Record, len(ids))
-	err = forEachLimit(ctx, len(ids), s.parallelism, func(i int) error {
-		rec, err := f.Find(ids[i])
+	run := func() ([]*Record, error) {
+		out := make([]*Record, len(ids))
+		err := forEachLimit(ctx, len(ids), s.parallelism, func(i int) error {
+			rec, err := f.Find(ids[i])
+			if err != nil {
+				return err
+			}
+			out[i] = rec
+			return nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		out[i] = rec
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		return out, nil
 	}
-	return out, nil
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.findBatch, f)
+		out, err := run()
+		sn.end(err)
+		return out, err
+	}
+	return run()
 }
 
 // EvaluateRoutes evaluates every route, fanning the evaluations across
@@ -112,19 +121,28 @@ func (s *Store) EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggr
 	if err != nil {
 		return nil, err
 	}
-	out := make([]RouteAggregate, len(routes))
-	err = forEachLimit(ctx, len(routes), s.parallelism, func(i int) error {
-		agg, err := f.EvaluateRoute(routes[i])
+	run := func() ([]RouteAggregate, error) {
+		out := make([]RouteAggregate, len(routes))
+		err := forEachLimit(ctx, len(routes), s.parallelism, func(i int) error {
+			agg, err := f.EvaluateRoute(routes[i])
+			if err != nil {
+				return err
+			}
+			out[i] = agg
+			return nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		out[i] = agg
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		return out, nil
 	}
-	return out, nil
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.evaluateRoutes, f)
+		out, err := run()
+		sn.end(err)
+		return out, err
+	}
+	return run()
 }
 
 // RangeQueryCtx is RangeQuery with cooperative cancellation: the

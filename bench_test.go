@@ -196,11 +196,42 @@ func BenchmarkBuildDynamic(b *testing.B) {
 	}
 }
 
-// BenchmarkFind measures point lookups.
+// BenchmarkFind measures point lookups with metrics disabled (the
+// default). Compare BenchmarkFindInstrumented: the allocs/op of the
+// two must match, since the disabled path is one nil check.
 func BenchmarkFind(b *testing.B) {
 	s, g := benchStore(b)
 	defer s.Close()
 	ids := g.NodeIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindInstrumented measures the same point lookups on a store
+// with metrics and tracing enabled, pricing the observability layer:
+// the ns/op delta against BenchmarkFind is the full per-operation cost
+// of counters, latency histogram, I/O attribution and the trace ring.
+func BenchmarkFindInstrumented(b *testing.B) {
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := OpenWith(WithPageSize(2048), WithPoolPages(16), WithSeed(1),
+		WithMetrics(), WithTracing(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		b.Fatal(err)
+	}
+	ids := g.NodeIDs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Find(ids[i%len(ids)]); err != nil {

@@ -42,6 +42,7 @@ import (
 	"ccam/internal/geom"
 	"ccam/internal/graph"
 	"ccam/internal/gridfile"
+	"ccam/internal/metrics"
 	"ccam/internal/netfile"
 	"ccam/internal/partition"
 	"ccam/internal/query"
@@ -158,6 +159,18 @@ type Options struct {
 	// throughput experiments (page-access counts are unaffected).
 	// Ignored when Path is set.
 	ReadLatency time.Duration
+	// Metrics enables the observability registry: per-operation
+	// counters and latency histograms, per-class page-access counters
+	// (B+-tree index vs CCAM data pages), buffer hit/miss latencies and
+	// CRR/WCRR gauges refreshed after every mutation. Disabled by
+	// default; a disabled store pays one nil check per operation and
+	// allocates nothing for instrumentation.
+	Metrics bool
+	// TraceCapacity, when positive, enables operation tracing: the
+	// store keeps the most recent TraceCapacity operation traces, each
+	// recording per-span timing of index descent, buffer fetch and
+	// physical read. Independent of Metrics.
+	TraceCapacity int
 }
 
 // SpatialIndexKind selects the secondary spatial index structure.
@@ -188,6 +201,14 @@ type Store struct {
 	m           *iccam.Method
 	fs          *storage.FileStore
 	parallelism int
+	// obs is non-nil only when Options.Metrics was set; every operation
+	// branches on it before paying any instrumentation cost.
+	obs    *observability
+	tracer *metrics.Tracer
+	// lastIO preserves the final I/O snapshot across Close, so IO()
+	// keeps answering on a closed store.
+	lastIO IOStats
+	closed bool
 }
 
 // Open creates a new, empty CCAM store.
@@ -212,11 +233,21 @@ func Open(opts Options) (*Store, error) {
 		}
 		cfg.Store = fs
 	}
+	var obs *observability
+	var tracer *metrics.Tracer
+	if opts.TraceCapacity > 0 {
+		tracer = metrics.NewTracer(opts.TraceCapacity)
+		cfg.Tracer = tracer
+	}
+	if opts.Metrics {
+		obs = newObservability(metrics.NewRegistry(), tracer)
+		cfg.Metrics = obs.reg
+	}
 	m, err := iccam.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{m: m, fs: fs, parallelism: opts.Parallelism}, nil
+	return &Store{m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer}, nil
 }
 
 // Build loads network g into the store (the paper's Create()),
@@ -224,7 +255,21 @@ func Open(opts Options) (*Store, error) {
 func (s *Store) Build(g *Network) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.m.Build(g)
+	if s.obs == nil {
+		return s.m.Build(g)
+	}
+	start := time.Now()
+	err := s.m.Build(g)
+	om := s.obs.build
+	om.count.Inc()
+	if err != nil {
+		om.errs.Inc()
+		return err
+	}
+	om.latency.ObserveSince(start)
+	s.obs.mirrorFromNetwork(g)
+	s.obs.refreshGauges(s.m.File())
+	return nil
 }
 
 func (s *Store) file() (*netfile.File, error) {
@@ -243,6 +288,12 @@ func (s *Store) Find(id NodeID) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.find, f)
+		rec, err := f.Find(id)
+		sn.end(err)
+		return rec, err
+	}
 	return f.Find(id)
 }
 
@@ -255,6 +306,12 @@ func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.getASuccessor, f)
+		rec, err := f.GetASuccessor(cur, succ)
+		sn.end(err)
+		return rec, err
+	}
 	return f.GetASuccessor(cur, succ)
 }
 
@@ -265,6 +322,12 @@ func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
 	f, err := s.file()
 	if err != nil {
 		return nil, err
+	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.getSuccessors, f)
+		recs, err := f.GetSuccessors(id)
+		sn.end(err)
+		return recs, err
 	}
 	return f.GetSuccessors(id)
 }
@@ -278,6 +341,12 @@ func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
 	if err != nil {
 		return RouteAggregate{}, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.evaluateRoute, f)
+		agg, err := f.EvaluateRoute(route)
+		sn.end(err)
+		return agg, err
+	}
 	return f.EvaluateRoute(route)
 }
 
@@ -290,6 +359,12 @@ func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.rangeQuery, f)
+		recs, err := f.RangeQuery(rect)
+		sn.end(err)
+		return recs, err
+	}
 	return f.RangeQuery(rect)
 }
 
@@ -297,28 +372,68 @@ func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
 func (s *Store) Insert(op *InsertOp, policy Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.m.Insert(op, policy)
+	if s.obs == nil || s.m.File() == nil {
+		return s.m.Insert(op, policy)
+	}
+	sn := s.obs.beginOp(s.obs.insert, s.m.File())
+	err := s.m.Insert(op, policy)
+	sn.end(err)
+	if err == nil {
+		s.obs.noteInsert(op)
+		s.obs.refreshGauges(s.m.File())
+	}
+	return err
 }
 
 // Delete removes a node and its incident edges under the given policy.
 func (s *Store) Delete(id NodeID, policy Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.m.Delete(id, policy)
+	if s.obs == nil || s.m.File() == nil {
+		return s.m.Delete(id, policy)
+	}
+	sn := s.obs.beginOp(s.obs.delete_, s.m.File())
+	err := s.m.Delete(id, policy)
+	sn.end(err)
+	if err == nil {
+		s.obs.noteDelete(id)
+		s.obs.refreshGauges(s.m.File())
+	}
+	return err
 }
 
 // InsertEdge adds a directed edge between stored nodes.
 func (s *Store) InsertEdge(from, to NodeID, cost float32, policy Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.m.InsertEdge(from, to, cost, policy)
+	if s.obs == nil || s.m.File() == nil {
+		return s.m.InsertEdge(from, to, cost, policy)
+	}
+	sn := s.obs.beginOp(s.obs.insertEdge, s.m.File())
+	err := s.m.InsertEdge(from, to, cost, policy)
+	sn.end(err)
+	if err == nil {
+		s.obs.addMirrorEdge(from, to, 1)
+		s.obs.refreshGauges(s.m.File())
+	}
+	return err
 }
 
 // DeleteEdge removes a directed edge.
 func (s *Store) DeleteEdge(from, to NodeID, policy Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.m.DeleteEdge(from, to, policy)
+	if s.obs == nil || s.m.File() == nil {
+		return s.m.DeleteEdge(from, to, policy)
+	}
+	sn := s.obs.beginOp(s.obs.deleteEdge, s.m.File())
+	err := s.m.DeleteEdge(from, to, policy)
+	sn.end(err)
+	if err == nil {
+		s.obs.removeMirrorEdge(from, to)
+		s.obs.refreshGauges(s.m.File())
+	}
+	return err
 }
 
 // Has reports whether a node is stored. Unlike Contains, it surfaces
@@ -384,10 +499,14 @@ func (s *Store) WCRR(g *Network) float64 { return WCRR(g, s.Placement()) }
 
 // IO returns the physical data-page I/O counters. The snapshot is
 // consistent under concurrent readers: every counter is an atomic
-// load, so no field is ever torn mid-increment.
+// load, so no field is ever torn mid-increment. On a closed store it
+// returns the last snapshot, taken at Close().
 func (s *Store) IO() IOStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return s.lastIO
+	}
 	f, err := s.file()
 	if err != nil {
 		return IOStats{}
@@ -425,15 +544,18 @@ func (s *Store) Flush() error {
 	return nil
 }
 
-// Close flushes and releases the store.
+// Close flushes and releases the store. The I/O counters are
+// snapshotted first, so IO() keeps answering afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.m.File() != nil {
-		if err := s.m.File().Flush(); err != nil {
+	if f := s.m.File(); f != nil {
+		if err := f.Flush(); err != nil {
 			return err
 		}
+		s.lastIO = f.DataIO()
 	}
+	s.closed = true
 	if s.fs != nil {
 		return s.fs.Close()
 	}
@@ -520,6 +642,12 @@ func (s *Store) SetEdgeCost(from, to NodeID, cost float32) error {
 	if err != nil {
 		return err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.setEdgeCost, f)
+		err := f.SetEdgeCost(from, to, cost)
+		sn.end(err)
+		return err
+	}
 	return f.SetEdgeCost(from, to, cost)
 }
 
@@ -531,6 +659,12 @@ func (s *Store) Nearest(p Point, k int) ([]*Record, error) {
 	f, err := s.file()
 	if err != nil {
 		return nil, err
+	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.nearest, f)
+		recs, err := f.Nearest(p, k)
+		sn.end(err)
+		return recs, err
 	}
 	return f.Nearest(p, k)
 }
@@ -554,6 +688,12 @@ func (s *Store) ShortestPath(src, dst NodeID) (Path, error) {
 	if err != nil {
 		return Path{}, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.shortestPath, f)
+		p, err := query.Dijkstra(f, src, dst)
+		sn.end(err)
+		return p, err
+	}
 	return query.Dijkstra(f, src, dst)
 }
 
@@ -568,6 +708,12 @@ func (s *Store) ShortestPathAStar(src, dst NodeID, minCostPerUnit float64) (Path
 	if err != nil {
 		return Path{}, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.shortestPath, f)
+		p, err := query.AStar(f, src, dst, minCostPerUnit)
+		sn.end(err)
+		return p, err
+	}
 	return query.AStar(f, src, dst, minCostPerUnit)
 }
 
@@ -579,6 +725,12 @@ func (s *Store) EvaluateTour(tour Route) (TourAggregate, error) {
 	f, err := s.file()
 	if err != nil {
 		return TourAggregate{}, err
+	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.evaluateTour, f)
+		agg, err := query.EvaluateTour(f, tour)
+		sn.end(err)
+		return agg, err
 	}
 	return query.EvaluateTour(f, tour)
 }
@@ -592,6 +744,12 @@ func (s *Store) LocationAllocation(facilities []NodeID) ([]Allocation, float64, 
 	f, err := s.file()
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.locationAllocation, f)
+		allocs, total, max, err := query.LocationAllocation(f, facilities)
+		sn.end(err)
+		return allocs, total, max, err
 	}
 	return query.LocationAllocation(f, facilities)
 }
@@ -625,7 +783,38 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		fs.Close()
 		return nil, err
 	}
-	return &Store{m: m, fs: fs, parallelism: opts.Parallelism}, nil
+	var obs *observability
+	var tracer *metrics.Tracer
+	if opts.TraceCapacity > 0 {
+		tracer = metrics.NewTracer(opts.TraceCapacity)
+	}
+	if opts.Metrics {
+		obs = newObservability(metrics.NewRegistry(), tracer)
+	}
+	if obs != nil || tracer != nil {
+		var reg *metrics.Registry
+		if obs != nil {
+			reg = obs.reg
+		}
+		f.EnableMetrics(reg, tracer)
+	}
+	if obs != nil {
+		// Rebuild the topology mirror from the stored records (weights
+		// are not persisted, so edges get weight 1 and WCRR == CRR),
+		// then discard the scan's I/O so counters start clean.
+		var recs []*Record
+		if err := f.Scan(func(rec *Record) bool { recs = append(recs, rec); return true }); err != nil {
+			fs.Close()
+			return nil, err
+		}
+		obs.mirrorFromRecords(recs)
+		obs.refreshGauges(f)
+		if err := f.ResetIO(); err != nil {
+			fs.Close()
+			return nil, err
+		}
+	}
+	return &Store{m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer}, nil
 }
 
 // RouteUnitAggregate is the result of an aggregate query over a
@@ -643,6 +832,12 @@ func (s *Store) EvaluateRouteUnit(name string, members [][2]NodeID) (RouteUnitAg
 	if err != nil {
 		return RouteUnitAggregate{}, err
 	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.evaluateRouteUnit, f)
+		agg, err := f.EvaluateRouteUnit(name, members)
+		sn.end(err)
+		return agg, err
+	}
 	return f.EvaluateRouteUnit(name, members)
 }
 
@@ -653,6 +848,12 @@ func (s *Store) Scan(fn func(rec *Record) bool) error {
 	defer s.mu.RUnlock()
 	f, err := s.file()
 	if err != nil {
+		return err
+	}
+	if s.obs != nil {
+		sn := s.obs.beginOp(s.obs.scan, f)
+		err := f.Scan(fn)
+		sn.end(err)
 		return err
 	}
 	return f.Scan(fn)

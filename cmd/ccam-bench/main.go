@@ -13,13 +13,19 @@
 //	ccam-bench -exp ablation-buffer
 //	ccam-bench -exp ablation-scale
 //	ccam-bench -exp throughput -parallel 8
+//	ccam-bench -exp metrics
+//	ccam-bench -exp metrics -http :8080
 //
 // Flags -seed, -rows and -cols change the synthetic road map; the
 // defaults reproduce the paper-scale Minneapolis map (1079 nodes,
 // ~3057 edges). The throughput experiment sweeps the batch-query
 // worker pool up to -parallel workers against a simulated disk and is
 // not part of -exp all, because it reports wall-clock scaling rather
-// than the paper's page-access counts.
+// than the paper's page-access counts. The metrics experiment drives a
+// mixed workload through an instrumented store and prints the
+// per-operation registry view (latency quantiles, pages per operation
+// by class, buffer hit rate, CRR/WCRR gauges); with -http it then
+// keeps serving /metrics, /metrics.json, /traces and /debug/pprof.
 package main
 
 import (
@@ -34,12 +40,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput (not part of all: it measures wall-clock, not page counts)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, metrics (the last two are not part of all: they measure wall-clock, not page counts)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
 	cols := flag.Int("cols", 0, "override road map lattice cols")
 	parallel := flag.Int("parallel", 8, "largest worker-pool size the throughput experiment sweeps")
+	httpAddr := flag.String("http", "", "with -exp metrics: keep serving /metrics, /metrics.json, /traces and /debug/pprof on this address after the run")
 	flag.Parse()
 
 	opts := graph.MinneapolisLikeOpts()
@@ -52,13 +59,13 @@ func main() {
 	}
 	setup := bench.Setup{MapOpts: opts, Seed: *seed}
 
-	if err := run(os.Stdout, *exp, setup, *parallel); err != nil {
+	if err := run(os.Stdout, *exp, setup, *parallel, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, setup bench.Setup, parallel int) error {
+func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string) error {
 	g, err := setup.Network()
 	if err != nil {
 		return err
@@ -180,6 +187,16 @@ func run(w io.Writer, exp string, setup bench.Setup, parallel int) error {
 			MaxWorkers: parallel,
 			Seed:       setup.Seed,
 		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ran = true
+	}
+	// The metrics experiment reports latency quantiles (wall-clock, not
+	// page counts) and can block serving HTTP, so it also runs only when
+	// asked for by name.
+	if exp == "metrics" {
+		if err := runMetrics(w, g, setup.Seed, httpAddr); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

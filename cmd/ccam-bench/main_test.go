@@ -33,7 +33,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for exp, marker := range cases {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, exp, tinySetup(), 2); err != nil {
+			if err := run(&buf, exp, tinySetup(), 2, ""); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 			out := buf.String()
@@ -62,8 +62,28 @@ func TestRunScaleExperiment(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", tinySetup(), 2); err == nil {
+	if err := run(&buf, "nope", tinySetup(), 2, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunMetricsExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	g, err := tinySetup().Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runMetrics(&buf, g, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Per-operation metrics", "find", "evaluate_route", "hitrate",
+		"CRR=", "WCRR=", "sample traces",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

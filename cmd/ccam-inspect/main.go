@@ -41,7 +41,7 @@ func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool) e
 	if err != nil {
 		return err
 	}
-	store, err := ccam.Open(ccam.Options{PageSize: block, Seed: seed, Dynamic: dynamic})
+	store, err := ccam.Open(ccam.Options{PageSize: block, Seed: seed, Dynamic: dynamic, Metrics: true})
 	if err != nil {
 		return err
 	}
@@ -58,7 +58,11 @@ func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool) e
 	fmt.Fprintf(w, "network: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
 	fmt.Fprintf(w, "file: %d records on %d pages (blocking factor %.2f)\n",
 		store.Len(), store.NumPages(), float64(store.Len())/float64(store.NumPages()))
-	fmt.Fprintf(w, "CRR: %.4f   WCRR: %.4f\n", store.CRR(g), store.WCRR(g))
+	// The registry keeps these gauges current across Build and every
+	// mutation, so there is nothing to recompute here.
+	reg := store.Metrics()
+	fmt.Fprintf(w, "CRR: %.4f   WCRR: %.4f\n",
+		reg.Gauge("ccam_crr").Value(), reg.Gauge("ccam_wcrr").Value())
 
 	placement := store.Placement()
 	perPage := map[storage.PageID][]graph.NodeID{}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ccam/internal/buffer"
+	"ccam/internal/metrics"
 	"ccam/internal/storage"
 )
 
@@ -52,7 +53,17 @@ type Tree struct {
 	size    int
 	leafCap int // max entries per leaf
 	intCap  int // max entries per internal node
+	// visits counts index pages touched by descents (nil = disabled).
+	visits *metrics.Counter
 }
+
+// Instrument makes every descent add the pages it touches to visits.
+// Each point descent (Get, Seek, Put, Delete) touches exactly height
+// pages; structural maintenance (splits, merges, borrows) is not
+// charged, matching the paper's convention that the index is memory
+// resident and its upkeep is not part of an operation's page-access
+// count.
+func (t *Tree) Instrument(visits *metrics.Counter) { t.visits = visits }
 
 // New creates an empty tree with its own pages allocated from pool's
 // store.
@@ -182,6 +193,7 @@ func intSearch(b []byte, k uint64) int {
 
 // Get returns the value for key k.
 func (t *Tree) Get(k uint64) (uint64, error) {
+	t.visits.Add(int64(t.height))
 	id := t.root
 	for level := t.height; level > 1; level-- {
 		b, err := t.pool.Fetch(id)
@@ -237,6 +249,7 @@ type splitResult struct {
 }
 
 func (t *Tree) put(k, v uint64, replace bool) (replaced bool, err error) {
+	t.visits.Add(int64(t.height))
 	replaced, split, err := t.insertInto(t.root, t.height, k, v, replace)
 	if err != nil {
 		return false, err
@@ -386,6 +399,7 @@ func (t *Tree) insertInto(id storage.PageID, level int, k, v uint64, replace boo
 
 // Delete removes key k, rebalancing pages that underflow.
 func (t *Tree) Delete(k uint64) error {
+	t.visits.Add(int64(t.height))
 	found, _, err := t.deleteFrom(t.root, t.height, k)
 	if err != nil {
 		return err
@@ -589,6 +603,7 @@ type Iter struct {
 
 // Seek returns an iterator positioned at the smallest key >= k.
 func (t *Tree) Seek(k uint64) *Iter {
+	t.visits.Add(int64(t.height))
 	it := &Iter{t: t}
 	id := t.root
 	for level := t.height; level > 1; level-- {

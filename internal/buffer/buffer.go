@@ -14,7 +14,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ccam/internal/metrics"
 	"ccam/internal/storage"
 )
 
@@ -34,12 +36,25 @@ type Stats struct {
 	Flushes   int64 // dirty pages written back
 }
 
-// HitRate returns Hits/Fetches, or 0 for an idle pool.
-func (s Stats) HitRate() float64 {
+// HitRate returns Hits/Fetches. The boolean distinguishes a truly idle
+// pool (false: no fetches yet, the rate is undefined) from a pool that
+// has fetched and missed every time (true with rate 0).
+func (s Stats) HitRate() (float64, bool) {
 	if s.Fetches == 0 {
-		return 0
+		return 0, false
 	}
-	return float64(s.Hits) / float64(s.Fetches)
+	return float64(s.Hits) / float64(s.Fetches), true
+}
+
+// String renders the counters on one line, in the same key=value style
+// as storage.Stats.String. An idle pool prints hitrate=idle.
+func (s Stats) String() string {
+	rate := "idle"
+	if hr, ok := s.HitRate(); ok {
+		rate = fmt.Sprintf("%.3f", hr)
+	}
+	return fmt.Sprintf("fetches=%d hits=%d misses=%d evictions=%d flushes=%d hitrate=%s",
+		s.Fetches, s.Hits, s.Misses, s.Evictions, s.Flushes, rate)
 }
 
 // Sub returns the change from an earlier snapshot.
@@ -124,6 +139,20 @@ type Pool struct {
 	clock  atomic.Int64           // logical time for LRU stamps
 	stats  poolCounters
 	closed bool
+	// inst holds the optional latency instrumentation; an atomic
+	// pointer so enabling it never races with in-flight fetches.
+	inst atomic.Pointer[PoolInstrumentation]
+}
+
+// PoolInstrumentation carries the optional latency histograms of a
+// pool. Nil histograms are skipped.
+type PoolInstrumentation struct {
+	// HitNanos observes the duration of fetches served from the pool
+	// (including waits on another goroutine's in-flight read).
+	HitNanos *metrics.Histogram
+	// MissNanos observes the duration of fetches that performed a
+	// physical read.
+	MissNanos *metrics.Histogram
 }
 
 // NewPool returns a pool with capacity frames over store. Capacity must
@@ -192,41 +221,78 @@ func (p *Pool) pinResident(fi int, unlock func()) ([]byte, error) {
 	return data, nil
 }
 
+// Instrument attaches latency instrumentation: subsequent fetches
+// observe their durations into the hit or miss histogram. Call it
+// during setup; it is safe against concurrent fetches.
+func (p *Pool) Instrument(in PoolInstrumentation) { p.inst.Store(&in) }
+
 // Fetch pins the page and returns its buffer-resident image. The caller
 // must Unpin exactly once per Fetch. The returned slice aliases the
 // frame and is valid until Unpin.
 func (p *Pool) Fetch(id storage.PageID) ([]byte, error) {
+	return p.FetchTraced(id, nil)
+}
+
+// FetchTraced is Fetch with an optional operation trace: the fetch is
+// recorded as a buffer.fetch span and, on a miss, the physical read as
+// a storage.read span. A nil trace costs nothing beyond Fetch itself
+// unless the pool is instrumented.
+func (p *Pool) FetchTraced(id storage.PageID, at *metrics.ActiveTrace) ([]byte, error) {
+	in := p.inst.Load()
+	if in == nil && at == nil {
+		b, _, err := p.fetch(id, nil)
+		return b, err
+	}
+	tok := at.BeginSpan("buffer.fetch")
+	start := time.Now()
+	b, miss, err := p.fetch(id, at)
+	tok.End()
+	if in != nil {
+		if miss {
+			in.MissNanos.ObserveSince(start)
+		} else {
+			in.HitNanos.ObserveSince(start)
+		}
+	}
+	return b, err
+}
+
+// fetch reports, besides the pinned image, whether this call paid for
+// the physical read (a miss).
+func (p *Pool) fetch(id storage.PageID, at *metrics.ActiveTrace) ([]byte, bool, error) {
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
-		return nil, ErrPoolClosed
+		return nil, false, ErrPoolClosed
 	}
 	if fi, ok := p.table[id]; ok {
-		return p.pinResident(fi, p.mu.RUnlock)
+		b, err := p.pinResident(fi, p.mu.RUnlock)
+		return b, false, err
 	}
 	p.mu.RUnlock()
-	return p.fetchMiss(id)
+	return p.fetchMiss(id, at)
 }
 
 // fetchMiss claims a frame for the page and performs the physical read
 // with the latch released, so concurrent misses overlap their I/O.
-func (p *Pool) fetchMiss(id storage.PageID) ([]byte, error) {
+func (p *Pool) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, bool, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrPoolClosed
+		return nil, false, ErrPoolClosed
 	}
 	// Another goroutine may have faulted the page in (or begun to)
 	// while we upgraded the latch.
 	if fi, ok := p.table[id]; ok {
-		return p.pinResident(fi, func() { p.mu.Unlock() })
+		b, err := p.pinResident(fi, func() { p.mu.Unlock() })
+		return b, false, err
 	}
 	p.stats.fetches.Add(1)
 	p.stats.misses.Add(1)
 	fi, err := p.victim()
 	if err != nil {
 		p.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 	f := &p.frames[fi]
 	if f.data == nil {
@@ -242,7 +308,9 @@ func (p *Pool) fetchMiss(id storage.PageID) ([]byte, error) {
 	p.table[id] = fi
 	p.mu.Unlock()
 
+	tok := at.BeginSpan("storage.read")
 	readErr := p.store.ReadPage(id, f.data)
+	tok.End()
 
 	p.mu.Lock()
 	var result error
@@ -257,9 +325,9 @@ func (p *Pool) fetchMiss(id storage.PageID) ([]byte, error) {
 	close(ch)
 	p.mu.Unlock()
 	if result != nil {
-		return nil, result
+		return nil, true, result
 	}
-	return f.data, nil
+	return f.data, true, nil
 }
 
 // FetchNew pins a freshly allocated page, returning its ID and a zeroed

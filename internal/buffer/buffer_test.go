@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"ccam/internal/metrics"
 	"ccam/internal/storage"
 )
 
@@ -257,9 +259,70 @@ func TestPoolStress(t *testing.T) {
 			t.Fatalf("page %d persisted %d, want %d", id, buf[3], want)
 		}
 	}
-	hr := p.Stats().HitRate()
+	hr, ok := p.Stats().HitRate()
+	if !ok {
+		t.Fatal("hit rate undefined after fetches")
+	}
 	if hr <= 0 || hr >= 1 {
 		t.Fatalf("implausible hit rate %f", hr)
+	}
+}
+
+func TestHitRateIdleVsZero(t *testing.T) {
+	if _, ok := (Stats{}).HitRate(); ok {
+		t.Fatal("idle pool reported a defined hit rate")
+	}
+	if s := (Stats{}).String(); !strings.Contains(s, "hitrate=idle") {
+		t.Fatalf("idle Stats.String() = %q, want hitrate=idle", s)
+	}
+	all := Stats{Fetches: 4, Misses: 4}
+	if hr, ok := all.HitRate(); !ok || hr != 0 {
+		t.Fatalf("all-miss pool: hr=%v ok=%v, want 0 true", hr, ok)
+	}
+	if s := all.String(); !strings.Contains(s, "hitrate=0.000") {
+		t.Fatalf("all-miss Stats.String() = %q, want hitrate=0.000", s)
+	}
+}
+
+func TestPoolInstrumentationAndTracing(t *testing.T) {
+	p, ids := newPoolWithPages(t, 2, 4)
+	hits, misses := &metrics.Histogram{}, &metrics.Histogram{}
+	p.Instrument(PoolInstrumentation{HitNanos: hits, MissNanos: misses})
+
+	tr := metrics.NewTracer(8)
+	at := tr.Start("fetch")
+	if _, err := p.FetchTraced(ids[0], at); err != nil { // miss
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	if _, err := p.FetchTraced(ids[0], at); err != nil { // hit
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	at.Finish(nil)
+
+	if got := misses.Count(); got != 1 {
+		t.Fatalf("miss observations = %d, want 1", got)
+	}
+	if got := hits.Count(); got != 1 {
+		t.Fatalf("hit observations = %d, want 1", got)
+	}
+	traces := tr.Recent(1)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	var fetchSpans, readSpans int
+	for _, s := range traces[0].Spans {
+		switch s.Name {
+		case "buffer.fetch":
+			fetchSpans++
+		case "storage.read":
+			readSpans++
+		}
+	}
+	if fetchSpans != 2 || readSpans != 1 {
+		t.Fatalf("spans: buffer.fetch=%d storage.read=%d, want 2 and 1",
+			fetchSpans, readSpans)
 	}
 }
 

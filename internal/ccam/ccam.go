@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ccam/internal/graph"
+	"ccam/internal/metrics"
 	"ccam/internal/netfile"
 	"ccam/internal/partition"
 	"ccam/internal/storage"
@@ -63,6 +64,12 @@ type Config struct {
 	// ReadLatency charges simulated wall-clock time per physical
 	// data-page read of the in-memory store (see netfile.Options).
 	ReadLatency time.Duration
+	// Metrics, when non-nil, instruments the file built by Build
+	// against this registry (see netfile.Options.Metrics).
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-operation traces (see
+	// netfile.Options.Tracer).
+	Tracer *metrics.Tracer
 }
 
 // Method is a CCAM file. It implements netfile.AccessMethod.
@@ -127,6 +134,8 @@ func (m *Method) Build(g *graph.Network) error {
 		Store:       m.cfg.Store,
 		Spatial:     m.cfg.Spatial,
 		ReadLatency: m.cfg.ReadLatency,
+		Metrics:     m.cfg.Metrics,
+		Tracer:      m.cfg.Tracer,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteToGolden locks the Prometheus text rendering: deterministic
+// ordering, counter/gauge/histogram shapes, name sanitization.
+func TestWriteToGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ccam_op_find_total").Add(3)
+	r.Counter("a_first").Add(1)
+	r.Gauge("ccam_crr").Set(0.875)
+	r.GaugeFunc("derived.value", func() float64 { return 2 })
+	h := r.Histogram("ccam_op_find_ns")
+	h.Observe(3) // bucket le=4
+	h.Observe(5) // bucket le=8
+	h.Observe(5)
+
+	var sb strings.Builder
+	n, err := r.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if int64(len(got)) != n {
+		t.Fatalf("WriteTo returned %d, wrote %d bytes", n, len(got))
+	}
+	const want = `# TYPE a_first counter
+a_first 1
+# TYPE ccam_op_find_total counter
+ccam_op_find_total 3
+# TYPE ccam_crr gauge
+ccam_crr 0.875
+# TYPE derived_value gauge
+derived_value 2
+# TYPE ccam_op_find_ns histogram
+ccam_op_find_ns_bucket{le="4"} 1
+ccam_op_find_ns_bucket{le="8"} 3
+ccam_op_find_ns_bucket{le="+Inf"} 3
+ccam_op_find_ns_sum 13
+ccam_op_find_ns_count 3
+`
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpvarJSONView(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(7)
+	r.Gauge("crr").Set(0.5)
+	r.Histogram("lat").Observe(1024)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if m["ops"].(float64) != 7 {
+		t.Fatalf("ops = %v, want 7", m["ops"])
+	}
+	if m["crr"].(float64) != 0.5 {
+		t.Fatalf("crr = %v, want 0.5", m["crr"])
+	}
+	lat := m["lat"].(map[string]any)
+	if lat["count"].(float64) != 1 {
+		t.Fatalf("lat.count = %v, want 1", lat["count"])
+	}
+	if lat["p50"].(float64) <= 0 {
+		t.Fatalf("lat.p50 = %v, want > 0", lat["p50"])
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers the full int64 range with power-of-two boundaries:
+// bucket 0 holds the value 0, bucket i (1 ≤ i ≤ 63) holds values v
+// with 2^(i-1) ≤ v < 2^i. For nanosecond latencies that spans sub-ns
+// to ~292 years, so no observation is ever clipped.
+const numBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// boundaries. Observe is lock-free (one atomic add per bucket plus the
+// count and sum), so parallel readers can record latencies while a
+// scraper snapshots. The zero value is ready to use; a nil *Histogram
+// ignores all updates.
+//
+// Quantile estimates come from the bucket counts: the reported value
+// is the midpoint of the bucket holding the requested rank, so the
+// estimate is within 2x of the true quantile — ample for the
+// order-of-magnitude questions ("is p99 a disk read or a seek storm?")
+// this repository asks.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketIndex returns the bucket of value v (negatives clamp to 0).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the inclusive lower and exclusive upper bound
+// of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = int64(1) << (i - 1)
+	if i == 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1) << i
+}
+
+// Observe records one value (typically nanoseconds). No-op on a nil
+// receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed nanoseconds since start. No-op on a
+// nil receiver.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot returns a consistent-enough copy of the histogram: each
+// field is loaded atomically, so no value is torn, though buckets
+// racing with Observe may be off by in-flight observations.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [numBuckets]int64
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the midpoint of the
+// bucket containing the rank, or 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	lo, hi := bucketBounds(numBuckets - 1)
+	return lo + (hi-lo)/2
+}
+
+// P50 returns the estimated median.
+func (s HistSnapshot) P50() int64 { return s.Quantile(0.50) }
+
+// P95 returns the estimated 95th percentile.
+func (s HistSnapshot) P95() int64 { return s.Quantile(0.95) }
+
+// P99 returns the estimated 99th percentile.
+func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 100, -7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 111 {
+		t.Fatalf("sum = %d, want 111", s.Sum)
+	}
+	// -7 clamps to 0, so bucket 0 holds {0, -7}; bucket 1 holds {1, 1};
+	// bucket 2 holds {2, 3}; bucket 3 holds {4}; bucket 7 holds {100}.
+	want := map[int]int64{0: 2, 1: 2, 2: 2, 3: 1, 7: 1}
+	for i, c := range s.Buckets {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations (~1µs) and 10 slow ones (~1ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	p50, p99 := s.P50(), s.P99()
+	if p50 < 512 || p50 > 2048 {
+		t.Fatalf("p50 = %d, want within the 1µs bucket", p50)
+	}
+	if p99 < 512*1024 || p99 > 2*1024*1024 {
+		t.Fatalf("p99 = %d, want within the 1ms bucket", p99)
+	}
+	if m := s.Mean(); m < 90_000 || m > 120_000 {
+		t.Fatalf("mean = %g, want ~100900", m)
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile != 0")
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot exercises parallel Observe
+// against Snapshot under the race detector: the histogram must stay
+// lock-free-consistent (no torn counters, final totals exact).
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := &Histogram{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var cum int64
+			for _, c := range s.Buckets {
+				if c < 0 {
+					t.Error("negative bucket count")
+					return
+				}
+				cum += c
+			}
+			_ = s.P99()
+		}
+	}()
+	var og sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		og.Add(1)
+		go func(w int) {
+			defer og.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	og.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var cum int64
+	for _, c := range s.Buckets {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndInstrumentsAreInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil instruments: %v %v %v", c, g, h)
+	}
+	// None of these may panic.
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(7)
+	h.ObserveSince(time.Now())
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v)", n, err)
+	}
+	if s := r.String(); s != "{}" {
+		t.Fatalf("nil registry String() = %q", s)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("two lookups of one counter differ")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("two lookups of one gauge differ")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("two lookups of one histogram differ")
+	}
+	r.Counter("a").Add(2)
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	r.Gauge("g").Set(0.25)
+	if got := r.Gauge("g").Value(); got != 0.25 {
+		t.Fatalf("gauge = %g, want 0.25", got)
+	}
+}
+
+func TestRegistryConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestTracerRingAndSpans(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		at := tr.Start("op")
+		tok := at.BeginSpan("step")
+		tok.End()
+		at.Finish(nil)
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d traces, want 4", len(recent))
+	}
+	if recent[0].Seq != 6 || recent[3].Seq != 3 {
+		t.Fatalf("newest-first order broken: seqs %d..%d", recent[0].Seq, recent[3].Seq)
+	}
+	if len(recent[0].Spans) != 1 || recent[0].Spans[0].Name != "step" {
+		t.Fatalf("spans not recorded: %+v", recent[0].Spans)
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "op") || !strings.Contains(sb.String(), "[step") {
+		t.Fatalf("trace dump missing fields: %q", sb.String())
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	at := tr.Start("op")
+	tok := at.BeginSpan("s")
+	tok.End()
+	at.Finish(nil)
+	if got := tr.Recent(5); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+}
+
+func TestTracerSpanCap(t *testing.T) {
+	tr := NewTracer(1)
+	at := tr.Start("wide")
+	for i := 0; i < maxSpans+5; i++ {
+		at.BeginSpan("s").End()
+	}
+	at.Finish(nil)
+	got := tr.Recent(1)[0]
+	if len(got.Spans) != maxSpans || got.Dropped != 5 {
+		t.Fatalf("spans=%d dropped=%d, want %d and 5", len(got.Spans), got.Dropped, maxSpans)
+	}
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds the spans recorded per trace; operations that touch
+// more sub-steps (a long route evaluation, a broad range query) keep
+// their first maxSpans spans and count the rest in Trace.Dropped.
+const maxSpans = 64
+
+// Span is one timed sub-step of a traced operation: the interval
+// [Offset, Offset+Dur) relative to the trace's start.
+type Span struct {
+	Name   string
+	Offset time.Duration
+	Dur    time.Duration
+}
+
+// Trace is one completed operation recorded by a Tracer: the operation
+// name, wall-clock timing, its spans, and the error (if any) it
+// returned.
+type Trace struct {
+	Seq     uint64 // monotonically increasing per tracer
+	Op      string
+	Start   time.Time
+	Dur     time.Duration
+	Spans   []Span
+	Dropped int    // spans beyond maxSpans
+	Err     string // empty on success
+}
+
+// Tracer records recent operation traces in a fixed-capacity ring
+// buffer: cheap enough to leave on, detailed enough to explain why one
+// Find was slow (index descent vs. buffer fetch vs. physical read). A
+// nil *Tracer disables tracing: Start returns a nil *ActiveTrace whose
+// methods all no-op.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	seq  uint64
+}
+
+// NewTracer returns a tracer keeping the most recent capacity traces
+// (default 128 when capacity ≤ 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Tracer{ring: make([]Trace, 0, capacity)}
+}
+
+// Start begins a trace of operation op. Returns nil (a valid,
+// do-nothing handle) on a nil tracer.
+func (t *Tracer) Start(op string) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	return &ActiveTrace{tracer: t, op: op, start: time.Now()}
+}
+
+// record appends a finished trace to the ring.
+func (t *Tracer) record(tr Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	tr.Seq = t.seq
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		t.next = len(t.ring) % cap(t.ring)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Recent returns up to n of the most recent traces, newest first. It
+// returns nil on a nil tracer.
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]Trace, 0, n)
+	// Newest element sits just before next (mod length) once the ring
+	// is full; before that, at the end of the slice.
+	idx := t.next - 1
+	if len(t.ring) < cap(t.ring) {
+		idx = len(t.ring) - 1
+	}
+	for i := 0; i < n; i++ {
+		j := (idx - i + len(t.ring)) % len(t.ring)
+		tr := t.ring[j]
+		tr.Spans = append([]Span(nil), tr.Spans...)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// WriteTo dumps the recent traces newest-first in a human-readable
+// form, implementing io.WriterTo.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, tr := range t.Recent(cap(t.ring)) {
+		line := fmt.Sprintf("#%d %s %v", tr.Seq, tr.Op, tr.Dur)
+		if tr.Err != "" {
+			line += " err=" + tr.Err
+		}
+		for _, sp := range tr.Spans {
+			line += fmt.Sprintf(" [%s +%v %v]", sp.Name, sp.Offset, sp.Dur)
+		}
+		m, err := fmt.Fprintln(w, line)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ActiveTrace is an in-flight trace. It is owned by one goroutine (the
+// operation being traced); all methods are safe on a nil receiver, so
+// call sites need no enabled-checks.
+type ActiveTrace struct {
+	tracer  *Tracer
+	op      string
+	start   time.Time
+	spans   []Span
+	dropped int
+}
+
+// SpanToken marks an open span; close it with End. The zero token
+// (from a nil trace) is valid and inert.
+type SpanToken struct {
+	at    *ActiveTrace
+	idx   int
+	start time.Time
+}
+
+// BeginSpan opens a named span. On a nil trace it returns an inert
+// token.
+func (a *ActiveTrace) BeginSpan(name string) SpanToken {
+	if a == nil {
+		return SpanToken{}
+	}
+	if len(a.spans) >= maxSpans {
+		a.dropped++
+		return SpanToken{}
+	}
+	a.spans = append(a.spans, Span{Name: name, Offset: time.Since(a.start)})
+	return SpanToken{at: a, idx: len(a.spans) - 1, start: time.Now()}
+}
+
+// End closes the span. No-op on an inert token.
+func (s SpanToken) End() {
+	if s.at == nil {
+		return
+	}
+	s.at.spans[s.idx].Dur = time.Since(s.start)
+}
+
+// Finish completes the trace and records it with the tracer. No-op on
+// a nil trace.
+func (a *ActiveTrace) Finish(err error) {
+	if a == nil {
+		return
+	}
+	tr := Trace{
+		Op:      a.op,
+		Start:   a.start,
+		Dur:     time.Since(a.start),
+		Spans:   a.spans,
+		Dropped: a.dropped,
+	}
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	a.tracer.record(tr)
+}

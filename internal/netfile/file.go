@@ -10,6 +10,7 @@ import (
 	"ccam/internal/buffer"
 	"ccam/internal/geom"
 	"ccam/internal/graph"
+	"ccam/internal/metrics"
 	"ccam/internal/storage"
 )
 
@@ -37,6 +38,16 @@ type Options struct {
 	// Ignored when Store is supplied. Index stores stay instantaneous:
 	// the paper assumes index pages are memory resident.
 	ReadLatency time.Duration
+	// Metrics, when non-nil, instruments the file: physical I/O and
+	// buffer fetch latencies are observed into histograms of this
+	// registry, and index descents count pages into a registry counter.
+	// Nil keeps every hot path on its zero-cost branch.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-operation traces of the query
+	// operations (Find, Get-successor(s), route evaluation, range
+	// query) with spans for index descent, buffer fetch and physical
+	// read.
+	Tracer *metrics.Tracer
 }
 
 // File is the shared data file: slotted data pages holding node
@@ -69,6 +80,14 @@ type File struct {
 	// treated as memory resident and consulting it costs no data-page
 	// I/O; every mutation keeps it exact.
 	free map[storage.PageID]int
+	// reg and tracer are nil unless observability is enabled; every hot
+	// path branches on nil before paying anything.
+	reg    *metrics.Registry
+	tracer *metrics.Tracer
+	// idxVisits counts index pages touched by node-index descents (nil
+	// when metrics are disabled; reads via Counter.Value are nil-safe).
+	idxVisits *metrics.Counter
+	idxStore  storage.Store
 }
 
 // Create opens a fresh, empty data file.
@@ -103,7 +122,7 @@ func Create(opts Options) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{
+	f := &File{
 		pageSize:  opts.PageSize,
 		dataStore: st,
 		pool:      buffer.NewPool(st, opts.PoolPages),
@@ -112,7 +131,58 @@ func Create(opts Options) (*File, error) {
 		quant:     quant,
 		pages:     make(map[storage.PageID]bool),
 		free:      make(map[storage.PageID]int),
-	}, nil
+		idxStore:  idxStore,
+	}
+	f.EnableMetrics(opts.Metrics, opts.Tracer)
+	return f, nil
+}
+
+// EnableMetrics instruments the file against registry reg and attaches
+// tracer tr (either may be nil). Physical data-page I/O and buffer
+// fetches observe latency histograms, and node-index descents count
+// pages into ccam_index_page_visits_total. Call before sharing the file
+// across goroutines; a nil registry and tracer leave every hot path on
+// its zero-cost branch.
+func (f *File) EnableMetrics(reg *metrics.Registry, tr *metrics.Tracer) {
+	f.tracer = tr
+	if reg == nil {
+		return
+	}
+	f.reg = reg
+	if in, ok := f.dataStore.(storage.Instrumentable); ok {
+		in.Instrument(storage.IOInstrumentation{
+			ReadNanos:  reg.Histogram("ccam_storage_read_ns"),
+			WriteNanos: reg.Histogram("ccam_storage_write_ns"),
+		})
+	}
+	f.pool.Instrument(buffer.PoolInstrumentation{
+		HitNanos:  reg.Histogram("ccam_buffer_hit_ns"),
+		MissNanos: reg.Histogram("ccam_buffer_miss_ns"),
+	})
+	f.idxVisits = reg.Counter("ccam_index_page_visits_total")
+	f.index.Instrument(f.idxVisits)
+}
+
+// Registry returns the metrics registry the file is instrumented
+// against (nil when metrics are disabled).
+func (f *File) Registry() *metrics.Registry { return f.reg }
+
+// Tracer returns the file's operation tracer (nil when disabled).
+func (f *File) Tracer() *metrics.Tracer { return f.tracer }
+
+// IndexVisits returns the cumulative number of index pages touched by
+// node-index descents, or 0 when metrics are disabled.
+func (f *File) IndexVisits() int64 { return f.idxVisits.Value() }
+
+// IndexIO returns the physical I/O counters of the node-index store.
+// The paper treats index pages as memory resident, so these never
+// contribute to the data-page metric; they are exposed for
+// observability only.
+func (f *File) IndexIO() storage.Stats {
+	if f.idxStore == nil {
+		return storage.Stats{}
+	}
+	return f.idxStore.Stats()
 }
 
 // PageSize returns the data page size.
@@ -223,7 +293,13 @@ func (f *File) Pages() []storage.PageID {
 // withPage runs fn with the slotted view of a pinned page; the page is
 // unpinned afterwards, marked dirty when fn reports it wrote.
 func (f *File) withPage(pid storage.PageID, fn func(sp *storage.SlottedPage) (dirty bool, err error)) error {
-	b, err := f.pool.Fetch(pid)
+	return f.withPageTraced(pid, nil, fn)
+}
+
+// withPageTraced is withPage under an optional operation trace: the
+// fetch appears as a buffer.fetch span (and storage.read on a miss).
+func (f *File) withPageTraced(pid storage.PageID, at *metrics.ActiveTrace, fn func(sp *storage.SlottedPage) (dirty bool, err error)) error {
+	b, err := f.pool.FetchTraced(pid, at)
 	if err != nil {
 		return err
 	}
@@ -272,7 +348,11 @@ func (f *File) InsertRecordAt(rec *Record, pid storage.PageID) error {
 // ReadRecordFromPage scans a data page for node id, returning the
 // decoded record, or ok=false when the node is not on that page.
 func (f *File) ReadRecordFromPage(pid storage.PageID, id graph.NodeID) (rec *Record, ok bool, err error) {
-	err = f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+	return f.readRecordFromPageTraced(pid, id, nil)
+}
+
+func (f *File) readRecordFromPageTraced(pid storage.PageID, id graph.NodeID, at *metrics.ActiveTrace) (rec *Record, ok bool, err error) {
+	err = f.withPageTraced(pid, at, func(sp *storage.SlottedPage) (bool, error) {
 		for _, slot := range sp.Slots() {
 			raw, err := sp.Get(slot)
 			if err != nil {
@@ -299,11 +379,19 @@ func (f *File) ReadRecordFromPage(pid storage.PageID, id graph.NodeID) (rec *Rec
 // ReadRecord fetches the record of node id (index lookup + one page
 // fetch).
 func (f *File) ReadRecord(id graph.NodeID) (*Record, error) {
+	return f.readRecordTraced(id, nil)
+}
+
+// readRecordTraced is ReadRecord under an optional operation trace: the
+// node-index descent and the data-page fetch each get a span.
+func (f *File) readRecordTraced(id graph.NodeID, at *metrics.ActiveTrace) (*Record, error) {
+	tok := at.BeginSpan("index.descent")
 	pid, err := f.PageOf(id)
+	tok.End()
 	if err != nil {
 		return nil, err
 	}
-	rec, ok, err := f.ReadRecordFromPage(pid, id)
+	rec, ok, err := f.readRecordFromPageTraced(pid, id, at)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"ccam/internal/geom"
 	"ccam/internal/graph"
+	"ccam/internal/metrics"
 	"ccam/internal/storage"
 )
 
@@ -15,7 +16,10 @@ import (
 // locates the data page, which is fetched through the buffer pool.
 // (Paper §2.3.)
 func (f *File) Find(id graph.NodeID) (*Record, error) {
-	return f.ReadRecord(id)
+	at := f.tracer.Start("find")
+	rec, err := f.readRecordTraced(id, at)
+	at.Finish(err)
+	return rec, err
 }
 
 // GetASuccessor retrieves the record of succ, a successor of cur. The
@@ -31,7 +35,10 @@ func (f *File) GetASuccessor(cur *Record, succ graph.NodeID) (*Record, error) {
 	// through the pool costs a physical read only when it is not
 	// buffered, which reproduces the paper's "search buffer first, then
 	// Find" protocol exactly.
-	return f.ReadRecord(succ)
+	at := f.tracer.Start("get-a-successor")
+	rec, err := f.readRecordTraced(succ, at)
+	at.Finish(err)
+	return rec, err
 }
 
 // GetSuccessors retrieves the records of all successors of node id.
@@ -39,13 +46,20 @@ func (f *File) GetASuccessor(cur *Record, succ graph.NodeID) (*Record, error) {
 // the page of id itself, fetched first) are extracted without further
 // I/O. (Paper §2.3.)
 func (f *File) GetSuccessors(id graph.NodeID) ([]*Record, error) {
-	rec, err := f.ReadRecord(id)
+	at := f.tracer.Start("get-successors")
+	out, err := f.getSuccessors(id, at)
+	at.Finish(err)
+	return out, err
+}
+
+func (f *File) getSuccessors(id graph.NodeID, at *metrics.ActiveTrace) ([]*Record, error) {
+	rec, err := f.readRecordTraced(id, at)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Record, 0, len(rec.Succs))
 	for _, s := range rec.Succs {
-		sr, err := f.ReadRecord(s.To)
+		sr, err := f.readRecordTraced(s.To, at)
 		if err != nil {
 			return nil, fmt.Errorf("netfile: get-successors of %d: %w", id, err)
 		}
@@ -67,10 +81,17 @@ type RouteAggregate struct {
 // (paper §2.3, "Route Evaluation"). The route must follow directed
 // edges.
 func (f *File) EvaluateRoute(route graph.Route) (RouteAggregate, error) {
+	at := f.tracer.Start("evaluate-route")
+	agg, err := f.evaluateRoute(route, at)
+	at.Finish(err)
+	return agg, err
+}
+
+func (f *File) evaluateRoute(route graph.Route, at *metrics.ActiveTrace) (RouteAggregate, error) {
 	if len(route) == 0 {
 		return RouteAggregate{}, fmt.Errorf("%w: empty route", graph.ErrInvalidRoute)
 	}
-	rec, err := f.Find(route[0])
+	rec, err := f.readRecordTraced(route[0], at)
 	if err != nil {
 		return RouteAggregate{}, err
 	}
@@ -88,7 +109,9 @@ func (f *File) EvaluateRoute(route graph.Route) (RouteAggregate, error) {
 		if !found {
 			return RouteAggregate{}, fmt.Errorf("%w: hop %d->%d is not an edge", graph.ErrInvalidRoute, rec.ID, route[i])
 		}
-		rec, err = f.GetASuccessor(rec, route[i])
+		// The successor constraint was just verified above, so this hop
+		// is a Get-A-successor: read succ's record through the pool.
+		rec, err = f.readRecordTraced(route[i], at)
 		if err != nil {
 			return RouteAggregate{}, err
 		}
@@ -115,13 +138,20 @@ func (f *File) RangeQuery(rect geom.Rect) ([]*Record, error) {
 // checked before each candidate record fetch, so a canceled context
 // stops the index scan without paying for the remaining page reads.
 func (f *File) RangeQueryCtx(ctx context.Context, rect geom.Rect) ([]*Record, error) {
+	at := f.tracer.Start("range-query")
+	out, err := f.rangeQueryCtx(ctx, rect, at)
+	at.Finish(err)
+	return out, err
+}
+
+func (f *File) rangeQueryCtx(ctx context.Context, rect geom.Rect, at *metrics.ActiveTrace) ([]*Record, error) {
 	var out []*Record
 	var ferr error
 	err := f.spatial.search(rect, func(id graph.NodeID) bool {
 		if ferr = ctx.Err(); ferr != nil {
 			return false
 		}
-		rec, err := f.ReadRecord(id)
+		rec, err := f.readRecordTraced(id, at)
 		if err != nil {
 			ferr = err
 			return false

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // FileStore is an os.File-backed Store. Page 0 of the file is a
@@ -28,6 +30,7 @@ type FileStore struct {
 	live     map[PageID]bool
 	stats    ioCounters
 	closed   bool
+	inst     atomic.Pointer[IOInstrumentation]
 }
 
 // fileHeader layout within metadata page:
@@ -154,9 +157,23 @@ func (fs *FileStore) Allocate() (PageID, error) {
 	return id, nil
 }
 
+// Instrument implements Instrumentable: subsequent physical reads and
+// writes observe their durations into the given histograms.
+func (fs *FileStore) Instrument(in IOInstrumentation) { fs.inst.Store(&in) }
+
 // ReadPage implements Store. It takes only the read latch: ReadAt is a
 // positioned read, safe under concurrent callers.
 func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
+	if in := fs.inst.Load(); in != nil && in.ReadNanos != nil {
+		start := time.Now()
+		err := fs.readPage(id, buf)
+		in.ReadNanos.ObserveSince(start)
+		return err
+	}
+	return fs.readPage(id, buf)
+}
+
+func (fs *FileStore) readPage(id PageID, buf []byte) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	if fs.closed {
@@ -177,6 +194,16 @@ func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (fs *FileStore) WritePage(id PageID, buf []byte) error {
+	if in := fs.inst.Load(); in != nil && in.WriteNanos != nil {
+		start := time.Now()
+		err := fs.writePage(id, buf)
+		in.WriteNanos.ObserveSince(start)
+		return err
+	}
+	return fs.writePage(id, buf)
+}
+
+func (fs *FileStore) writePage(id PageID, buf []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.closed {

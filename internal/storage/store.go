@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ccam/internal/metrics"
 )
 
 // PageID identifies a page within a store. Valid IDs start at 0.
@@ -88,6 +90,24 @@ func (s Stats) Sub(earlier Stats) Stats {
 	}
 }
 
+// IOInstrumentation carries the optional latency histograms of a page
+// store. Nil histograms are skipped, so partial instrumentation is
+// fine.
+type IOInstrumentation struct {
+	// ReadNanos observes the wall-clock duration of each physical
+	// page read (including any simulated device latency).
+	ReadNanos *metrics.Histogram
+	// WriteNanos observes the duration of each physical page write.
+	WriteNanos *metrics.Histogram
+}
+
+// Instrumentable is the optional interface of stores that accept
+// latency instrumentation. Both MemStore and FileStore implement it;
+// callers type-assert so the Store interface stays minimal.
+type Instrumentable interface {
+	Instrument(in IOInstrumentation)
+}
+
 // Store is a page-granular storage device. Implementations must be safe
 // for concurrent use.
 type Store interface {
@@ -135,6 +155,9 @@ type MemStore struct {
 	// readLatency is the simulated seek+transfer time charged per
 	// physical page read, in nanoseconds (atomic; 0 = instantaneous).
 	readLatency atomic.Int64
+	// inst holds the optional latency instrumentation; an atomic
+	// pointer so enabling it never races with in-flight readers.
+	inst atomic.Pointer[IOInstrumentation]
 }
 
 // NewMemStore returns a MemStore with the given page size.
@@ -158,6 +181,10 @@ func (m *MemStore) PageSize() int { return m.pageSize }
 // reproduce the disk-resident regime, where concurrent readers gain by
 // overlapping I/O waits.
 func (m *MemStore) SetReadLatency(d time.Duration) { m.readLatency.Store(int64(d)) }
+
+// Instrument implements Instrumentable: subsequent physical reads and
+// writes observe their durations into the given histograms.
+func (m *MemStore) Instrument(in IOInstrumentation) { m.inst.Store(&in) }
 
 // Allocate implements Store.
 func (m *MemStore) Allocate() (PageID, error) {
@@ -183,6 +210,16 @@ func (m *MemStore) Allocate() (PageID, error) {
 // number of readers proceed in parallel; WritePage and Free exclude
 // them.
 func (m *MemStore) ReadPage(id PageID, buf []byte) error {
+	if in := m.inst.Load(); in != nil && in.ReadNanos != nil {
+		start := time.Now()
+		err := m.readPage(id, buf)
+		in.ReadNanos.ObserveSince(start)
+		return err
+	}
+	return m.readPage(id, buf)
+}
+
+func (m *MemStore) readPage(id PageID, buf []byte) error {
 	if d := m.readLatency.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
 	}
@@ -205,6 +242,16 @@ func (m *MemStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (m *MemStore) WritePage(id PageID, buf []byte) error {
+	if in := m.inst.Load(); in != nil && in.WriteNanos != nil {
+		start := time.Now()
+		err := m.writePage(id, buf)
+		in.WriteNanos.ObserveSince(start)
+		return err
+	}
+	return m.writePage(id, buf)
+}
+
+func (m *MemStore) writePage(id PageID, buf []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

@@ -1,0 +1,361 @@
+package ccam
+
+import (
+	"expvar"
+	"net/http"
+	"time"
+
+	"ccam/internal/buffer"
+	"ccam/internal/metrics"
+	"ccam/internal/netfile"
+	"ccam/internal/storage"
+)
+
+// Observability types re-exported from the metrics layer, so library
+// users never import internal packages.
+type (
+	// Registry is a set of named counters, gauges and latency
+	// histograms. It renders itself as Prometheus text (WriteTo) and as
+	// expvar-compatible JSON (String).
+	Registry = metrics.Registry
+	// Tracer records recent operation traces in a ring buffer.
+	Tracer = metrics.Tracer
+	// Trace is one recorded operation with its spans.
+	Trace = metrics.Trace
+	// TraceSpan is one timed step inside a trace.
+	TraceSpan = metrics.Span
+	// HistSnapshot is a point-in-time view of a latency histogram.
+	HistSnapshot = metrics.HistSnapshot
+)
+
+// opMetrics holds the pre-created instruments of one facade operation,
+// so the instrumented path performs no name lookups.
+type opMetrics struct {
+	count, errs           *metrics.Counter
+	latency               *metrics.Histogram
+	dataReads, dataWrites *metrics.Counter
+	idxPages              *metrics.Counter
+	hits, misses          *metrics.Counter
+}
+
+func newOpMetrics(reg *metrics.Registry, name string) *opMetrics {
+	p := "ccam_op_" + name + "_"
+	return &opMetrics{
+		count:      reg.Counter(p + "total"),
+		errs:       reg.Counter(p + "errors_total"),
+		latency:    reg.Histogram(p + "ns"),
+		dataReads:  reg.Counter(p + "data_reads_total"),
+		dataWrites: reg.Counter(p + "data_writes_total"),
+		idxPages:   reg.Counter(p + "index_pages_total"),
+		hits:       reg.Counter(p + "buffer_hits_total"),
+		misses:     reg.Counter(p + "buffer_misses_total"),
+	}
+}
+
+// mirrorEdge is one directed edge of the observability topology mirror.
+type mirrorEdge struct {
+	to     NodeID
+	weight float64
+}
+
+// observability is the per-store instrumentation state. It exists only
+// when metrics are enabled; every facade operation branches on the nil
+// pointer first, so a disabled store pays one predictable branch and
+// nothing else.
+//
+// The topology mirror (succs/preds) duplicates the stored network's
+// adjacency with edge access weights, which the records themselves do
+// not carry; it exists so the CRR/WCRR gauges can be refreshed after
+// every mutation without re-reading the file. It is only accessed under
+// the store's write lock (Build, Insert, Delete and the edge
+// operations), so it needs no locking of its own.
+type observability struct {
+	reg    *metrics.Registry
+	tracer *metrics.Tracer
+
+	succs map[NodeID][]mirrorEdge
+	preds map[NodeID][]NodeID
+
+	crr, wcrr *metrics.Gauge
+
+	find, getASuccessor, getSuccessors    *opMetrics
+	evaluateRoute, rangeQuery, nearest    *opMetrics
+	insert, delete_, insertEdge           *opMetrics
+	deleteEdge, setEdgeCost               *opMetrics
+	shortestPath, evaluateTour            *opMetrics
+	locationAllocation, evaluateRouteUnit *opMetrics
+	scan, findBatch, evaluateRoutes       *opMetrics
+	build                                 *opMetrics
+}
+
+func newObservability(reg *metrics.Registry, tr *metrics.Tracer) *observability {
+	return &observability{
+		reg:    reg,
+		tracer: tr,
+		succs:  make(map[NodeID][]mirrorEdge),
+		preds:  make(map[NodeID][]NodeID),
+		crr:    reg.Gauge("ccam_crr"),
+		wcrr:   reg.Gauge("ccam_wcrr"),
+
+		find:               newOpMetrics(reg, "find"),
+		getASuccessor:      newOpMetrics(reg, "get_a_successor"),
+		getSuccessors:      newOpMetrics(reg, "get_successors"),
+		evaluateRoute:      newOpMetrics(reg, "evaluate_route"),
+		rangeQuery:         newOpMetrics(reg, "range_query"),
+		nearest:            newOpMetrics(reg, "nearest"),
+		insert:             newOpMetrics(reg, "insert"),
+		delete_:            newOpMetrics(reg, "delete"),
+		insertEdge:         newOpMetrics(reg, "insert_edge"),
+		deleteEdge:         newOpMetrics(reg, "delete_edge"),
+		setEdgeCost:        newOpMetrics(reg, "set_edge_cost"),
+		shortestPath:       newOpMetrics(reg, "shortest_path"),
+		evaluateTour:       newOpMetrics(reg, "evaluate_tour"),
+		locationAllocation: newOpMetrics(reg, "location_allocation"),
+		evaluateRouteUnit:  newOpMetrics(reg, "evaluate_route_unit"),
+		scan:               newOpMetrics(reg, "scan"),
+		findBatch:          newOpMetrics(reg, "find_batch"),
+		evaluateRoutes:     newOpMetrics(reg, "evaluate_routes"),
+		build:              newOpMetrics(reg, "build"),
+	}
+}
+
+// opSnap captures the layer counters at operation start; end() charges
+// the operation with the deltas. The I/O attribution is exact while
+// operations run one at a time (the paper's cost model); under
+// concurrent readers a page fetched by an overlapping operation may be
+// charged to this one, but the global per-class counters and latency
+// histograms stay exact.
+type opSnap struct {
+	om    *opMetrics
+	f     *netfile.File
+	start time.Time
+	io    storage.Stats
+	pool  buffer.Stats
+	idx   int64
+}
+
+func (o *observability) beginOp(om *opMetrics, f *netfile.File) opSnap {
+	return opSnap{
+		om:    om,
+		f:     f,
+		start: time.Now(),
+		io:    f.DataIO(),
+		pool:  f.Pool().Stats(),
+		idx:   f.IndexVisits(),
+	}
+}
+
+func (sn opSnap) end(err error) {
+	om := sn.om
+	om.count.Inc()
+	if err != nil {
+		om.errs.Inc()
+	}
+	om.latency.ObserveSince(sn.start)
+	io := sn.f.DataIO().Sub(sn.io)
+	om.dataReads.Add(io.Reads)
+	om.dataWrites.Add(io.Writes)
+	ps := sn.f.Pool().Stats().Sub(sn.pool)
+	om.hits.Add(ps.Hits)
+	om.misses.Add(ps.Misses)
+	om.idxPages.Add(sn.f.IndexVisits() - sn.idx)
+}
+
+// --- topology mirror maintenance (write lock held) ---
+
+// mirrorFromNetwork resets the mirror to network g, keeping the real
+// edge access weights.
+func (o *observability) mirrorFromNetwork(g *Network) {
+	o.succs = make(map[NodeID][]mirrorEdge, g.NumNodes())
+	o.preds = make(map[NodeID][]NodeID, g.NumNodes())
+	for _, id := range g.NodeIDs() {
+		o.succs[id] = nil
+	}
+	for _, e := range g.Edges() {
+		o.addMirrorEdge(e.From, e.To, e.Weight)
+	}
+}
+
+// mirrorFromRecords resets the mirror from stored records (used when a
+// file is reopened without its source network). Records carry no access
+// weights, so every edge gets weight 1 and WCRR coincides with CRR
+// until weights are reapplied.
+func (o *observability) mirrorFromRecords(recs []*Record) {
+	o.succs = make(map[NodeID][]mirrorEdge, len(recs))
+	o.preds = make(map[NodeID][]NodeID, len(recs))
+	for _, rec := range recs {
+		if _, ok := o.succs[rec.ID]; !ok {
+			o.succs[rec.ID] = nil
+		}
+		for _, s := range rec.Succs {
+			o.addMirrorEdge(rec.ID, s.To, 1)
+		}
+	}
+}
+
+func (o *observability) addMirrorEdge(from, to NodeID, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	o.succs[from] = append(o.succs[from], mirrorEdge{to: to, weight: weight})
+	o.preds[to] = append(o.preds[to], from)
+}
+
+func (o *observability) removeMirrorEdge(from, to NodeID) {
+	list := o.succs[from]
+	for i := range list {
+		if list[i].to == to {
+			o.succs[from] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	plist := o.preds[to]
+	for i := range plist {
+		if plist[i] == from {
+			o.preds[to] = append(plist[:i], plist[i+1:]...)
+			break
+		}
+	}
+}
+
+func (o *observability) noteInsert(op *InsertOp) {
+	if _, ok := o.succs[op.Rec.ID]; !ok {
+		o.succs[op.Rec.ID] = nil
+	}
+	for _, s := range op.Rec.Succs {
+		o.addMirrorEdge(op.Rec.ID, s.To, 1)
+	}
+	for _, p := range op.Rec.Preds {
+		o.addMirrorEdge(p, op.Rec.ID, 1)
+	}
+}
+
+func (o *observability) noteDelete(id NodeID) {
+	for _, e := range o.succs[id] {
+		plist := o.preds[e.to]
+		for i := range plist {
+			if plist[i] == id {
+				o.preds[e.to] = append(plist[:i], plist[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, p := range o.preds[id] {
+		list := o.succs[p]
+		for i := range list {
+			if list[i].to == id {
+				o.succs[p] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(o.succs, id)
+	delete(o.preds, id)
+}
+
+// refreshGauges recomputes the CRR/WCRR gauges from the mirror and the
+// file's current placement. The placement comes from the node index,
+// which the paper treats as memory resident, so this charges no
+// data-page I/O.
+func (o *observability) refreshGauges(f *netfile.File) {
+	place := f.Placement()
+	var total, unsplit int64
+	var wtotal, wunsplit float64
+	for from, list := range o.succs {
+		pf, okf := place[from]
+		for _, e := range list {
+			total++
+			wtotal += e.weight
+			if !okf {
+				continue
+			}
+			if pt, okt := place[e.to]; okt && pt == pf {
+				unsplit++
+				wunsplit += e.weight
+			}
+		}
+	}
+	crr, wcrr := 0.0, 0.0
+	if total > 0 {
+		crr = float64(unsplit) / float64(total)
+	}
+	if wtotal > 0 {
+		wcrr = wunsplit / wtotal
+	}
+	o.crr.Set(crr)
+	o.wcrr.Set(wcrr)
+}
+
+// --- public accessors ---
+
+// Metrics returns the store's metrics registry, or nil when metrics are
+// disabled. The registry renders itself as Prometheus text via WriteTo
+// and as expvar-compatible JSON via String.
+func (s *Store) Metrics() *Registry {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.reg
+}
+
+// Tracer returns the store's operation tracer, or nil when tracing is
+// disabled.
+func (s *Store) Tracer() *Tracer { return s.tracer }
+
+// Traces returns up to n recent operation traces, newest first; nil
+// when tracing is disabled.
+func (s *Store) Traces(n int) []Trace {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Recent(n)
+}
+
+// PublishExpvar publishes the store's registry under name in the
+// process-wide expvar namespace (so it appears at /debug/vars). It is a
+// no-op when metrics are disabled. expvar panics on duplicate names, so
+// publish each store at most once.
+func (s *Store) PublishExpvar(name string) {
+	if r := s.Metrics(); r != nil {
+		expvar.Publish(name, r)
+	}
+}
+
+// MetricsHandler returns an http.Handler that serves the store's
+// metrics in the Prometheus text exposition format. A store without
+// metrics serves an empty document.
+func (s *Store) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg := s.Metrics()
+		if reg == nil {
+			return
+		}
+		reg.WriteTo(w)
+	})
+}
+
+// ServeMetrics registers the store's observability endpoints on mux
+// (nil selects http.DefaultServeMux): /metrics serves the Prometheus
+// text format, /metrics.json the expvar-compatible JSON view, and
+// /traces a human-readable dump of recent operation traces.
+func ServeMetrics(mux *http.ServeMux, s *Store) {
+	if mux == nil {
+		mux = http.DefaultServeMux
+	}
+	mux.Handle("/metrics", s.MetricsHandler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if reg := s.Metrics(); reg != nil {
+			w.Write([]byte(reg.String()))
+		} else {
+			w.Write([]byte("{}"))
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if tr := s.Tracer(); tr != nil {
+			tr.WriteTo(w)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package ccam
+
+// Store-level tests of the observability layer: per-operation
+// instruments, the CRR/WCRR gauges, the exporters and the zero-cost
+// disabled path. The metric primitives themselves (histogram quantiles,
+// Prometheus/expvar rendering, trace ring) are tested in
+// internal/metrics.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func obsStore(t *testing.T) (*Store, *Network) {
+	t.Helper()
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenWith(
+		WithPageSize(2048),
+		WithPoolPages(8),
+		WithSeed(1),
+		WithMetrics(),
+		WithTracing(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestOpCountersAndDeltas(t *testing.T) {
+	s, g := obsStore(t)
+	ids := g.NodeIDs()
+	const finds = 50
+	for i := 0; i < finds; i++ {
+		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := s.Metrics()
+	if got := reg.Counter("ccam_op_find_total").Value(); got != finds {
+		t.Fatalf("find total = %d, want %d", got, finds)
+	}
+	if got := reg.Counter("ccam_op_find_errors_total").Value(); got != 0 {
+		t.Fatalf("find errors = %d, want 0", got)
+	}
+	if snap := reg.Histogram("ccam_op_find_ns").Snapshot(); snap.Count != finds {
+		t.Fatalf("find latency samples = %d, want %d", snap.Count, finds)
+	}
+	// A point lookup touches exactly one data page, so per-op buffer
+	// accesses must sum to the operation count, and the physical reads
+	// charged to finds can never exceed the misses.
+	hits := reg.Counter("ccam_op_find_buffer_hits_total").Value()
+	misses := reg.Counter("ccam_op_find_buffer_misses_total").Value()
+	if hits+misses != finds {
+		t.Fatalf("buffer accesses = %d hits + %d misses, want %d total", hits, misses, finds)
+	}
+	if reads := reg.Counter("ccam_op_find_data_reads_total").Value(); reads != misses {
+		t.Fatalf("data reads = %d, want = misses (%d)", reads, misses)
+	}
+	// Every descent visits the index; the tree is at least one level
+	// deep, so index pages >= one per operation.
+	if idx := reg.Counter("ccam_op_find_index_pages_total").Value(); idx < finds {
+		t.Fatalf("index pages = %d, want >= %d", idx, finds)
+	}
+	// A failed lookup counts in both total and errors.
+	if _, err := s.Find(NodeID(1 << 30)); err == nil {
+		t.Fatal("lookup of absent node succeeded")
+	}
+	if got := reg.Counter("ccam_op_find_errors_total").Value(); got != 1 {
+		t.Fatalf("find errors after miss = %d, want 1", got)
+	}
+}
+
+func TestTracesRecorded(t *testing.T) {
+	s, g := obsStore(t)
+	ids := g.NodeIDs()
+	s.ResetIO() // empty the pool so the next find has a physical read
+	if _, err := s.Find(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	trs := s.Traces(1)
+	if len(trs) != 1 {
+		t.Fatalf("got %d traces, want 1", len(trs))
+	}
+	tr := trs[0]
+	if tr.Op != "find" || tr.Err != "" {
+		t.Fatalf("trace = %q err=%q, want find/ok", tr.Op, tr.Err)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"index.descent", "buffer.fetch", "storage.read"} {
+		if !names[want] {
+			t.Fatalf("trace spans %v missing %q", tr.Spans, want)
+		}
+	}
+}
+
+func TestIOAfterClose(t *testing.T) {
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{PageSize: 2048, PoolPages: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.NodeIDs()[:64] {
+		if _, err := s.Find(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.IO()
+	if before.Reads == 0 {
+		t.Fatal("expected physical reads before close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close may flush dirty pages, so writes can grow; reads cannot.
+	after := s.IO()
+	if after.Reads != before.Reads {
+		t.Fatalf("IO after close: reads %d, want %d", after.Reads, before.Reads)
+	}
+	if again := s.IO(); again != after {
+		t.Fatalf("IO after close is not stable: %v then %v", after, again)
+	}
+}
+
+func TestGaugesTrackBuildAndMutations(t *testing.T) {
+	s, g := obsStore(t)
+	reg := s.Metrics()
+	crr, wcrr := reg.Gauge("ccam_crr").Value(), reg.Gauge("ccam_wcrr").Value()
+	if got := s.CRR(g); math.Abs(crr-got) > 1e-12 {
+		t.Fatalf("crr gauge = %v, direct = %v", crr, got)
+	}
+	if got := s.WCRR(g); math.Abs(wcrr-got) > 1e-12 {
+		t.Fatalf("wcrr gauge = %v, direct = %v", wcrr, got)
+	}
+
+	// Delete and re-insert a node: the gauges must stay in [0,1]
+	// throughout, and after the round trip the mirror's edge set again
+	// matches the network, so the CRR gauge must equal the direct
+	// recomputation against the store's new placement.
+	rng := rand.New(rand.NewSource(2))
+	ids := g.NodeIDs()
+	for i := 0; i < 8; i++ {
+		id := ids[rng.Intn(len(ids))]
+		op, err := InsertOpFromNode(g, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(id, SecondOrder); err != nil {
+			t.Fatal(err)
+		}
+		if v := reg.Gauge("ccam_crr").Value(); v < 0 || v > 1 {
+			t.Fatalf("crr gauge out of range after delete: %v", v)
+		}
+		if err := s.Insert(op, SecondOrder); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crr = reg.Gauge("ccam_crr").Value()
+	if got := s.CRR(g); math.Abs(crr-got) > 1e-12 {
+		t.Fatalf("crr gauge after mutations = %v, direct = %v", crr, got)
+	}
+}
+
+func TestExportersViaStore(t *testing.T) {
+	s, g := obsStore(t)
+	if _, err := s.Find(g.NodeIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	ServeMetrics(mux, s)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	prom := get("/metrics")
+	if ct := prom.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body := prom.Body.String()
+	for _, want := range []string{
+		"# TYPE ccam_op_find_total counter",
+		"ccam_op_find_total 1",
+		"# TYPE ccam_crr gauge",
+		"# TYPE ccam_op_find_ns histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(get("/metrics.json").Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if _, ok := doc["ccam_op_find_total"]; !ok {
+		t.Fatalf("/metrics.json missing find counter: %v", doc)
+	}
+
+	if tr := get("/traces").Body.String(); !strings.Contains(tr, "find") {
+		t.Fatalf("/traces missing the find trace:\n%s", tr)
+	}
+}
+
+// TestDisabledMetricsAddNoAllocs pins the zero-overhead claim: with
+// metrics off, the facade wrapper must not allocate beyond what the
+// underlying operation itself allocates.
+func TestDisabledMetricsAddNoAllocs(t *testing.T) {
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{PageSize: 2048, PoolPages: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics() != nil || s.Tracer() != nil {
+		t.Fatal("metrics unexpectedly enabled")
+	}
+	id := g.NodeIDs()[0]
+	if _, err := s.Find(id); err != nil { // warm the page
+		t.Fatal(err)
+	}
+	f := s.m.File()
+	base := testing.AllocsPerRun(200, func() {
+		if _, err := f.Find(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	wrapped := testing.AllocsPerRun(200, func() {
+		if _, err := s.Find(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if wrapped > base {
+		t.Fatalf("disabled facade allocates %.1f/op, bare file %.1f/op", wrapped, base)
+	}
+}

@@ -41,6 +41,24 @@ func WithReadLatency(d time.Duration) Option {
 	return func(o *Options) { o.ReadLatency = d }
 }
 
+// WithMetrics enables the observability registry: per-operation
+// counters and latency histograms, per-class page-access counters and
+// CRR/WCRR gauges, exported via Store.Metrics, Store.MetricsHandler and
+// ServeMetrics.
+func WithMetrics() Option { return func(o *Options) { o.Metrics = true } }
+
+// WithTracing enables operation tracing with a ring buffer of capacity
+// recent traces (see Store.Traces). Zero or negative capacities select
+// the default ring size.
+func WithTracing(capacity int) Option {
+	return func(o *Options) {
+		if capacity <= 0 {
+			capacity = 128
+		}
+		o.TraceCapacity = capacity
+	}
+}
+
 // OpenWith creates a new, empty CCAM store from functional options,
 // applied over the zero Options value (so defaults match Open exactly).
 func OpenWith(opts ...Option) (*Store, error) {
