@@ -19,7 +19,9 @@ import (
 	"time"
 
 	"ccam/internal/bench"
+	iccam "ccam/internal/ccam"
 	"ccam/internal/netfile"
+	"ccam/internal/storage"
 )
 
 func paperSetup() bench.Setup { return bench.DefaultSetup() }
@@ -202,6 +204,38 @@ func BenchmarkBuildDynamic(b *testing.B) {
 func BenchmarkFind(b *testing.B) {
 	s, g := benchStore(b)
 	defer s.Close()
+	ids := g.NodeIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindChecked measures the same point lookups through a
+// CheckedStore: every physical data-page read pays a CRC32-C
+// verification (hardware-accelerated Castagnoli). The acceptance bar
+// for the integrity layer is ns/op within 10% of BenchmarkFind.
+func BenchmarkFindChecked(b *testing.B) {
+	g, err := RoadMap(MinneapolisLikeOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := storage.NewCheckedStore(storage.NewMemStore(2048 + storage.ChecksumTrailerLen))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := iccam.New(iccam.Config{PageSize: cs.PageSize(), PoolPages: 16, Seed: 1, Store: cs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &Store{m: m}
+	defer s.Close()
+	if err := s.Build(g); err != nil {
+		b.Fatal(err)
+	}
 	ids := g.NodeIDs()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -109,6 +109,15 @@ var (
 	ErrDuplicate = netfile.ErrDuplicate
 	// ErrNoPath reports an unreachable shortest-path destination.
 	ErrNoPath = query.ErrNoPath
+	// ErrChecksum reports a page (or file header) whose stored CRC32
+	// does not match its contents — a torn write, bit rot or a
+	// misdirected write in a file-backed store. It surfaces wrapped
+	// from any operation that touches the damaged page; ccam-fsck
+	// locates and (with -repair) quarantines the page.
+	ErrChecksum = storage.ErrChecksum
+	// ErrCorruptedPage reports a page whose structure (slotted-page
+	// header, slot directory, free-list chain) is invalid.
+	ErrCorruptedPage = storage.ErrCorruptedPage
 )
 
 // NewNetwork returns an empty in-memory network.
@@ -226,12 +235,17 @@ func Open(opts Options) (*Store, error) {
 	}
 	var fs *storage.FileStore
 	if opts.Path != "" {
-		var err error
-		fs, err = storage.CreateFileStore(opts.Path, opts.PageSize)
+		// File-backed pages carry a CRC32 trailer verified on every
+		// physical read, so on-disk corruption surfaces as ErrChecksum
+		// instead of silently wrong records. The on-disk page size is
+		// opts.PageSize; the trailer comes out of each page's payload.
+		cs, inner, err := storage.CreateCheckedFile(opts.Path, opts.PageSize)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Store = fs
+		fs = inner
+		cfg.Store = cs
+		cfg.PageSize = cs.PageSize()
 	}
 	var obs *observability
 	var tracer *metrics.Tracer
@@ -755,25 +769,29 @@ func (s *Store) LocationAllocation(facilities []NodeID) ([]Allocation, float64, 
 }
 
 // OpenPath reopens a file-backed CCAM store previously created with
-// Open(Options{Path: ...}). The data pages are read back from disk and
-// the memory-resident structures (indexes, free-space map) are rebuilt
-// by one scan. PageSize in opts is ignored; the on-disk page size wins.
+// Open(Options{Path: ...}). The data pages are read back from disk —
+// each page's checksum verified — and the memory-resident structures
+// (indexes, free-space map) are rebuilt by one scan. PageSize in opts
+// is ignored; the on-disk page size wins. A torn header, broken free
+// list or corrupted page fails the open with a wrapped ErrChecksum or
+// ErrCorruptedPage; ccam-fsck -repair quarantines the damage so the
+// surviving records open.
 func OpenPath(path string, opts Options) (*Store, error) {
-	fs, err := storage.OpenFileStore(path)
+	st, fs, err := storage.OpenPageFile(path)
 	if err != nil {
 		return nil, err
 	}
-	f, err := netfile.OpenFromStore(fs, opts.PoolPages)
+	f, err := netfile.OpenFromStore(st, opts.PoolPages)
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
 	m, err := iccam.New(iccam.Config{
-		PageSize:  fs.PageSize(),
+		PageSize:  st.PageSize(),
 		PoolPages: opts.PoolPages,
 		Seed:      opts.Seed,
 		Dynamic:   opts.Dynamic,
-		Store:     fs,
+		Store:     st,
 	})
 	if err != nil {
 		fs.Close()

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"ccam/internal/storage"
 )
 
 func testMap(t *testing.T) *Network {
@@ -376,5 +378,64 @@ func TestStoreWithRTreeIndex(t *testing.T) {
 	nn2, err := s.Nearest(n.Pos, 1)
 	if err != nil || len(nn2) != 1 || nn2[0].ID != nn[0].ID {
 		t.Fatalf("Nearest after update = %v, %v", nn2, err)
+	}
+}
+
+// TestOpenPathDetectsCorruption pins the durability contract of the
+// public facade: on-disk corruption surfaces as the re-exported
+// ErrChecksum sentinel, and after an fsck repair the file opens again
+// with the damaged page's records quarantined — not with silent
+// garbage.
+func TestOpenPathDetectsCorruption(t *testing.T) {
+	g := testMap(t)
+	path := filepath.Join(t.TempDir(), "net.ccam")
+	s, err := Open(Options{PageSize: 1024, Seed: 9, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	total := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in the middle of a data page, beneath every
+	// integrity layer.
+	if err := storage.CorruptPage(path, 1, 500*8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPath(path, Options{}); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("OpenPath on corrupted file = %v, want wrapped ErrChecksum", err)
+	}
+
+	// Repair quarantines the page; the survivors open and serve.
+	rep, err := storage.RepairFile(path, storage.FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("repair left damage: %v", rep.Damaged)
+	}
+	r, err := OpenPath(path, Options{})
+	if err != nil {
+		t.Fatalf("OpenPath after repair: %v", err)
+	}
+	defer r.Close()
+	if got := r.Len(); got == 0 || got >= total {
+		t.Fatalf("after quarantine Len = %d, want 0 < n < %d", got, total)
+	}
+	for _, id := range g.NodeIDs() {
+		rec, err := r.Find(id)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // quarantined with its page
+			}
+			t.Fatalf("Find(%d) after repair: %v", id, err)
+		}
+		if rec.ID != id {
+			t.Fatalf("Find(%d) returned %d after repair", id, rec.ID)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ccam/internal/graph"
+	"ccam/internal/metrics"
 	"ccam/internal/storage"
 )
 
@@ -165,4 +166,162 @@ func packGroups(t *testing.T, g *graph.Network) [][]graph.NodeID {
 		used += s
 	}
 	return append(groups, group)
+}
+
+// TestChecksumFailureSurfacesThroughFile wires a CheckedStore under the
+// file: on-disk corruption (injected straight into the inner store,
+// below the checksum layer) must surface from Find as a wrapped
+// storage.ErrChecksum — never as a silently wrong record — and must
+// increment ccam_storage_checksum_failures_total.
+func TestChecksumFailureSurfacesThroughFile(t *testing.T) {
+	g := testNetwork(t)
+	ms := storage.NewMemStore(1024 + storage.ChecksumTrailerLen)
+	cs, err := storage.NewCheckedStore(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	f, err := Create(Options{PageSize: cs.PageSize(), PoolPages: 2, Bounds: g.Bounds(),
+		Store: cs, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.BulkLoad(g, packGroups(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit of every data page, beneath the checksum
+	// layer: now every uncached Find must fail loudly.
+	raw := make([]byte, ms.PageSize())
+	for _, pid := range ms.PageIDs() {
+		if err := ms.ReadPage(pid, raw); err != nil {
+			t.Fatal(err)
+		}
+		raw[100] ^= 0x04
+		if err := ms.WritePage(pid, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var failures int
+	for _, id := range g.NodeIDs() {
+		rec, err := f.Find(id)
+		if err == nil {
+			t.Fatalf("Find(%d) returned record %d from a corrupted page", id, rec.ID)
+		}
+		if !errors.Is(err, storage.ErrChecksum) {
+			t.Fatalf("Find(%d) = %v, want wrapped storage.ErrChecksum", id, err)
+		}
+		failures++
+	}
+	if failures == 0 {
+		t.Fatal("corruption never surfaced")
+	}
+	if got := reg.Counter("ccam_storage_checksum_failures_total").Value(); got == 0 {
+		t.Fatal("ccam_storage_checksum_failures_total not incremented")
+	}
+}
+
+// TestFaultStoreSurfacesThroughFile re-runs the dying-device drill on
+// the shared storage.FaultStore harness instead of the local
+// failingStore: injected faults must surface as wrapped
+// storage.ErrFaultInjected from every operation, and the injection
+// counter metric must track them.
+func TestFaultStoreSurfacesThroughFile(t *testing.T) {
+	g := testNetwork(t)
+	for _, okOps := range []int{0, 1, 3, 10, 50} {
+		t.Run(fmt.Sprintf("okOps=%d", okOps), func(t *testing.T) {
+			fst := storage.NewFaultStore(storage.NewMemStore(1024), 7)
+			reg := metrics.NewRegistry()
+			f, err := Create(Options{PageSize: 1024, PoolPages: 4, Bounds: g.Bounds(),
+				Store: fst, Metrics: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.BulkLoad(g, packGroups(t, g)); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.DropCaches(); err != nil {
+				t.Fatal(err)
+			}
+			fst.FailAfter(storage.FaultRead, okOps)
+
+			surfaced := false
+			for _, id := range g.NodeIDs() {
+				rec, err := f.Find(id)
+				if err != nil {
+					if !errors.Is(err, storage.ErrFaultInjected) {
+						t.Fatalf("Find(%d) failed with foreign error: %v", id, err)
+					}
+					surfaced = true
+					break
+				}
+				if rec.ID != id {
+					t.Fatalf("Find(%d) returned %d under failure", id, rec.ID)
+				}
+			}
+			if !surfaced {
+				t.Fatal("injected fault never surfaced")
+			}
+			if fst.Injected() == 0 {
+				t.Fatal("FaultStore counted no injections")
+			}
+			if got := reg.Counter("ccam_storage_faults_injected_total").Value(); got != fst.Injected() {
+				t.Fatalf("fault metric = %d, want %d", got, fst.Injected())
+			}
+		})
+	}
+}
+
+// TestTornWriteDetectedAfterReload: a torn write during a mutation
+// leaves a half-updated page; after caches drop, reading it back
+// surfaces ErrChecksum instead of a half-old half-new record set.
+func TestTornWriteDetectedAfterReload(t *testing.T) {
+	g := testNetwork(t)
+	ms := storage.NewMemStore(1024 + storage.ChecksumTrailerLen)
+	fst := storage.NewFaultStore(ms, 2)
+	cs, err := storage.NewCheckedStore(fst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(Options{PageSize: cs.PageSize(), PoolPages: 4, Bounds: g.Bounds(), Store: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.BulkLoad(g, packGroups(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every write from here on tears; Flush after a mutation must fail.
+	fst.Inject(storage.Fault{Op: storage.FaultWrite, Page: storage.AnyPage,
+		Mode: storage.FaultTornWrite})
+	victim := g.NodeIDs()[0]
+	_, delErr := f.DeleteRecord(victim)
+	flushErr := f.Flush()
+	if delErr == nil && flushErr == nil {
+		t.Fatal("torn write never reported")
+	}
+	for _, err := range []error{delErr, flushErr} {
+		if err != nil && !errors.Is(err, storage.ErrFaultInjected) {
+			t.Fatalf("foreign error from torn write: %v", err)
+		}
+	}
+	fst.Clear()
+
+	// "Crash": abandon f (its buffer pool still holds the clean dirty
+	// page, so it must NOT get a chance to re-flush) and reopen cold
+	// from the store. The open scan reads every page and must trip the
+	// checksum on the torn one, never serve plausible garbage.
+	if _, err := OpenFromStore(cs, 4); !errors.Is(err, storage.ErrChecksum) {
+		t.Fatalf("OpenFromStore over torn page = %v, want wrapped storage.ErrChecksum", err)
+	}
 }

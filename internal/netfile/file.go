@@ -155,6 +155,15 @@ func (f *File) EnableMetrics(reg *metrics.Registry, tr *metrics.Tracer) {
 			WriteNanos: reg.Histogram("ccam_storage_write_ns"),
 		})
 	}
+	// Integrity counters: checksum verification failures of a checked
+	// store and injected faults of a fault-wrapped store, so
+	// corruption is observable — not just fatal.
+	if cs, ok := f.dataStore.(storage.ChecksumInstrumentable); ok {
+		cs.InstrumentChecksums(reg.Counter("ccam_storage_checksum_failures_total"))
+	}
+	if fst, ok := f.dataStore.(storage.FaultInstrumentable); ok {
+		fst.InstrumentFaults(reg.Counter("ccam_storage_faults_injected_total"))
+	}
 	f.pool.Instrument(buffer.PoolInstrumentation{
 		HitNanos:  reg.Histogram("ccam_buffer_hit_ns"),
 		MissNanos: reg.Histogram("ccam_buffer_miss_ns"),

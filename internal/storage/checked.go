@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"ccam/internal/metrics"
+)
+
+// Checksum trailer layout, in the last ChecksumTrailerLen bytes of
+// every physical page of a checked store:
+//
+//	[0:4) CRC32-C over the payload followed by the 4-byte page id
+//	[4:8) trailer magic (distinguishes written pages from fresh zeros)
+//
+// Folding the page id into the CRC makes a misdirected write — a
+// perfectly intact page image landing at the wrong offset — fail
+// verification too.
+const (
+	// ChecksumTrailerLen is the per-page overhead of a CheckedStore:
+	// the physical page is this much larger than the logical payload.
+	ChecksumTrailerLen = 8
+
+	checksumTrailerMagic uint32 = 0xC40C5EA1
+)
+
+// CheckedStore wraps a Store with per-page CRC32-C checksums. Every
+// WritePage appends a checksum trailer; every ReadPage verifies it and
+// fails with ErrChecksum (wrapped with the page id) on mismatch, so a
+// torn write, a flipped bit or a misdirected write surfaces as a typed
+// error instead of silently corrupt records. The logical page size is
+// the inner store's minus ChecksumTrailerLen.
+//
+// A page that was allocated but never written reads back as all zeros
+// (fresh pages carry no trailer); any other trailer-less image is
+// reported as corrupt.
+//
+// CheckedStore is stateless apart from scratch buffers, so it is safe
+// for concurrent use whenever the inner store is, and wrapping an
+// existing file on open needs no recovery pass.
+type CheckedStore struct {
+	inner    Store
+	pageSize int
+	scratch  sync.Pool
+	failures atomic.Pointer[metrics.Counter]
+}
+
+// NewCheckedStore wraps inner, whose page size must exceed the
+// checksum trailer by at least 64 bytes of payload.
+func NewCheckedStore(inner Store) (*CheckedStore, error) {
+	ps := inner.PageSize() - ChecksumTrailerLen
+	if ps < 56 {
+		return nil, fmt.Errorf("storage: inner page size %d too small for checksummed pages", inner.PageSize())
+	}
+	c := &CheckedStore{inner: inner, pageSize: ps}
+	c.scratch.New = func() any { return make([]byte, inner.PageSize()) }
+	return c, nil
+}
+
+// CreateCheckedFile creates (truncating) a checksummed page file at
+// path. The on-disk page size is pageSize; the logical payload per
+// page is pageSize-ChecksumTrailerLen. The header records
+// FlagCheckedPages so OpenPageFile re-wraps the store on open.
+func CreateCheckedFile(path string, pageSize int) (*CheckedStore, *FileStore, error) {
+	fs, err := createFileStore(path, pageSize, FlagCheckedPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs, err := NewCheckedStore(fs)
+	if err != nil {
+		fs.Close()
+		return nil, nil, err
+	}
+	return cs, fs, nil
+}
+
+// OpenPageFile opens a page file created by CreateFileStore or
+// CreateCheckedFile, consulting the header flags: a checked file comes
+// back wrapped in a CheckedStore, a plain file as the bare FileStore.
+// The returned Store is what callers should read and write through;
+// the *FileStore gives access to Sync and Close (closing either closes
+// the file once).
+func OpenPageFile(path string) (Store, *FileStore, error) {
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fs.Flags()&FlagCheckedPages == 0 {
+		return fs, fs, nil
+	}
+	cs, err := NewCheckedStore(fs)
+	if err != nil {
+		fs.Close()
+		return nil, nil, err
+	}
+	return cs, fs, nil
+}
+
+// Inner returns the wrapped store.
+func (c *CheckedStore) Inner() Store { return c.inner }
+
+// PageSize implements Store: the logical payload size per page.
+func (c *CheckedStore) PageSize() int { return c.pageSize }
+
+// InstrumentChecksums implements ChecksumInstrumentable: subsequent
+// verification failures increment counter (typically
+// ccam_storage_checksum_failures_total).
+func (c *CheckedStore) InstrumentChecksums(counter *metrics.Counter) {
+	c.failures.Store(counter)
+}
+
+// Instrument implements Instrumentable by delegating to the inner
+// store when it supports latency instrumentation.
+func (c *CheckedStore) Instrument(in IOInstrumentation) {
+	if i, ok := c.inner.(Instrumentable); ok {
+		i.Instrument(in)
+	}
+}
+
+// pageCRC computes the trailer checksum of a payload destined for page
+// id.
+func pageCRC(payload []byte, id PageID) uint32 {
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], uint32(id))
+	crc := crc32.Checksum(payload, fsCRCTable)
+	return crc32.Update(crc, fsCRCTable, idb[:])
+}
+
+// Allocate implements Store.
+func (c *CheckedStore) Allocate() (PageID, error) { return c.inner.Allocate() }
+
+// ReadPage implements Store: a physical read followed by checksum
+// verification. Mismatches return ErrChecksum wrapped with the page
+// id and increment the failure counter.
+func (c *CheckedStore) ReadPage(id PageID, buf []byte) error {
+	if len(buf) != c.pageSize {
+		return ErrSizeMismatch
+	}
+	raw := c.scratch.Get().([]byte)
+	defer c.scratch.Put(raw)
+	if err := c.inner.ReadPage(id, raw); err != nil {
+		return err
+	}
+	trailer := raw[c.pageSize:]
+	if binary.LittleEndian.Uint32(trailer[4:8]) != checksumTrailerMagic {
+		// No trailer: legitimate only for a never-written page, which
+		// the stores hand out zeroed.
+		for _, b := range raw {
+			if b != 0 {
+				c.failures.Load().Inc()
+				return fmt.Errorf("%w: page %d has no checksum trailer", ErrChecksum, id)
+			}
+		}
+		copy(buf, raw[:c.pageSize])
+		return nil
+	}
+	want := binary.LittleEndian.Uint32(trailer[0:4])
+	if got := pageCRC(raw[:c.pageSize], id); got != want {
+		c.failures.Load().Inc()
+		return fmt.Errorf("%w: page %d (stored %#x, computed %#x)", ErrChecksum, id, want, got)
+	}
+	copy(buf, raw[:c.pageSize])
+	return nil
+}
+
+// WritePage implements Store: the payload is written with its checksum
+// trailer in one physical page write.
+func (c *CheckedStore) WritePage(id PageID, buf []byte) error {
+	if len(buf) != c.pageSize {
+		return ErrSizeMismatch
+	}
+	raw := c.scratch.Get().([]byte)
+	defer c.scratch.Put(raw)
+	copy(raw, buf)
+	trailer := raw[c.pageSize:]
+	binary.LittleEndian.PutUint32(trailer[0:4], pageCRC(raw[:c.pageSize], id))
+	binary.LittleEndian.PutUint32(trailer[4:8], checksumTrailerMagic)
+	return c.inner.WritePage(id, raw)
+}
+
+// Free implements Store.
+func (c *CheckedStore) Free(id PageID) error { return c.inner.Free(id) }
+
+// NumPages implements Store.
+func (c *CheckedStore) NumPages() int { return c.inner.NumPages() }
+
+// PageIDs implements Store.
+func (c *CheckedStore) PageIDs() []PageID { return c.inner.PageIDs() }
+
+// Stats implements Store: physical transfers are counted by the inner
+// store.
+func (c *CheckedStore) Stats() Stats { return c.inner.Stats() }
+
+// ResetStats implements Store.
+func (c *CheckedStore) ResetStats() { c.inner.ResetStats() }
+
+// Close implements Store.
+func (c *CheckedStore) Close() error { return c.inner.Close() }
+
+var (
+	_ Store                  = (*CheckedStore)(nil)
+	_ ChecksumInstrumentable = (*CheckedStore)(nil)
+	_ Instrumentable         = (*CheckedStore)(nil)
+)

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -10,9 +11,21 @@ import (
 )
 
 // FileStore is an os.File-backed Store. Page 0 of the file is a
-// metadata page holding the page size, the allocation high-water mark
-// and the head of the free list; user pages start at file offset
-// pageSize. Freed pages are chained through their first 8 bytes.
+// metadata page holding a checksummed header (page size, allocation
+// high-water mark, free-list head, flags, and a monotonic generation);
+// user pages start at file offset pageSize. Freed pages are chained
+// through their first 8 bytes — a marker word plus the id of the next
+// free page — so the free list never outgrows the header no matter how
+// many pages are freed.
+//
+// Crash safety: the header is rewritten eagerly on every allocator
+// mutation (Allocate, Free), ordered so that a crash at any point
+// leaves the file structurally consistent — at worst one page is live
+// with stale contents, which the checksum layer or ccam-fsck flags.
+// Because the header carries a CRC32 over its fields, a torn header
+// write is detected (not silently misread) by OpenFileStore. Sync
+// forces everything to stable storage; between Syncs the usual
+// os-buffering caveats apply.
 //
 // FileStore exists so CCAM files can be durable; the experiments use
 // MemStore, and both implementations pass the same conformance tests.
@@ -24,26 +37,63 @@ import (
 type FileStore struct {
 	mu       sync.RWMutex
 	f        *os.File
+	path     string
 	pageSize int
 	next     PageID
-	free     []PageID
+	freeHead PageID
+	// freeNext caches the on-disk free chain (freed page -> next free
+	// page) so Allocate never reads the device to pop the list.
+	freeNext map[PageID]PageID
+	nfree    int
 	live     map[PageID]bool
+	flags    uint32
+	gen      uint64
 	stats    ioCounters
 	closed   bool
-	inst     atomic.Pointer[IOInstrumentation]
+	// closedIDs snapshots the live page ids at Close, so NumPages and
+	// PageIDs keep answering afterwards (the same snapshot semantics
+	// the Store interface documents).
+	closedIDs []PageID
+	inst      atomic.Pointer[IOInstrumentation]
 }
 
-// fileHeader layout within metadata page:
+// fileHeader layout within the metadata page (fsHeaderLen bytes):
 //
 //	[0:8)   magic
 //	[8:12)  page size
 //	[12:16) next page id (allocation high-water mark)
-//	[16:20) number of free pages n
-//	[20:20+4n) free page ids
-const fsMagic uint64 = 0xCCA4F11E00000001
+//	[16:20) number of free pages
+//	[20:24) free-list head page id (InvalidPageID when empty)
+//	[24:28) flags (FlagCheckedPages: pages carry checksum trailers)
+//	[28:36) generation (monotonic, bumped on every header write)
+//	[36:40) CRC32-C over bytes [0:36)
+//
+// Freed pages begin with an 8-byte chain entry:
+//
+//	[0:4) freedMagic
+//	[4:8) next free page id (InvalidPageID terminates the chain)
+const (
+	fsMagic     uint64 = 0xCCA4F11E00000002
+	fsHeaderLen        = 40
+	freedMagic  uint32 = 0xFEEEB10C
+)
+
+// File-format flags recorded in the header.
+const (
+	// FlagCheckedPages marks a file whose pages carry CRC32 trailers
+	// written by CheckedStore; OpenPageFile uses it to re-wrap the
+	// store on open.
+	FlagCheckedPages uint32 = 1 << 0
+)
+
+var fsCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // CreateFileStore creates (truncating) a page file at path.
 func CreateFileStore(path string, pageSize int) (*FileStore, error) {
+	return createFileStore(path, pageSize, 0)
+}
+
+func createFileStore(path string, pageSize int, flags uint32) (*FileStore, error) {
 	if pageSize < 64 {
 		return nil, fmt.Errorf("storage: page size %d too small for file store", pageSize)
 	}
@@ -51,7 +101,20 @@ func CreateFileStore(path string, pageSize int) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create file store: %w", err)
 	}
-	fs := &FileStore{f: f, pageSize: pageSize, live: make(map[PageID]bool)}
+	fs := &FileStore{
+		f:        f,
+		path:     path,
+		pageSize: pageSize,
+		freeHead: InvalidPageID,
+		freeNext: make(map[PageID]PageID),
+		live:     make(map[PageID]bool),
+		flags:    flags,
+	}
+	// Zero-fill the whole metadata page once, then lay the header in.
+	if _, err := f.WriteAt(make([]byte, pageSize), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: init metadata page: %w", err)
+	}
 	if err := fs.writeHeader(); err != nil {
 		f.Close()
 		return nil, err
@@ -60,41 +123,70 @@ func CreateFileStore(path string, pageSize int) (*FileStore, error) {
 }
 
 // OpenFileStore opens an existing page file created by CreateFileStore.
+// A header whose checksum does not match (e.g. a torn write) is
+// reported as ErrChecksum; a broken free-page chain as
+// ErrCorruptedPage. Both are repairable with ccam-fsck -repair.
 func OpenFileStore(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open file store: %w", err)
 	}
-	var hdr [20]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+	fs, err := loadFileStore(f, path)
+	if err != nil {
 		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// loadFileStore parses the header and walks the free chain of an open
+// page file.
+func loadFileStore(f *os.File, path string) (*FileStore, error) {
+	var hdr [fsHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("storage: read file store header: %w", err)
 	}
-	if binary.LittleEndian.Uint64(hdr[0:8]) != fsMagic {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s is not a page file", path)
+	ph, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
 	}
-	ps := int(binary.LittleEndian.Uint32(hdr[8:12]))
 	fs := &FileStore{
 		f:        f,
-		pageSize: ps,
-		next:     PageID(binary.LittleEndian.Uint32(hdr[12:16])),
+		path:     path,
+		pageSize: ph.pageSize,
+		next:     ph.next,
+		freeHead: ph.freeHead,
+		freeNext: make(map[PageID]PageID, ph.nfree),
 		live:     make(map[PageID]bool),
+		flags:    ph.flags,
+		gen:      ph.gen,
+		nfree:    ph.nfree,
 	}
-	nfree := int(binary.LittleEndian.Uint32(hdr[16:20]))
-	if nfree > 0 {
-		buf := make([]byte, 4*nfree)
-		if _, err := f.ReadAt(buf, 20); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("storage: read free list: %w", err)
+	// Walk the free chain: exactly nfree entries, each inside the
+	// allocated range, no cycles, terminated by InvalidPageID.
+	freed := make(map[PageID]bool, ph.nfree)
+	cur := fs.freeHead
+	for i := 0; i < ph.nfree; i++ {
+		if cur == InvalidPageID || cur >= fs.next || freed[cur] {
+			return nil, fmt.Errorf("storage: %s: free list broken at entry %d (page %d): %w",
+				path, i, cur, ErrCorruptedPage)
 		}
-		for i := 0; i < nfree; i++ {
-			fs.free = append(fs.free, PageID(binary.LittleEndian.Uint32(buf[4*i:])))
+		var entry [8]byte
+		if _, err := f.ReadAt(entry[:], fs.offset(cur)); err != nil {
+			return nil, fmt.Errorf("storage: read free chain entry of page %d: %w", cur, err)
 		}
+		marker, next, ok := parseFreedEntry(entry[:])
+		if !ok {
+			return nil, fmt.Errorf("storage: %s: page %d on free list lacks freed marker (%#x): %w",
+				path, cur, marker, ErrCorruptedPage)
+		}
+		freed[cur] = true
+		fs.freeNext[cur] = next
+		cur = next
 	}
-	freed := make(map[PageID]bool, len(fs.free))
-	for _, id := range fs.free {
-		freed[id] = true
+	if cur != InvalidPageID {
+		return nil, fmt.Errorf("storage: %s: free list longer than header count %d: %w",
+			path, ph.nfree, ErrCorruptedPage)
 	}
 	for id := PageID(0); id < fs.next; id++ {
 		if !freed[id] {
@@ -104,23 +196,69 @@ func OpenFileStore(path string) (*FileStore, error) {
 	return fs, nil
 }
 
-func (fs *FileStore) writeHeader() error {
-	// Header must fit in the metadata page.
-	need := 20 + 4*len(fs.free)
-	if need > fs.pageSize {
-		// Compact: drop excess free ids (they leak space in the file but
-		// keep the structure valid). In practice free lists stay small.
-		fs.free = fs.free[:(fs.pageSize-20)/4]
+// parsedHeader is the decoded file header.
+type parsedHeader struct {
+	pageSize int
+	next     PageID
+	nfree    int
+	freeHead PageID
+	flags    uint32
+	gen      uint64
+}
+
+// parseHeader decodes and validates a raw header image. Errors wrap
+// ErrChecksum (torn/corrupted header) or are plain format errors.
+func parseHeader(hdr []byte) (parsedHeader, error) {
+	var ph parsedHeader
+	if len(hdr) < fsHeaderLen {
+		return ph, fmt.Errorf("header too short (%d bytes)", len(hdr))
 	}
-	buf := make([]byte, fs.pageSize)
+	if binary.LittleEndian.Uint64(hdr[0:8]) != fsMagic {
+		return ph, fmt.Errorf("not a page file (or unsupported version)")
+	}
+	// Decode the fields before the CRC check: on a torn header the
+	// caller (fsck) still gets the best-effort geometry alongside the
+	// ErrChecksum, which is what makes the header repairable.
+	ph.pageSize = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	ph.next = PageID(binary.LittleEndian.Uint32(hdr[12:16]))
+	ph.nfree = int(binary.LittleEndian.Uint32(hdr[16:20]))
+	ph.freeHead = PageID(binary.LittleEndian.Uint32(hdr[20:24]))
+	ph.flags = binary.LittleEndian.Uint32(hdr[24:28])
+	ph.gen = binary.LittleEndian.Uint64(hdr[28:36])
+	want := binary.LittleEndian.Uint32(hdr[36:40])
+	if got := crc32.Checksum(hdr[0:36], fsCRCTable); got != want {
+		return ph, fmt.Errorf("header checksum mismatch (got %#x, want %#x): %w", got, want, ErrChecksum)
+	}
+	if ph.pageSize < 64 {
+		return ph, fmt.Errorf("implausible page size %d", ph.pageSize)
+	}
+	if ph.nfree > int(ph.next) {
+		return ph, fmt.Errorf("free count %d exceeds allocated pages %d: %w", ph.nfree, ph.next, ErrCorruptedPage)
+	}
+	return ph, nil
+}
+
+// parseFreedEntry decodes a freed page's 8-byte chain entry.
+func parseFreedEntry(b []byte) (marker uint32, next PageID, ok bool) {
+	marker = binary.LittleEndian.Uint32(b[0:4])
+	next = PageID(binary.LittleEndian.Uint32(b[4:8]))
+	return marker, next, marker == freedMagic
+}
+
+// writeHeader bumps the generation and rewrites the checksummed header
+// in place. Caller holds the exclusive latch.
+func (fs *FileStore) writeHeader() error {
+	fs.gen++
+	var buf [fsHeaderLen]byte
 	binary.LittleEndian.PutUint64(buf[0:8], fsMagic)
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(fs.pageSize))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(fs.next))
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(fs.free)))
-	for i, id := range fs.free {
-		binary.LittleEndian.PutUint32(buf[20+4*i:], uint32(id))
-	}
-	if _, err := fs.f.WriteAt(buf, 0); err != nil {
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(fs.nfree))
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(fs.freeHead))
+	binary.LittleEndian.PutUint32(buf[24:28], fs.flags)
+	binary.LittleEndian.PutUint64(buf[28:36], fs.gen)
+	binary.LittleEndian.PutUint32(buf[36:40], crc32.Checksum(buf[0:36], fsCRCTable))
+	if _, err := fs.f.WriteAt(buf[:], 0); err != nil {
 		return fmt.Errorf("storage: write file store header: %w", err)
 	}
 	return nil
@@ -133,7 +271,25 @@ func (fs *FileStore) offset(id PageID) int64 {
 // PageSize implements Store.
 func (fs *FileStore) PageSize() int { return fs.pageSize }
 
-// Allocate implements Store.
+// Flags returns the file-format flags recorded in the header.
+func (fs *FileStore) Flags() uint32 { return fs.flags }
+
+// Generation returns the header generation: it increases on every
+// allocator mutation and Sync, so it orders file versions.
+func (fs *FileStore) Generation() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.gen
+}
+
+// Path returns the file path backing the store.
+func (fs *FileStore) Path() string { return fs.path }
+
+// Allocate implements Store. Freed pages are recycled in LIFO order.
+// The header is updated (and the recycled page zeroed) before the id
+// is returned, so a crash mid-allocation never corrupts the free
+// chain: at worst the page is recorded live with stale bytes, which
+// the checksum layer detects.
 func (fs *FileStore) Allocate() (PageID, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -141,12 +297,23 @@ func (fs *FileStore) Allocate() (PageID, error) {
 		return InvalidPageID, ErrStoreClosed
 	}
 	var id PageID
-	if n := len(fs.free); n > 0 {
-		id = fs.free[n-1]
-		fs.free = fs.free[:n-1]
+	if fs.freeHead != InvalidPageID {
+		id = fs.freeHead
+		next, ok := fs.freeNext[id]
+		if !ok {
+			return InvalidPageID, fmt.Errorf("storage: free chain cache missing page %d: %w", id, ErrCorruptedPage)
+		}
+		fs.freeHead = next
+		delete(fs.freeNext, id)
+		fs.nfree--
 	} else {
 		id = fs.next
 		fs.next++
+	}
+	// Header first: once it no longer lists the page as free, the
+	// chain stays walkable even if the zeroing write below is lost.
+	if err := fs.writeHeader(); err != nil {
+		return InvalidPageID, err
 	}
 	zero := make([]byte, fs.pageSize)
 	if _, err := fs.f.WriteAt(zero, fs.offset(id)); err != nil {
@@ -222,7 +389,11 @@ func (fs *FileStore) writePage(id PageID, buf []byte) error {
 	return nil
 }
 
-// Free implements Store.
+// Free implements Store. The page is chained onto the durable free
+// list: its first 8 bytes on disk become the chain entry, then the
+// header is updated to point at it. A crash between the two writes
+// leaves the page live with a marker prefix — structurally consistent,
+// flagged by the checksum layer or ccam-fsck.
 func (fs *FileStore) Free(id PageID) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -232,23 +403,44 @@ func (fs *FileStore) Free(id PageID) error {
 	if !fs.live[id] {
 		return fmt.Errorf("%w: page %d", ErrPageNotFound, id)
 	}
+	var entry [8]byte
+	binary.LittleEndian.PutUint32(entry[0:4], freedMagic)
+	binary.LittleEndian.PutUint32(entry[4:8], uint32(fs.freeHead))
+	if _, err := fs.f.WriteAt(entry[:], fs.offset(id)); err != nil {
+		return fmt.Errorf("storage: chain freed page %d: %w", id, err)
+	}
+	fs.freeNext[id] = fs.freeHead
+	fs.freeHead = id
+	fs.nfree++
 	delete(fs.live, id)
-	fs.free = append(fs.free, id)
+	if err := fs.writeHeader(); err != nil {
+		return err
+	}
 	fs.stats.frees.Add(1)
 	return nil
 }
 
-// NumPages implements Store.
+// NumPages implements Store. After Close it returns the snapshot taken
+// at Close.
 func (fs *FileStore) NumPages() int {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
+	if fs.closed {
+		return len(fs.closedIDs)
+	}
 	return len(fs.live)
 }
 
-// PageIDs implements Store.
+// PageIDs implements Store. After Close it returns the snapshot taken
+// at Close.
 func (fs *FileStore) PageIDs() []PageID {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
+	if fs.closed {
+		out := make([]PageID, len(fs.closedIDs))
+		copy(out, fs.closedIDs)
+		return out
+	}
 	out := make([]PageID, 0, len(fs.live))
 	for id := range fs.live {
 		out = append(out, id)
@@ -280,13 +472,20 @@ func (fs *FileStore) Sync() error {
 	return nil
 }
 
-// Close implements Store. The header is flushed before closing.
+// Close implements Store. The header is flushed before closing, and
+// the live-page set is snapshotted so NumPages and PageIDs keep
+// answering afterwards.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.closed {
 		return nil
 	}
+	fs.closedIDs = fs.closedIDs[:0]
+	for id := range fs.live {
+		fs.closedIDs = append(fs.closedIDs, id)
+	}
+	sortIDs(fs.closedIDs)
 	fs.closed = true
 	if err := fs.writeHeader(); err != nil {
 		fs.f.Close()

@@ -51,18 +51,69 @@ func NewSlottedPage(buf []byte) *SlottedPage {
 }
 
 // LoadSlottedPage wraps buf, which must already contain a slotted page
-// image (e.g. read from a Store). It validates basic header sanity.
+// image (e.g. read from a Store). It validates header sanity: the
+// record heap must end at or before the start of the slot directory —
+// a heap that overlaps the directory would let corrupted slot entries
+// alias directory bytes as record contents.
 func LoadSlottedPage(buf []byte) (*SlottedPage, error) {
+	if len(buf) < slottedHeaderSize {
+		return nil, fmt.Errorf("%w: page image of %d bytes is smaller than the header", ErrCorruptedPage, len(buf))
+	}
 	p := &SlottedPage{buf: buf}
-	n := p.slotCount()
+	n := int(p.slotCount())
+	if n*slotSize > len(buf)-slottedHeaderSize {
+		return nil, fmt.Errorf("%w: implausible header (slots=%d size=%d)",
+			ErrCorruptedPage, n, len(buf))
+	}
 	// heapEnd is an absolute offset: it starts at the header size and
-	// may grow up to the page size (abutting the slot directory).
-	if int(p.heapEnd()) > len(buf) || int(p.heapEnd()) < slottedHeaderSize ||
-		int(n)*slotSize > len(buf)-slottedHeaderSize {
-		return nil, fmt.Errorf("%w: implausible header (slots=%d heapEnd=%d size=%d)",
-			ErrCorruptedPage, n, p.heapEnd(), len(buf))
+	// may grow up to the start of the slot directory, never into it.
+	dirStart := len(buf) - n*slotSize
+	if int(p.heapEnd()) < slottedHeaderSize || int(p.heapEnd()) > dirStart {
+		return nil, fmt.Errorf("%w: heap [%d:%d) overlaps slot directory at %d (slots=%d size=%d)",
+			ErrCorruptedPage, slottedHeaderSize, p.heapEnd(), dirStart, n, len(buf))
 	}
 	return p, nil
+}
+
+// Validate deep-checks every structural invariant of the page beyond
+// what LoadSlottedPage enforces: each live slot must point inside the
+// record heap, live records must not overlap one another, and the live
+// count in the header must match the directory. ccam-fsck runs it on
+// every data page.
+func (p *SlottedPage) Validate() error {
+	n := int(p.slotCount())
+	dirStart := len(p.buf) - n*slotSize
+	if n*slotSize > len(p.buf)-slottedHeaderSize {
+		return fmt.Errorf("%w: slot count %d does not fit a %d-byte page", ErrCorruptedPage, n, len(p.buf))
+	}
+	heapEnd := int(p.heapEnd())
+	if heapEnd < slottedHeaderSize || heapEnd > dirStart {
+		return fmt.Errorf("%w: heap end %d outside [%d:%d]", ErrCorruptedPage, heapEnd, slottedHeaderSize, dirStart)
+	}
+	type span struct{ slot, off, end int }
+	var live []span
+	for i := 0; i < n; i++ {
+		off, length := p.slot(i)
+		if off == tombstoneOffset {
+			continue
+		}
+		if off < slottedHeaderSize || off+length > heapEnd {
+			return fmt.Errorf("%w: slot %d record [%d:%d) outside heap [%d:%d)",
+				ErrCorruptedPage, i, off, off+length, slottedHeaderSize, heapEnd)
+		}
+		live = append(live, span{i, off, off + length})
+	}
+	if p.Len() != len(live) {
+		return fmt.Errorf("%w: header live count %d != %d live slots", ErrCorruptedPage, p.Len(), len(live))
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].off < live[b].off })
+	for i := 1; i < len(live); i++ {
+		if live[i].off < live[i-1].end {
+			return fmt.Errorf("%w: slots %d and %d overlap at offset %d",
+				ErrCorruptedPage, live[i-1].slot, live[i].slot, live[i].off)
+		}
+	}
+	return nil
 }
 
 // Reset reinitializes the page to empty.
@@ -202,8 +253,12 @@ func (p *SlottedPage) Get(slot int) ([]byte, error) {
 	if off == tombstoneOffset {
 		return nil, fmt.Errorf("%w: slot %d is deleted", ErrSlotNotFound, slot)
 	}
-	if off+length > len(p.buf) {
-		return nil, fmt.Errorf("%w: slot %d points outside page", ErrCorruptedPage, slot)
+	// A live record must lie entirely within the record heap: an
+	// offset below the header or an end past heapEnd would alias
+	// header or slot-directory bytes as record contents.
+	if off < slottedHeaderSize || off+length > int(p.heapEnd()) {
+		return nil, fmt.Errorf("%w: slot %d record [%d:%d) outside heap [%d:%d)",
+			ErrCorruptedPage, slot, off, off+length, slottedHeaderSize, p.heapEnd())
 	}
 	return p.buf[off : off+length], nil
 }

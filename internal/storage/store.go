@@ -32,6 +32,16 @@ var (
 	ErrPageFull      = errors.New("storage: page has insufficient free space")
 	ErrSlotNotFound  = errors.New("storage: slot not found")
 	ErrCorruptedPage = errors.New("storage: corrupted page")
+	// ErrChecksum reports a page (or file header) whose stored CRC32
+	// does not match its contents: a torn write, bit rot, or a
+	// misdirected write. It is wrapped with page context by
+	// CheckedStore and OpenFileStore and surfaced unchanged through
+	// the buffer pool, netfile and the ccam facade, so callers can
+	// errors.Is against it at any layer.
+	ErrChecksum = errors.New("storage: page checksum mismatch")
+	// ErrFaultInjected marks an error produced by a FaultStore rule
+	// rather than a real device.
+	ErrFaultInjected = errors.New("storage: injected fault")
 )
 
 // Stats counts physical page transfers. The paper's experiments report
@@ -108,6 +118,19 @@ type Instrumentable interface {
 	Instrument(in IOInstrumentation)
 }
 
+// ChecksumInstrumentable is the optional interface of stores that
+// count checksum verification failures (CheckedStore). The counter is
+// nil-safe, so wiring it unconditionally is fine.
+type ChecksumInstrumentable interface {
+	InstrumentChecksums(c *metrics.Counter)
+}
+
+// FaultInstrumentable is the optional interface of stores that count
+// injected faults (FaultStore).
+type FaultInstrumentable interface {
+	InstrumentFaults(c *metrics.Counter)
+}
+
 // Store is a page-granular storage device. Implementations must be safe
 // for concurrent use.
 type Store interface {
@@ -124,14 +147,21 @@ type Store interface {
 	// Free releases a page. Freed IDs may be recycled by Allocate.
 	Free(id PageID) error
 	// NumPages returns the number of live (allocated, unfreed) pages.
+	// After Close it returns the count snapshotted at Close — the same
+	// last-snapshot semantics IO()-after-Close follows at the facade —
+	// never the torn-down post-Close state.
 	NumPages() int
 	// PageIDs returns the ids of all live pages in ascending order.
+	// After Close it returns the snapshot taken at Close.
 	PageIDs() []PageID
-	// Stats returns a snapshot of the I/O counters.
+	// Stats returns a snapshot of the I/O counters. Counters survive
+	// Close, so Stats keeps answering on a closed store.
 	Stats() Stats
 	// ResetStats zeroes the I/O counters.
 	ResetStats()
-	// Close releases resources. Further operations fail.
+	// Close releases resources. Further page operations fail with
+	// ErrStoreClosed; NumPages, PageIDs and Stats keep answering from
+	// the Close-time snapshot.
 	Close() error
 }
 
@@ -152,6 +182,9 @@ type MemStore struct {
 	next     PageID
 	stats    ioCounters
 	closed   bool
+	// closedIDs snapshots the live page ids at Close, so NumPages and
+	// PageIDs keep answering afterwards (see the Store interface).
+	closedIDs []PageID
 	// readLatency is the simulated seek+transfer time charged per
 	// physical page read, in nanoseconds (atomic; 0 = instantaneous).
 	readLatency atomic.Int64
@@ -285,17 +318,27 @@ func (m *MemStore) Free(id PageID) error {
 	return nil
 }
 
-// NumPages implements Store.
+// NumPages implements Store. After Close it returns the snapshot taken
+// at Close.
 func (m *MemStore) NumPages() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		return len(m.closedIDs)
+	}
 	return len(m.pages)
 }
 
-// PageIDs implements Store.
+// PageIDs implements Store. After Close it returns the snapshot taken
+// at Close.
 func (m *MemStore) PageIDs() []PageID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		out := make([]PageID, len(m.closedIDs))
+		copy(out, m.closedIDs)
+		return out
+	}
 	out := make([]PageID, 0, len(m.pages))
 	for id := range m.pages {
 		out = append(out, id)
@@ -315,10 +358,19 @@ func (m *MemStore) Stats() Stats { return m.stats.snapshot() }
 // ResetStats implements Store.
 func (m *MemStore) ResetStats() { m.stats.reset() }
 
-// Close implements Store.
+// Close implements Store. The live-page set is snapshotted first, so
+// NumPages and PageIDs keep answering afterwards.
 func (m *MemStore) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closedIDs = m.closedIDs[:0]
+	for id := range m.pages {
+		m.closedIDs = append(m.closedIDs, id)
+	}
+	sortIDs(m.closedIDs)
 	m.closed = true
 	m.pages = nil
 	m.free = nil
