@@ -1,0 +1,73 @@
+package ccam
+
+import "context"
+
+// AccessMethod is the public contract shared by CCAM stores and the
+// paper's baseline file organizations: Open/OpenWith and NewBaseline
+// both hand back a *Store, so every access method exposes the same
+// query, batch-query, transactional-mutation and I/O-metering surface
+// and comparison code (cmd/ccam-bench, the paper's experiments) never
+// branches on the concrete method.
+//
+// The interface covers the shared core; *Store carries additional
+// CCAM-specific conveniences (graph searches, spatial queries,
+// metrics) beyond it.
+type AccessMethod interface {
+	// Name identifies the method in reports ("ccam-s", "dfs-am", ...).
+	Name() string
+	// Build creates the file contents from a network (the paper's
+	// Create()).
+	Build(g *Network) error
+
+	// Find retrieves the record of a node.
+	Find(id NodeID) (*Record, error)
+	// FindCtx is Find with cooperative cancellation.
+	FindCtx(ctx context.Context, id NodeID) (*Record, error)
+	// GetASuccessor retrieves the record of succ, a successor of cur.
+	GetASuccessor(cur *Record, succ NodeID) (*Record, error)
+	// GetSuccessors retrieves the records of all successors of a node.
+	GetSuccessors(id NodeID) ([]*Record, error)
+	// GetSuccessorsCtx is GetSuccessors with cooperative cancellation.
+	GetSuccessorsCtx(ctx context.Context, id NodeID) ([]*Record, error)
+	// EvaluateRoute computes the aggregate property of a route.
+	EvaluateRoute(route Route) (RouteAggregate, error)
+	// EvaluateRouteCtx is EvaluateRoute with cooperative cancellation.
+	EvaluateRouteCtx(ctx context.Context, route Route) (RouteAggregate, error)
+	// FindBatch retrieves many records through a bounded worker pool.
+	FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error)
+	// EvaluateRoutes evaluates many routes through a bounded worker
+	// pool.
+	EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggregate, error)
+
+	// Apply commits a batch of mutations atomically.
+	Apply(ctx context.Context, b *Batch) error
+	// Insert adds a new node with its edges (a one-op batch).
+	Insert(op *InsertOp, policy Policy) error
+	// Delete removes a node and its incident edges (a one-op batch).
+	Delete(id NodeID, policy Policy) error
+	// InsertEdge adds a directed edge (a one-op batch).
+	InsertEdge(from, to NodeID, cost float32, policy Policy) error
+	// DeleteEdge removes a directed edge (a one-op batch).
+	DeleteEdge(from, to NodeID, policy Policy) error
+	// SetEdgeCost updates an edge's cost in place (a one-op batch).
+	SetEdgeCost(from, to NodeID, cost float32) error
+
+	// Len returns the number of stored node records.
+	Len() int
+	// NumPages returns the number of data pages in the file.
+	NumPages() int
+	// Placement returns the node → data page assignment.
+	Placement() Placement
+	// IO returns the physical data-page I/O counters.
+	IO() IOStats
+	// ResetIO empties the buffer pool and zeroes the I/O counters.
+	ResetIO() error
+	// Flush persists buffered state (a checkpoint, with a WAL).
+	Flush() error
+	// Close releases the store.
+	Close() error
+}
+
+// Every store — CCAM and the baselines — implements the shared
+// contract.
+var _ AccessMethod = (*Store)(nil)

@@ -32,9 +32,12 @@
 package ccam
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -81,9 +84,6 @@ type (
 	// Policy selects the reorganization behaviour of maintenance
 	// operations (paper Table 1).
 	Policy = netfile.Policy
-	// AccessMethod is the contract shared by CCAM and the baseline
-	// file organizations.
-	AccessMethod = netfile.AccessMethod
 	// IOStats counts physical page transfers.
 	IOStats = storage.Stats
 	// Placement maps nodes to their data pages.
@@ -107,6 +107,19 @@ var (
 	ErrNotFound = netfile.ErrNotFound
 	// ErrDuplicate reports an insert of an existing node.
 	ErrDuplicate = netfile.ErrDuplicate
+	// ErrNodeExists is ErrDuplicate under its API-redesign name: an
+	// insert (direct or batched) of a node that is already stored.
+	// errors.Is matches either spelling.
+	ErrNodeExists = netfile.ErrDuplicate
+	// ErrClosed reports an operation on a store after Close, or on a
+	// store poisoned by a mid-batch apply failure (reopen it with
+	// OpenPath to recover the committed prefix).
+	ErrClosed = errors.New("ccam: store is closed")
+	// ErrEdgeExists reports an insert of an edge that is already
+	// stored.
+	ErrEdgeExists = graph.ErrEdgeExists
+	// ErrEdgeMissing reports an edge operation on an absent edge.
+	ErrEdgeMissing = graph.ErrEdgeMissing
 	// ErrNoPath reports an unreachable shortest-path destination.
 	ErrNoPath = query.ErrNoPath
 	// ErrChecksum reports a page (or file header) whose stored CRC32
@@ -180,7 +193,43 @@ type Options struct {
 	// recording per-span timing of index descent, buffer fetch and
 	// physical read. Independent of Metrics.
 	TraceCapacity int
+	// WAL enables the write-ahead log: every mutation (direct or
+	// batched through Apply) is logged before it touches a data page,
+	// and OpenPath replays the committed tail after a crash. Requires
+	// Path (the log lives in a <Path>.wal directory beside the data
+	// file).
+	WAL bool
+	// SyncPolicy selects when WAL commits are forced to stable
+	// storage: SyncGroupCommit (the default) coalesces concurrent
+	// committers into one fsync, SyncEveryCommit fsyncs per commit,
+	// SyncNone leaves durability to the OS. Ignored without WAL.
+	SyncPolicy SyncPolicy
+	// CheckpointBytes bounds the WAL between checkpoints: after a
+	// commit that leaves more than this many bytes in the log, the
+	// store checkpoints (flushes dirty pages and prunes the log)
+	// before acknowledging. Zero selects the 4 MiB default; the log
+	// always retains at least its last complete checkpoint.
+	CheckpointBytes int64
+	// applyFaultHook, when non-nil, is called before each batch op is
+	// applied (with the op's index) and aborts the batch when it
+	// returns an error. Test-only: it simulates a mid-batch failure.
+	applyFaultHook func(opIndex int) error
 }
+
+// SyncPolicy selects when WAL commits are forced to stable storage.
+type SyncPolicy = storage.SyncPolicy
+
+// WAL sync policies.
+const (
+	// SyncGroupCommit (the default) coalesces concurrent committers
+	// into one fsync.
+	SyncGroupCommit = storage.SyncGroupCommit
+	// SyncEveryCommit issues one fsync per commit, serialized.
+	SyncEveryCommit = storage.SyncEveryCommit
+	// SyncNone never fsyncs on commit; a crash can lose acknowledged
+	// commits (but never corrupts the store).
+	SyncNone = storage.SyncNone
+)
 
 // SpatialIndexKind selects the secondary spatial index structure.
 type SpatialIndexKind = netfile.SpatialKind
@@ -207,7 +256,7 @@ const (
 // worker pool (see Options.Parallelism).
 type Store struct {
 	mu          sync.RWMutex
-	m           *iccam.Method
+	m           netfile.AccessMethod
 	fs          *storage.FileStore
 	parallelism int
 	// obs is non-nil only when Options.Metrics was set; every operation
@@ -218,12 +267,35 @@ type Store struct {
 	// keeps answering on a closed store.
 	lastIO IOStats
 	closed bool
+	// wal is the store's write-ahead log (nil without Options.WAL).
+	// It is attached to the data file after Build/OpenPath, switching
+	// the buffer pool to no-steal and deferring page frees to the next
+	// checkpoint.
+	wal             *storage.WAL
+	checkpointBytes int64
+	// failed poisons the store after a mid-batch apply failure: the
+	// in-memory state no longer matches any committed WAL prefix, so
+	// every subsequent operation fails with this error until the store
+	// is reopened (recovery restores the last committed state).
+	failed error
+	// replayedBatches/replayedMutations count what OpenPath recovered
+	// from the WAL tail.
+	replayedBatches   int
+	replayedMutations int
+	applyFaultHook    func(int) error
 }
+
+// Name identifies the underlying access method ("ccam-s", "ccam-d",
+// "dfs-am", "bfs-am", "wdfs-am", "grid-file").
+func (s *Store) Name() string { return s.m.Name() }
 
 // Open creates a new, empty CCAM store.
 func Open(opts Options) (*Store, error) {
 	if opts.PageSize == 0 {
 		opts.PageSize = 2048
+	}
+	if opts.WAL && opts.Path == "" {
+		return nil, errors.New("ccam: Options.WAL requires Options.Path")
 	}
 	cfg := iccam.Config{
 		PageSize:    opts.PageSize,
@@ -239,7 +311,11 @@ func Open(opts Options) (*Store, error) {
 		// physical read, so on-disk corruption surfaces as ErrChecksum
 		// instead of silently wrong records. The on-disk page size is
 		// opts.PageSize; the trailer comes out of each page's payload.
-		cs, inner, err := storage.CreateCheckedFile(opts.Path, opts.PageSize)
+		var extra uint32
+		if opts.WAL {
+			extra = storage.FlagWAL
+		}
+		cs, inner, err := storage.CreateCheckedFileFlags(opts.Path, opts.PageSize, extra)
 		if err != nil {
 			return nil, err
 		}
@@ -259,21 +335,52 @@ func Open(opts Options) (*Store, error) {
 	}
 	m, err := iccam.New(cfg)
 	if err != nil {
+		if fs != nil {
+			fs.Close()
+		}
 		return nil, err
 	}
-	return &Store{m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer}, nil
+	s := &Store{
+		m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer,
+		checkpointBytes: opts.CheckpointBytes, applyFaultHook: opts.applyFaultHook,
+	}
+	if s.checkpointBytes == 0 {
+		s.checkpointBytes = defaultCheckpointBytes
+	}
+	if opts.WAL {
+		wal, err := storage.CreateWAL(storage.WALDir(opts.Path), opts.SyncPolicy, 0)
+		if err != nil {
+			fs.Close()
+			return nil, err
+		}
+		s.wal = wal
+		if obs != nil {
+			wal.Instrument(obs.walInstrumentation())
+		}
+	}
+	return s, nil
 }
 
 // Build loads network g into the store (the paper's Create()),
-// replacing any previous contents.
+// replacing any previous contents. With a WAL, the log is reset first
+// and a checkpoint is taken after the load: Build itself is not
+// crash-atomic (a crash mid-Build leaves neither the old nor the new
+// contents recoverable), but once Build returns the loaded network is
+// durable and every later Apply is.
 func (s *Store) Build(g *Network) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.failed != nil {
+		return s.failed
+	}
 	if s.obs == nil {
-		return s.m.Build(g)
+		return s.buildLocked(g)
 	}
 	start := time.Now()
-	err := s.m.Build(g)
+	err := s.buildLocked(g)
 	om := s.obs.build
 	om.count.Inc()
 	if err != nil {
@@ -286,7 +393,35 @@ func (s *Store) Build(g *Network) error {
 	return nil
 }
 
+func (s *Store) buildLocked(g *Network) error {
+	if s.wal != nil {
+		// Build replaces the file wholesale; stale log records must not
+		// be replayed over the new contents, so the log restarts empty
+		// (at a monotonically advanced LSN) before any page is written.
+		if err := s.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	if err := s.m.Build(g); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		f := s.m.File()
+		f.AttachWAL(s.wal, s.fs)
+		if err := f.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (s *Store) file() (*netfile.File, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.failed != nil {
+		return nil, s.failed
+	}
 	f := s.m.File()
 	if f == nil {
 		return nil, fmt.Errorf("ccam: store is empty; call Build first")
@@ -296,6 +431,12 @@ func (s *Store) file() (*netfile.File, error) {
 
 // Find retrieves the record of a node.
 func (s *Store) Find(id NodeID) (*Record, error) {
+	return s.FindCtx(context.Background(), id)
+}
+
+// FindCtx is Find with cooperative cancellation: the context is
+// checked before the record fetch.
+func (s *Store) FindCtx(ctx context.Context, id NodeID) (*Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -304,11 +445,11 @@ func (s *Store) Find(id NodeID) (*Record, error) {
 	}
 	if s.obs != nil {
 		sn := s.obs.beginOp(s.obs.find, f)
-		rec, err := f.Find(id)
+		rec, err := f.FindCtx(ctx, id)
 		sn.end(err)
 		return rec, err
 	}
-	return f.Find(id)
+	return f.FindCtx(ctx, id)
 }
 
 // GetASuccessor retrieves the record of succ, a successor of cur; the
@@ -331,6 +472,13 @@ func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
 
 // GetSuccessors retrieves the records of all successors of a node.
 func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
+	return s.GetSuccessorsCtx(context.Background(), id)
+}
+
+// GetSuccessorsCtx is GetSuccessors with cooperative cancellation:
+// the context is checked before the node's own fetch and before each
+// successor fetch.
+func (s *Store) GetSuccessorsCtx(ctx context.Context, id NodeID) ([]*Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -339,16 +487,23 @@ func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
 	}
 	if s.obs != nil {
 		sn := s.obs.beginOp(s.obs.getSuccessors, f)
-		recs, err := f.GetSuccessors(id)
+		recs, err := f.GetSuccessorsCtx(ctx, id)
 		sn.end(err)
 		return recs, err
 	}
-	return f.GetSuccessors(id)
+	return f.GetSuccessorsCtx(ctx, id)
 }
 
 // EvaluateRoute computes the aggregate property of a route as a Find
 // followed by Get-A-successor operations.
 func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
+	return s.EvaluateRouteCtx(context.Background(), route)
+}
+
+// EvaluateRouteCtx is EvaluateRoute with cooperative cancellation:
+// the context is checked before each hop's record fetch, so canceling
+// it stops a long route without paying for the remaining page reads.
+func (s *Store) EvaluateRouteCtx(ctx context.Context, route Route) (RouteAggregate, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -357,11 +512,11 @@ func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
 	}
 	if s.obs != nil {
 		sn := s.obs.beginOp(s.obs.evaluateRoute, f)
-		agg, err := f.EvaluateRoute(route)
+		agg, err := f.EvaluateRouteCtx(ctx, route)
 		sn.end(err)
 		return agg, err
 	}
-	return f.EvaluateRoute(route)
+	return f.EvaluateRouteCtx(ctx, route)
 }
 
 // RangeQuery returns all records whose positions lie inside rect, via
@@ -382,72 +537,28 @@ func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
 	return f.RangeQuery(rect)
 }
 
-// Insert adds a new node with its edges under the given policy.
+// Insert adds a new node with its edges under the given policy. It is
+// a one-op batch: with a WAL the insert is logged and group-committed
+// like any Apply.
 func (s *Store) Insert(op *InsertOp, policy Policy) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.obs == nil || s.m.File() == nil {
-		return s.m.Insert(op, policy)
-	}
-	sn := s.obs.beginOp(s.obs.insert, s.m.File())
-	err := s.m.Insert(op, policy)
-	sn.end(err)
-	if err == nil {
-		s.obs.noteInsert(op)
-		s.obs.refreshGauges(s.m.File())
-	}
-	return err
+	return s.Apply(context.Background(), new(Batch).Insert(op, policy))
 }
 
-// Delete removes a node and its incident edges under the given policy.
+// Delete removes a node and its incident edges under the given policy
+// (a one-op batch).
 func (s *Store) Delete(id NodeID, policy Policy) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.obs == nil || s.m.File() == nil {
-		return s.m.Delete(id, policy)
-	}
-	sn := s.obs.beginOp(s.obs.delete_, s.m.File())
-	err := s.m.Delete(id, policy)
-	sn.end(err)
-	if err == nil {
-		s.obs.noteDelete(id)
-		s.obs.refreshGauges(s.m.File())
-	}
-	return err
+	return s.Apply(context.Background(), new(Batch).Delete(id, policy))
 }
 
-// InsertEdge adds a directed edge between stored nodes.
+// InsertEdge adds a directed edge between stored nodes (a one-op
+// batch).
 func (s *Store) InsertEdge(from, to NodeID, cost float32, policy Policy) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.obs == nil || s.m.File() == nil {
-		return s.m.InsertEdge(from, to, cost, policy)
-	}
-	sn := s.obs.beginOp(s.obs.insertEdge, s.m.File())
-	err := s.m.InsertEdge(from, to, cost, policy)
-	sn.end(err)
-	if err == nil {
-		s.obs.addMirrorEdge(from, to, 1)
-		s.obs.refreshGauges(s.m.File())
-	}
-	return err
+	return s.Apply(context.Background(), new(Batch).InsertEdge(from, to, cost, policy))
 }
 
-// DeleteEdge removes a directed edge.
+// DeleteEdge removes a directed edge (a one-op batch).
 func (s *Store) DeleteEdge(from, to NodeID, policy Policy) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.obs == nil || s.m.File() == nil {
-		return s.m.DeleteEdge(from, to, policy)
-	}
-	sn := s.obs.beginOp(s.obs.deleteEdge, s.m.File())
-	err := s.m.DeleteEdge(from, to, policy)
-	sn.end(err)
-	if err == nil {
-		s.obs.removeMirrorEdge(from, to)
-		s.obs.refreshGauges(s.m.File())
-	}
-	return err
+	return s.Apply(context.Background(), new(Batch).DeleteEdge(from, to, policy))
 }
 
 // Has reports whether a node is stored. Unlike Contains, it surfaces
@@ -541,13 +652,18 @@ func (s *Store) ResetIO() error {
 }
 
 // Flush writes all buffered dirty pages to the underlying store, and
-// syncs the page file when the store is file-backed.
+// syncs the page file when the store is file-backed. With a WAL this
+// is a checkpoint: dirty pages are imaged into the log, flushed, and
+// the log is pruned to its last complete checkpoint.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f, err := s.file()
 	if err != nil {
 		return err
+	}
+	if f.WAL() != nil {
+		return f.Checkpoint()
 	}
 	if err := f.Flush(); err != nil {
 		return err
@@ -558,22 +674,47 @@ func (s *Store) Flush() error {
 	return nil
 }
 
-// Close flushes and releases the store. The I/O counters are
-// snapshotted first, so IO() keeps answering afterwards.
+// Checkpoint forces a WAL checkpoint: dirty pages are imaged into the
+// log, flushed to the data file, deferred page frees are executed and
+// the log is pruned. On a store without a WAL it is Flush.
+func (s *Store) Checkpoint() error { return s.Flush() }
+
+// Close flushes (checkpoints, with a WAL) and releases the store. The
+// I/O counters are snapshotted first, so IO() keeps answering
+// afterwards. A store poisoned by a mid-batch apply failure closes
+// without flushing: its memory state is not trustworthy, and the next
+// OpenPath recovers the last committed state from the log.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
 	if f := s.m.File(); f != nil {
-		if err := f.Flush(); err != nil {
-			return err
+		if s.failed == nil {
+			if f.WAL() != nil {
+				if err := f.Checkpoint(); err != nil {
+					return err
+				}
+			} else if err := f.Flush(); err != nil {
+				return err
+			}
 		}
 		s.lastIO = f.DataIO()
 	}
 	s.closed = true
-	if s.fs != nil {
-		return s.fs.Close()
+	var firstErr error
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	if s.fs != nil {
+		if err := s.fs.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // BaselineKind names a comparison access method from the paper's
@@ -592,26 +733,38 @@ const (
 	GridFile BaselineKind = "grid-file"
 )
 
-// NewBaseline constructs one of the paper's comparison access methods.
-// The returned AccessMethod shares CCAM's file machinery (Find,
-// Get-A-successor, Get-successors and route evaluation through its
-// File()), differing in placement and maintenance.
-func NewBaseline(kind BaselineKind, opts Options) (AccessMethod, error) {
+// NewBaseline constructs one of the paper's comparison access methods
+// behind the same Store facade as CCAM itself, so baselines and CCAM
+// share one API surface — queries, batch queries, transactional Apply,
+// IO() — and benchmark code needs no per-method branching. Baselines
+// do not support a WAL.
+func NewBaseline(kind BaselineKind, opts Options) (*Store, error) {
 	if opts.PageSize == 0 {
 		opts.PageSize = 2048
 	}
+	if opts.WAL {
+		return nil, fmt.Errorf("ccam: baseline %q does not support a WAL", kind)
+	}
+	var (
+		m   netfile.AccessMethod
+		err error
+	)
 	switch kind {
 	case DFSAM:
-		return topo.New(topo.Config{Kind: topo.DFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
+		m, err = topo.New(topo.Config{Kind: topo.DFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
 	case BFSAM:
-		return topo.New(topo.Config{Kind: topo.BFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
+		m, err = topo.New(topo.Config{Kind: topo.BFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
 	case WDFSAM:
-		return topo.New(topo.Config{Kind: topo.WDFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
+		m, err = topo.New(topo.Config{Kind: topo.WDFS, PageSize: opts.PageSize, PoolPages: opts.PoolPages, Seed: opts.Seed})
 	case GridFile:
-		return gridfile.New(gridfile.Config{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+		m, err = gridfile.New(gridfile.Config{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
 	default:
 		return nil, fmt.Errorf("ccam: unknown baseline %q", kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return &Store{m: m, parallelism: opts.Parallelism}, nil
 }
 
 // RoadMapOpts configures the synthetic road-network generator.
@@ -644,25 +797,13 @@ func ApplyRouteWeights(g *Network, routes []Route) (int, error) {
 // compile-time interface checks for the facade's building blocks
 var (
 	_ partition.Bipartitioner = (*partition.RatioCut)(nil)
-	_ AccessMethod            = (*iccam.Method)(nil)
+	_ netfile.AccessMethod    = (*iccam.Method)(nil)
 )
 
 // SetEdgeCost updates the stored cost (e.g. current travel time) of a
-// directed edge in place.
+// directed edge in place (a one-op batch).
 func (s *Store) SetEdgeCost(from, to NodeID, cost float32) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	f, err := s.file()
-	if err != nil {
-		return err
-	}
-	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.setEdgeCost, f)
-		err := f.SetEdgeCost(from, to, cost)
-		sn.end(err)
-		return err
-	}
-	return f.SetEdgeCost(from, to, cost)
+	return s.Apply(context.Background(), new(Batch).SetEdgeCost(from, to, cost))
 }
 
 // Nearest returns the k stored records closest to p by Euclidean
@@ -776,11 +917,46 @@ func (s *Store) LocationAllocation(facilities []NodeID) ([]Allocation, float64, 
 // list or corrupted page fails the open with a wrapped ErrChecksum or
 // ErrCorruptedPage; ccam-fsck -repair quarantines the damage so the
 // surviving records open.
+//
+// A store created with Options.WAL recovers here: the data file is
+// first restored to its last complete checkpoint image from the log
+// (every page write between checkpoints is provisional under the
+// no-steal protocol, so the restore discards only uncommitted noise),
+// then every batch whose commit record made it to the log is replayed
+// in order. Any crash point therefore recovers to exactly the
+// committed prefix — no lost and no phantom mutations. The WAL is
+// detected from the data file's header flag (or the <path>.wal
+// directory); Options.WAL also force-enables it on a store created
+// without one.
 func OpenPath(path string, opts Options) (*Store, error) {
+	walDir := storage.WALDir(path)
+	var walRecs []storage.WALRecord
+	var ck *storage.WALCheckpoint
+	haveWALDir := false
+	if _, err := os.Stat(walDir); err == nil {
+		haveWALDir = true
+		recs, _, err := storage.ScanWALDir(walDir)
+		if err != nil {
+			return nil, fmt.Errorf("ccam: scan wal: %w", err)
+		}
+		walRecs = recs
+		ck, err = storage.LastCheckpoint(recs)
+		if err != nil {
+			return nil, fmt.Errorf("ccam: wal checkpoint: %w", err)
+		}
+		if ck != nil {
+			// Restore-always: rewrite the checkpointed page images, free
+			// list and header over whatever partial flush a crash left.
+			if err := storage.RecoverFile(path, ck); err != nil {
+				return nil, fmt.Errorf("ccam: recover %s: %w", path, err)
+			}
+		}
+	}
 	st, fs, err := storage.OpenPageFile(path)
 	if err != nil {
 		return nil, err
 	}
+	wantWAL := opts.WAL || haveWALDir || fs.Flags()&storage.FlagWAL != 0
 	f, err := netfile.OpenFromStore(st, opts.PoolPages)
 	if err != nil {
 		fs.Close()
@@ -801,6 +977,41 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		fs.Close()
 		return nil, err
 	}
+	var wal *storage.WAL
+	replayedBatches, replayedMutations := 0, 0
+	if wantWAL {
+		// Replay the committed tail before the WAL is attached, so the
+		// re-executed mutations are not logged again.
+		after := uint64(0)
+		if ck != nil {
+			after = ck.EndLSN
+		}
+		replayedBatches, replayedMutations, err = replayWAL(m, f, walRecs, after)
+		if err != nil {
+			fs.Close()
+			return nil, fmt.Errorf("ccam: wal replay: %w", err)
+		}
+		wal, err = storage.OpenWAL(walDir, opts.SyncPolicy, 0)
+		if err != nil {
+			fs.Close()
+			return nil, err
+		}
+		if fs.Flags()&storage.FlagWAL == 0 {
+			if err := fs.SetFlag(storage.FlagWAL); err != nil {
+				wal.Close()
+				fs.Close()
+				return nil, err
+			}
+		}
+		f.AttachWAL(wal, fs)
+		// Converge: make the replayed state the new checkpoint and prune
+		// the log, so the next crash recovers without re-replaying.
+		if err := f.Checkpoint(); err != nil {
+			wal.Close()
+			fs.Close()
+			return nil, err
+		}
+	}
 	var obs *observability
 	var tracer *metrics.Tracer
 	if opts.TraceCapacity > 0 {
@@ -808,6 +1019,11 @@ func OpenPath(path string, opts Options) (*Store, error) {
 	}
 	if opts.Metrics {
 		obs = newObservability(metrics.NewRegistry(), tracer)
+		if wal != nil {
+			wal.Instrument(obs.walInstrumentation())
+			obs.reg.Counter("ccam_wal_replayed_batches_total").Add(int64(replayedBatches))
+			obs.reg.Counter("ccam_wal_replayed_mutations_total").Add(int64(replayedMutations))
+		}
 	}
 	if obs != nil || tracer != nil {
 		var reg *metrics.Registry
@@ -827,12 +1043,20 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		}
 		obs.mirrorFromRecords(recs)
 		obs.refreshGauges(f)
-		if err := f.ResetIO(); err != nil {
-			fs.Close()
-			return nil, err
-		}
 	}
-	return &Store{m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer}, nil
+	if err := f.ResetIO(); err != nil {
+		fs.Close()
+		return nil, err
+	}
+	s := &Store{
+		m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer,
+		wal: wal, checkpointBytes: opts.CheckpointBytes, applyFaultHook: opts.applyFaultHook,
+		replayedBatches: replayedBatches, replayedMutations: replayedMutations,
+	}
+	if s.checkpointBytes == 0 {
+		s.checkpointBytes = defaultCheckpointBytes
+	}
+	return s, nil
 }
 
 // RouteUnitAggregate is the result of an aggregate query over a

@@ -185,9 +185,16 @@ func TestBaselines(t *testing.T) {
 			t.Fatalf("build %s: %v", kind, err)
 		}
 		id := g.NodeIDs()[0]
-		rec, err := m.File().Find(id)
+		rec, err := m.Find(id)
 		if err != nil || rec.ID != id {
 			t.Fatalf("%s Find = %v, %v", kind, rec, err)
+		}
+		if io := m.IO(); io.Reads+io.Writes == 0 {
+			t.Fatalf("%s IO() reports no traffic after Build", kind)
+		}
+		var am AccessMethod = m
+		if am.Name() == "" {
+			t.Fatalf("%s has no name", kind)
 		}
 	}
 	if _, err := NewBaseline("nope", Options{}); err == nil {

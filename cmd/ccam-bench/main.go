@@ -13,6 +13,7 @@
 //	ccam-bench -exp ablation-buffer
 //	ccam-bench -exp ablation-scale
 //	ccam-bench -exp throughput -parallel 8
+//	ccam-bench -exp mutation -parallel 8
 //	ccam-bench -exp metrics
 //	ccam-bench -exp metrics -http :8080
 //
@@ -21,7 +22,10 @@
 // ~3057 edges). The throughput experiment sweeps the batch-query
 // worker pool up to -parallel workers against a simulated disk and is
 // not part of -exp all, because it reports wall-clock scaling rather
-// than the paper's page-access counts. The metrics experiment drives a
+// than the paper's page-access counts. The mutation experiment (also
+// excluded from all) sweeps concurrent writers committing one-op
+// batches against the file-backed WAL store under each sync policy,
+// showing group commit's fsync coalescing. The metrics experiment drives a
 // mixed workload through an instrumented store and prints the
 // per-operation registry view (latency quantiles, pages per operation
 // by class, buffer hit rate, CRR/WCRR gauges); with -http it then
@@ -40,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, metrics (the last two are not part of all: they measure wall-clock, not page counts)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics (the last three are not part of all: they measure wall-clock, not page counts)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
@@ -185,6 +189,19 @@ func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr stri
 	if exp == "throughput" {
 		if err := runThroughput(w, g, throughputConfig{
 			MaxWorkers: parallel,
+			Seed:       setup.Seed,
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ran = true
+	}
+	// The mutation experiment measures wall-clock durable-commit
+	// throughput (fsync-bound by design), so it too runs only when
+	// asked for by name.
+	if exp == "mutation" {
+		if err := runMutation(w, g, mutationConfig{
+			MaxWriters: parallel,
 			Seed:       setup.Seed,
 		}); err != nil {
 			return err

@@ -87,6 +87,27 @@ func TestRunMetricsExperiment(t *testing.T) {
 	}
 }
 
+func TestRunMutationExperiment(t *testing.T) {
+	// A tiny sweep keeps the fsync count low; the point here is the
+	// plumbing (WAL store, Apply path, metrics), not the speedup.
+	var buf bytes.Buffer
+	g, err := tinySetup().Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mutationConfig{MaxWriters: 2, OpsPerWriter: 8, Seed: 3}
+	if err := runMutation(&buf, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Durable mutation throughput") {
+		t.Fatalf("missing marker:\n%s", out)
+	}
+	if !strings.Contains(out, "writers") || !strings.Contains(out, "fsyncs") {
+		t.Fatalf("missing sweep table:\n%s", out)
+	}
+}
+
 func TestRunThroughputExperiment(t *testing.T) {
 	// Tiny batches keep the simulated-disk sleeps short; the point here
 	// is the plumbing, not the speedup numbers.

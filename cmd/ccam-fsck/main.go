@@ -9,15 +9,25 @@
 // quarantined onto the free list so ccam.OpenPath opens the surviving
 // records instead of failing the whole file.
 //
+// WAL-backed files (Options.WAL) are checked end to end: the sibling
+// <file>.wal directory's segments are scanned for structural damage,
+// the last complete checkpoint is located, and the committed batches a
+// reopen would replay are counted. A torn log tail is reported as the
+// (benign) crash signature it is, not as damage; a header that flags a
+// WAL whose directory is missing is damage — the committed tail is
+// gone.
+//
 // Usage:
 //
-//	ccam-fsck file.ccam              # verify, report damage
+//	ccam-fsck file.ccam              # verify file + WAL, report damage
 //	ccam-fsck -repair file.ccam      # verify, quarantine damage, re-verify
 //	ccam-fsck -flip 3:17 file.ccam   # test helper: flip bit 17 of page 3
 //	ccam-fsck -selftest              # end-to-end smoke test (used by CI)
+//	ccam-fsck -drill -seed 11        # WAL crash drill: crash at every log
+//	                                 # record boundary, verify recovery
 //
-// Exit status: 0 clean, 1 damage found (or left), 2 usage or I/O
-// error.
+// Exit status: 0 clean, 1 damage found (or left) or drill failure, 2
+// usage or I/O error.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"ccam"
 	"ccam/internal/netfile"
 	"ccam/internal/storage"
+	"ccam/internal/waldrill"
 )
 
 func main() {
@@ -43,6 +54,9 @@ func run(args []string, out, errw io.Writer) int {
 	repair := fs.Bool("repair", false, "quarantine damaged pages so the file opens cleanly")
 	flip := fs.String("flip", "", "test helper: flip one bit, as page:bit (e.g. 3:17), then exit")
 	selftest := fs.Bool("selftest", false, "run an end-to-end create/corrupt/detect/repair cycle in a temp dir")
+	drill := fs.Bool("drill", false, "run the WAL crash drill in a temp dir: crash at every log record boundary (and torn mid-record), verify exact recovery")
+	seed := fs.Int64("seed", 11, "with -drill: seed for the road map and mutation stream")
+	ops := fs.Int("ops", 60, "with -drill: minimum mutation ops in the drilled batch stream")
 	quiet := fs.Bool("q", false, "print only the verdict line")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,10 +71,15 @@ func run(args []string, out, errw io.Writer) int {
 		return 0
 	}
 
+	if *drill {
+		return runDrill(out, errw, *seed, *ops, *quiet)
+	}
+
 	if fs.NArg() != 1 {
 		fmt.Fprintln(errw, "usage: ccam-fsck [-repair] [-q] file.ccam")
 		fmt.Fprintln(errw, "       ccam-fsck -flip page:bit file.ccam")
 		fmt.Fprintln(errw, "       ccam-fsck -selftest")
+		fmt.Fprintln(errw, "       ccam-fsck -drill [-seed n] [-ops n]")
 		return 2
 	}
 	path := fs.Arg(0)
@@ -92,11 +111,21 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	printReport(out, rep, *quiet)
 
+	// WAL pass: scan the sibling log directory for structural damage
+	// and report what a reopen would replay. Independent of the data
+	// file's physical state — a damaged file with a healthy log is
+	// recoverable, and vice versa is worth shouting about.
+	walProblems, werr := checkWAL(path, rep.WAL, out, *quiet)
+	if werr != nil {
+		fmt.Fprintln(errw, "ccam-fsck:", werr)
+		return 2
+	}
+
 	// Logical pass: records must decode and each node id must be
 	// stored exactly once (the invariant the rebuilt B+-tree node
 	// index relies on). Only meaningful once the physical layer is
 	// clean.
-	clean := rep.OK()
+	clean := rep.OK() && walProblems == 0
 	if clean {
 		dups, derr := checkRecordAgreement(path, out, *quiet)
 		if derr != nil {
@@ -136,6 +165,78 @@ func printReport(out io.Writer, rep *storage.FsckReport, quiet bool) {
 	for _, d := range rep.Damaged {
 		fmt.Fprintf(out, "damaged: %s\n", d)
 	}
+}
+
+// checkWAL inspects the data file's sibling WAL directory and returns
+// the number of problems found (0 when the log is healthy or there is
+// legitimately no log). hdrWAL reports whether the data file's header
+// carries FlagWAL.
+func checkWAL(path string, hdrWAL bool, out io.Writer, quiet bool) (problems int, err error) {
+	dir := storage.WALDir(path)
+	if _, statErr := os.Stat(dir); statErr != nil {
+		if !os.IsNotExist(statErr) {
+			return 0, statErr
+		}
+		if hdrWAL {
+			fmt.Fprintf(out, "wal: header flags a WAL but %s is missing — the committed tail is unrecoverable\n", dir)
+			return 1, nil
+		}
+		return 0, nil
+	}
+	rep, err := storage.CheckWALDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	if !quiet {
+		fmt.Fprintf(out, "wal: %d segments, %d records, last lsn %d\n",
+			rep.Segments, rep.Records, rep.LastLSN)
+		if rep.CheckpointLSN != 0 {
+			fmt.Fprintf(out, "wal: last complete checkpoint at lsn %d, %d committed batches to replay\n",
+				rep.CheckpointLSN, rep.Committed)
+		} else {
+			fmt.Fprintf(out, "wal: no complete checkpoint, %d committed batches to replay\n", rep.Committed)
+		}
+	}
+	if rep.Torn {
+		// The normal signature of a crash: the next open truncates it.
+		fmt.Fprintln(out, "wal: torn tail (benign; truncated on next open)")
+	}
+	if !hdrWAL {
+		fmt.Fprintf(out, "wal: %s exists but the data file header does not flag a WAL\n", dir)
+		problems++
+	}
+	if rep.Err != nil {
+		fmt.Fprintf(out, "wal: STRUCTURAL DAMAGE: %v\n", rep.Err)
+		problems++
+	}
+	return problems, nil
+}
+
+// runDrill executes the WAL crash drill (internal/waldrill) in a temp
+// dir: a seeded batch stream, a simulated crash at every log record
+// boundary plus torn mid-record cuts, and recovery verified against
+// the exact committed prefix at each.
+func runDrill(out, errw io.Writer, seed int64, ops int, quiet bool) int {
+	dir, err := os.MkdirTemp("", "ccam-waldrill")
+	if err != nil {
+		fmt.Fprintln(errw, "ccam-fsck:", err)
+		return 2
+	}
+	defer os.RemoveAll(dir)
+	cfg := waldrill.Config{Seed: seed, Ops: ops, Torn: true}
+	if !quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		}
+	}
+	res, err := waldrill.Run(dir, cfg)
+	if err != nil {
+		fmt.Fprintln(errw, "ccam-fsck: drill FAILED:", err)
+		return 1
+	}
+	fmt.Fprintf(out, "drill PASS: %d ops in %d batches, %d log records, %d crash points recovered exactly\n",
+		res.Ops, res.Batches, res.Records, res.CrashPoints)
+	return 0
 }
 
 // checkRecordAgreement scans every record of a physically clean file

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"ccam"
+	"ccam/internal/storage"
 )
 
 // buildTestFile creates a small file-backed store and returns its path.
@@ -107,6 +109,98 @@ func TestRunUsageErrors(t *testing.T) {
 		if code, _ := fsck(t, args...); code != 2 {
 			t.Fatalf("run(%v) exit = %d, want 2", args, code)
 		}
+	}
+}
+
+// buildWALTestFile creates a WAL-backed store, logs a mutation, closes
+// cleanly (checkpointed, pruned log) and returns the data file path.
+func buildWALTestFile(t *testing.T) string {
+	t.Helper()
+	opts := ccam.MinneapolisLikeOpts()
+	opts.Rows, opts.Cols = 8, 8
+	g, err := ccam.RoadMap(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.ccam")
+	s, err := ccam.Open(ccam.Options{PageSize: 1024, Path: path, Seed: 11, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(g); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	e := g.Edges()[0]
+	if err := s.SetEdgeCost(e.From, e.To, 42); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWALAware(t *testing.T) {
+	path := buildWALTestFile(t)
+	code, out := fsck(t, path)
+	if code != 0 {
+		t.Fatalf("clean WAL-backed file: exit %d\n%s", code, out)
+	}
+	for _, want := range []string{"wal:", "segments", "checkpoint", "clean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Removing the log from under a WAL-flagged file is damage.
+	if err := os.RemoveAll(storage.WALDir(path)); err != nil {
+		t.Fatal(err)
+	}
+	code, out = fsck(t, path)
+	if code != 1 {
+		t.Fatalf("missing WAL dir: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "missing") {
+		t.Fatalf("missing-log damage not reported:\n%s", out)
+	}
+}
+
+func TestRunWALDirWithoutFlag(t *testing.T) {
+	// A WAL directory beside a non-WAL file is flagged: its commits
+	// would never be replayed.
+	path := buildTestFile(t)
+	dir := storage.WALDir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.CreateWAL(dir, storage.SyncEveryCommit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(storage.WALRecBegin, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, out := fsck(t, path)
+	if code != 1 {
+		t.Fatalf("unflagged WAL dir: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "does not flag a WAL") {
+		t.Fatalf("mismatch not reported:\n%s", out)
+	}
+}
+
+func TestRunDrill(t *testing.T) {
+	code, out := fsck(t, "-drill", "-seed", "5", "-ops", "8", "-q")
+	if code != 0 {
+		t.Fatalf("drill: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "drill PASS") {
+		t.Fatalf("drill output:\n%s", out)
 	}
 }
 

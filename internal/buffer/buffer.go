@@ -132,13 +132,23 @@ type frame struct {
 type Pool struct {
 	mu    sync.RWMutex
 	store storage.Store
-	// frames is allocated once and never resized, so &frames[i] stays
-	// valid across latch releases.
-	frames []frame
-	table  map[storage.PageID]int // page -> frame index
-	clock  atomic.Int64           // logical time for LRU stamps
-	stats  poolCounters
-	closed bool
+	// frames holds pointers so overflow frames can be appended under
+	// no-steal without invalidating frame references held across latch
+	// releases.
+	frames   []*frame
+	capacity int                    // configured frame count; len(frames) may exceed it under no-steal
+	table    map[storage.PageID]int // page -> frame index
+	clock    atomic.Int64           // logical time for LRU stamps
+	stats    poolCounters
+	closed   bool
+	// noSteal forbids evicting dirty frames: a dirty page may only
+	// reach the store through an explicit flush (checkpoint), never as
+	// a side effect of eviction. Overflow frames absorb the pressure
+	// until the next FlushAll shrinks the pool back to capacity.
+	noSteal bool
+	// flushGate, when set, runs before any dirty page is written to
+	// the store — the WAL-before-data hook (it syncs the log).
+	flushGate func() error
 	// inst holds the optional latency instrumentation; an atomic
 	// pointer so enabling it never races with in-flight fetches.
 	inst atomic.Pointer[PoolInstrumentation]
@@ -162,18 +172,79 @@ func NewPool(store storage.Store, capacity int) *Pool {
 		panic(fmt.Sprintf("buffer: invalid pool capacity %d", capacity))
 	}
 	p := &Pool{
-		store:  store,
-		table:  make(map[storage.PageID]int, capacity),
-		frames: make([]frame, capacity),
+		store:    store,
+		table:    make(map[storage.PageID]int, capacity),
+		frames:   make([]*frame, capacity),
+		capacity: capacity,
 	}
 	for i := range p.frames {
-		p.frames[i].id = storage.InvalidPageID
+		p.frames[i] = &frame{id: storage.InvalidPageID}
 	}
 	return p
 }
 
-// Capacity returns the number of frames.
-func (p *Pool) Capacity() int { return len(p.frames) }
+// Capacity returns the configured number of frames. Under no-steal the
+// pool may temporarily hold more (see SetNoSteal).
+func (p *Pool) Capacity() int { return p.capacity }
+
+// SetNoSteal switches the eviction policy: when on, dirty frames are
+// never evicted — the pool grows overflow frames instead — so the only
+// writes reaching the store are explicit flushes. The WAL recovery
+// protocol depends on this: every store write between checkpoints is
+// then allocator noise recovery can discard. Call during setup, before
+// concurrent use.
+func (p *Pool) SetNoSteal(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noSteal = on
+}
+
+// SetFlushGate installs a hook that runs before any dirty page is
+// written to the store — the WAL-before-data rule (the hook syncs the
+// log up to the page's latest mutation). Call during setup, before
+// concurrent use.
+func (p *Pool) SetFlushGate(gate func() error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushGate = gate
+}
+
+// DirtyPage is a checkpoint copy of one dirty buffered page.
+type DirtyPage struct {
+	ID   storage.PageID
+	Data []byte
+}
+
+// DirtySnapshot copies every dirty frame's image. The caller must
+// ensure no mutator is concurrently writing frames (the access-method
+// exclusive lock above the pool does this during checkpoints).
+func (p *Pool) DirtySnapshot() []DirtyPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []DirtyPage
+	for _, f := range p.frames {
+		if f.id == storage.InvalidPageID || !f.dirty.Load() {
+			continue
+		}
+		data := make([]byte, len(f.data))
+		copy(data, f.data)
+		out = append(out, DirtyPage{ID: f.id, Data: data})
+	}
+	return out
+}
+
+// DirtyCount returns the number of dirty buffered pages.
+func (p *Pool) DirtyCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.id != storage.InvalidPageID && f.dirty.Load() {
+			n++
+		}
+	}
+	return n
+}
 
 // Store returns the underlying page store.
 func (p *Pool) Store() storage.Store { return p.store }
@@ -199,7 +270,7 @@ func (p *Pool) Contains(id storage.PageID) bool {
 // waiting out an in-flight read if there is one. Called with the latch
 // held (shared or exclusive); releases it.
 func (p *Pool) pinResident(fi int, unlock func()) ([]byte, error) {
-	f := &p.frames[fi]
+	f := p.frames[fi]
 	f.pins.Add(1)
 	f.lastUsed.Store(p.clock.Add(1))
 	ch := f.loading
@@ -294,7 +365,7 @@ func (p *Pool) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, bo
 		p.mu.Unlock()
 		return nil, false, err
 	}
-	f := &p.frames[fi]
+	f := p.frames[fi]
 	if f.data == nil {
 		f.data = make([]byte, p.store.PageSize())
 	}
@@ -346,7 +417,7 @@ func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
 	if err != nil {
 		return storage.InvalidPageID, nil, err
 	}
-	f := &p.frames[fi]
+	f := p.frames[fi]
 	if f.data == nil {
 		f.data = make([]byte, p.store.PageSize())
 	} else {
@@ -373,7 +444,7 @@ func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
 	if !ok {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
 	}
-	f := &p.frames[fi]
+	f := p.frames[fi]
 	if dirty {
 		f.dirty.Store(true)
 	}
@@ -393,7 +464,7 @@ func (p *Pool) Discard(id storage.PageID) {
 	if !ok {
 		return
 	}
-	f := &p.frames[fi]
+	f := p.frames[fi]
 	if f.pins.Load() > 0 {
 		panic(fmt.Sprintf("buffer: discard of pinned page %d", id))
 	}
@@ -416,7 +487,24 @@ func (p *Pool) flushAllLocked() error {
 			return err
 		}
 	}
+	p.shrinkLocked()
 	return nil
+}
+
+// shrinkLocked drops overflow frames grown under no-steal, from the
+// tail, as long as they are clean, unpinned and not loading. Caller
+// holds the exclusive latch.
+func (p *Pool) shrinkLocked() {
+	for len(p.frames) > p.capacity {
+		f := p.frames[len(p.frames)-1]
+		if f.pins.Load() != 0 || f.loading != nil || f.dirty.Load() {
+			return
+		}
+		if f.id != storage.InvalidPageID {
+			delete(p.table, f.id)
+		}
+		p.frames = p.frames[:len(p.frames)-1]
+	}
 }
 
 // Flush writes the page back if buffered and dirty.
@@ -432,9 +520,16 @@ func (p *Pool) Flush(id storage.PageID) error {
 // flushFrame writes frame fi back if live and dirty. Caller holds the
 // exclusive latch.
 func (p *Pool) flushFrame(fi int) error {
-	f := &p.frames[fi]
+	f := p.frames[fi]
 	if f.id == storage.InvalidPageID || !f.dirty.Load() {
 		return nil
+	}
+	// WAL-before-data: the log must be durable past this page's last
+	// mutation before the page image may reach the store.
+	if p.flushGate != nil {
+		if err := p.flushGate(); err != nil {
+			return fmt.Errorf("buffer: flush gate for page %d: %w", f.id, err)
+		}
 	}
 	if err := p.store.WritePage(f.id, f.data); err != nil {
 		return fmt.Errorf("buffer: flush page %d: %w", f.id, err)
@@ -460,7 +555,7 @@ func (p *Pool) Reset() error {
 		return err
 	}
 	for fi := range p.frames {
-		f := &p.frames[fi]
+		f := p.frames[fi]
 		if f.id != storage.InvalidPageID {
 			delete(p.table, f.id)
 			f.id = storage.InvalidPageID
@@ -491,18 +586,28 @@ func (p *Pool) Close() error {
 func (p *Pool) victim() (int, error) {
 	best, bestUsed := -1, int64(math.MaxInt64)
 	for fi := range p.frames {
-		f := &p.frames[fi]
+		f := p.frames[fi]
 		if f.pins.Load() != 0 || f.loading != nil {
 			continue
 		}
 		if f.id == storage.InvalidPageID {
 			return fi, nil
 		}
+		if p.noSteal && f.dirty.Load() {
+			continue
+		}
 		if u := f.lastUsed.Load(); u < bestUsed {
 			best, bestUsed = fi, u
 		}
 	}
 	if best == -1 {
+		if p.noSteal {
+			// Every unpinned frame is dirty and dirty frames must not
+			// be stolen: grow an overflow frame. The next FlushAll
+			// (checkpoint) shrinks the pool back to capacity.
+			p.frames = append(p.frames, &frame{id: storage.InvalidPageID})
+			return len(p.frames) - 1, nil
+		}
 		return -1, ErrAllPinned
 	}
 	if err := p.flushFrame(best); err != nil {

@@ -334,6 +334,9 @@ func (m *Method) mergeIfUnderflow(pid storage.PageID, neighbors []graph.NodeID) 
 		return err
 	}
 	if used == 0 {
+		if err := m.f.LogReorg(netfile.MutMergePages, []storage.PageID{pid}); err != nil {
+			return err
+		}
 		return m.f.FreePage(pid)
 	}
 	if used >= m.cfg.PageSize/2 {
@@ -359,6 +362,9 @@ func (m *Method) mergeIfUnderflow(pid storage.PageID, neighbors []graph.NodeID) 
 		if free < needed {
 			continue
 		}
+		if err := m.f.LogReorg(netfile.MutMergePages, []storage.PageID{pid, q}); err != nil {
+			return err
+		}
 		for _, nid := range ids {
 			if err := m.f.MoveRecord(nid, q); err != nil {
 				return fmt.Errorf("ccam: merge page %d into %d: %w", pid, q, err)
@@ -373,6 +379,9 @@ func (m *Method) mergeIfUnderflow(pid storage.PageID, neighbors []graph.NodeID) 
 // re-clustering its records with the configured partitioner; it is
 // CCAM's overflow handler.
 func (m *Method) SplitPage(pid storage.PageID) error {
+	if err := m.f.LogReorg(netfile.MutSplitPage, []storage.PageID{pid}); err != nil {
+		return err
+	}
 	return m.reorganizePages([]storage.PageID{pid}, true)
 }
 

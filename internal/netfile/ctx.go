@@ -1,0 +1,105 @@
+package netfile
+
+import (
+	"context"
+	"fmt"
+
+	"ccam/internal/graph"
+	"ccam/internal/metrics"
+)
+
+// Context-first variants of the query operations, mirroring
+// RangeQueryCtx: the context is checked before each record fetch, so a
+// canceled context stops the operation without paying for the
+// remaining page reads. The plain methods delegate with
+// context.Background().
+
+// FindCtx is Find with cooperative cancellation.
+func (f *File) FindCtx(ctx context.Context, id graph.NodeID) (*Record, error) {
+	at := f.tracer.Start("find")
+	rec, err := f.findCtx(ctx, id, at)
+	at.Finish(err)
+	return rec, err
+}
+
+func (f *File) findCtx(ctx context.Context, id graph.NodeID, at *metrics.ActiveTrace) (*Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.readRecordTraced(id, at)
+}
+
+// GetSuccessorsCtx is GetSuccessors with cooperative cancellation:
+// the context is checked before the node's own fetch and before each
+// successor fetch.
+func (f *File) GetSuccessorsCtx(ctx context.Context, id graph.NodeID) ([]*Record, error) {
+	at := f.tracer.Start("get-successors")
+	out, err := f.getSuccessorsCtx(ctx, id, at)
+	at.Finish(err)
+	return out, err
+}
+
+func (f *File) getSuccessorsCtx(ctx context.Context, id graph.NodeID, at *metrics.ActiveTrace) ([]*Record, error) {
+	rec, err := f.findCtx(ctx, id, at)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Record, 0, len(rec.Succs))
+	for _, s := range rec.Succs {
+		sr, err := f.findCtx(ctx, s.To, at)
+		if err != nil {
+			return nil, fmt.Errorf("netfile: get-successors of %d: %w", id, err)
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// EvaluateRouteCtx is EvaluateRoute with cooperative cancellation: the
+// context is checked before each hop's record fetch.
+func (f *File) EvaluateRouteCtx(ctx context.Context, route graph.Route) (RouteAggregate, error) {
+	at := f.tracer.Start("evaluate-route")
+	agg, err := f.evaluateRouteCtx(ctx, route, at)
+	at.Finish(err)
+	return agg, err
+}
+
+func (f *File) evaluateRouteCtx(ctx context.Context, route graph.Route, at *metrics.ActiveTrace) (RouteAggregate, error) {
+	if len(route) == 0 {
+		return RouteAggregate{}, fmt.Errorf("%w: empty route", graph.ErrInvalidRoute)
+	}
+	rec, err := f.findCtx(ctx, route[0], at)
+	if err != nil {
+		return RouteAggregate{}, err
+	}
+	agg := RouteAggregate{Nodes: 1}
+	for i := 1; i < len(route); i++ {
+		var cost float64
+		found := false
+		for _, s := range rec.Succs {
+			if s.To == route[i] {
+				cost = float64(s.Cost)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return RouteAggregate{}, fmt.Errorf("%w: hop %d->%d is not an edge", graph.ErrInvalidRoute, rec.ID, route[i])
+		}
+		// The successor constraint was just verified, so this hop is a
+		// Get-A-successor: read succ's record through the pool.
+		rec, err = f.findCtx(ctx, route[i], at)
+		if err != nil {
+			return RouteAggregate{}, err
+		}
+		agg.Nodes++
+		agg.TotalCost += cost
+		if agg.Nodes == 2 || cost < agg.MinCost {
+			agg.MinCost = cost
+		}
+		if cost > agg.MaxCost {
+			agg.MaxCost = cost
+		}
+	}
+	return agg, nil
+}

@@ -88,6 +88,12 @@ type File struct {
 	// when metrics are disabled; reads via Counter.Value are nil-safe).
 	idxVisits *metrics.Counter
 	idxStore  storage.Store
+	// wal and fstore are set by AttachWAL: mutations log logical
+	// records, the pool runs no-steal, and page frees are deferred to
+	// checkpoints (pendingFree, in free order).
+	wal         *storage.WAL
+	fstore      *storage.FileStore
+	pendingFree []storage.PageID
 }
 
 // Create opens a fresh, empty data file.
@@ -275,7 +281,10 @@ func (f *File) AllocatePage() (storage.PageID, error) {
 	return pid, nil
 }
 
-// FreePage releases an empty data page.
+// FreePage releases an empty data page. Under a WAL the physical free
+// is deferred to the next checkpoint: the store keeps counting the
+// page as live, so it cannot be recycled (and its old bytes
+// overwritten) before the checkpoint that records the free is durable.
 func (f *File) FreePage(pid storage.PageID) error {
 	if !f.pages[pid] {
 		return fmt.Errorf("netfile: free of unknown page %d", pid)
@@ -283,6 +292,10 @@ func (f *File) FreePage(pid storage.PageID) error {
 	delete(f.pages, pid)
 	delete(f.free, pid)
 	f.pool.Discard(pid)
+	if f.wal != nil {
+		f.pendingFree = append(f.pendingFree, pid)
+		return nil
+	}
 	if err := f.dataStore.Free(pid); err != nil {
 		return fmt.Errorf("netfile: free page %d: %w", pid, err)
 	}

@@ -16,10 +16,7 @@ import (
 // locates the data page, which is fetched through the buffer pool.
 // (Paper §2.3.)
 func (f *File) Find(id graph.NodeID) (*Record, error) {
-	at := f.tracer.Start("find")
-	rec, err := f.readRecordTraced(id, at)
-	at.Finish(err)
-	return rec, err
+	return f.FindCtx(context.Background(), id)
 }
 
 // GetASuccessor retrieves the record of succ, a successor of cur. The
@@ -46,26 +43,7 @@ func (f *File) GetASuccessor(cur *Record, succ graph.NodeID) (*Record, error) {
 // the page of id itself, fetched first) are extracted without further
 // I/O. (Paper §2.3.)
 func (f *File) GetSuccessors(id graph.NodeID) ([]*Record, error) {
-	at := f.tracer.Start("get-successors")
-	out, err := f.getSuccessors(id, at)
-	at.Finish(err)
-	return out, err
-}
-
-func (f *File) getSuccessors(id graph.NodeID, at *metrics.ActiveTrace) ([]*Record, error) {
-	rec, err := f.readRecordTraced(id, at)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*Record, 0, len(rec.Succs))
-	for _, s := range rec.Succs {
-		sr, err := f.readRecordTraced(s.To, at)
-		if err != nil {
-			return nil, fmt.Errorf("netfile: get-successors of %d: %w", id, err)
-		}
-		out = append(out, sr)
-	}
-	return out, nil
+	return f.GetSuccessorsCtx(context.Background(), id)
 }
 
 // RouteAggregate is the result of a route evaluation query.
@@ -81,50 +59,7 @@ type RouteAggregate struct {
 // (paper §2.3, "Route Evaluation"). The route must follow directed
 // edges.
 func (f *File) EvaluateRoute(route graph.Route) (RouteAggregate, error) {
-	at := f.tracer.Start("evaluate-route")
-	agg, err := f.evaluateRoute(route, at)
-	at.Finish(err)
-	return agg, err
-}
-
-func (f *File) evaluateRoute(route graph.Route, at *metrics.ActiveTrace) (RouteAggregate, error) {
-	if len(route) == 0 {
-		return RouteAggregate{}, fmt.Errorf("%w: empty route", graph.ErrInvalidRoute)
-	}
-	rec, err := f.readRecordTraced(route[0], at)
-	if err != nil {
-		return RouteAggregate{}, err
-	}
-	agg := RouteAggregate{Nodes: 1}
-	for i := 1; i < len(route); i++ {
-		var cost float64
-		found := false
-		for _, s := range rec.Succs {
-			if s.To == route[i] {
-				cost = float64(s.Cost)
-				found = true
-				break
-			}
-		}
-		if !found {
-			return RouteAggregate{}, fmt.Errorf("%w: hop %d->%d is not an edge", graph.ErrInvalidRoute, rec.ID, route[i])
-		}
-		// The successor constraint was just verified above, so this hop
-		// is a Get-A-successor: read succ's record through the pool.
-		rec, err = f.readRecordTraced(route[i], at)
-		if err != nil {
-			return RouteAggregate{}, err
-		}
-		agg.Nodes++
-		agg.TotalCost += cost
-		if agg.Nodes == 2 || cost < agg.MinCost {
-			agg.MinCost = cost
-		}
-		if cost > agg.MaxCost {
-			agg.MaxCost = cost
-		}
-	}
-	return agg, nil
+	return f.EvaluateRouteCtx(context.Background(), route)
 }
 
 // RangeQuery returns the records of every node whose position lies in

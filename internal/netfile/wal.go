@@ -1,0 +1,326 @@
+package netfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// This file gives the data file its write-ahead-log integration: the
+// logical mutation codec (what batch records contain), deferred page
+// frees, and the checkpoint that makes the no-steal/redo-only recovery
+// protocol work (see internal/storage/wal.go for the protocol).
+
+// MutKind tags a logical mutation record.
+type MutKind uint8
+
+const (
+	// MutInsertNode inserts a full node record (with the costs of its
+	// incoming edges, so neighbor links can be rebuilt).
+	MutInsertNode MutKind = iota + 1
+	// MutDeleteNode removes a node and its incident edge entries.
+	MutDeleteNode
+	// MutInsertEdge adds edge from→to with a cost.
+	MutInsertEdge
+	// MutDeleteEdge removes edge from→to.
+	MutDeleteEdge
+	// MutSetEdgeCost updates the cost of edge from→to.
+	MutSetEdgeCost
+	// MutSplitPage records a reorganization split of one page. Replay
+	// skips it: re-executing the surrounding logical mutations
+	// re-triggers the reorganization policies.
+	MutSplitPage
+	// MutMergePages records a reorganization merge. Replay skips it,
+	// like MutSplitPage.
+	MutMergePages
+)
+
+func (k MutKind) String() string {
+	switch k {
+	case MutInsertNode:
+		return "insert-node"
+	case MutDeleteNode:
+		return "delete-node"
+	case MutInsertEdge:
+		return "insert-edge"
+	case MutDeleteEdge:
+		return "delete-edge"
+	case MutSetEdgeCost:
+		return "set-edge-cost"
+	case MutSplitPage:
+		return "split-page"
+	case MutMergePages:
+		return "merge-pages"
+	default:
+		return fmt.Sprintf("MutKind(%d)", int(k))
+	}
+}
+
+// Mutation is one logical mutation, the unit batch records are made
+// of. Only the fields of the given kind are meaningful.
+type Mutation struct {
+	Kind MutKind
+	// Rec and PredCosts describe MutInsertNode: the record to insert
+	// and the costs of the incoming edges listed in Rec.Preds
+	// (parallel slices).
+	Rec       *Record
+	PredCosts []float32
+	// ID is the node of MutDeleteNode.
+	ID graph.NodeID
+	// From, To, Cost describe the edge mutations.
+	From, To graph.NodeID
+	Cost     float32
+	// Page is the page of MutSplitPage.
+	Page storage.PageID
+	// Pages are the pages of MutMergePages.
+	Pages []storage.PageID
+}
+
+// EncodeMutation serializes a mutation for a WAL record payload.
+func EncodeMutation(m *Mutation) ([]byte, error) {
+	switch m.Kind {
+	case MutInsertNode:
+		if m.Rec == nil || len(m.PredCosts) != len(m.Rec.Preds) {
+			return nil, fmt.Errorf("netfile: insert-node mutation needs a record with %d pred costs", len(m.PredCosts))
+		}
+		rec := EncodeRecord(m.Rec)
+		buf := make([]byte, 1+4+len(rec)+4*len(m.PredCosts))
+		buf[0] = byte(m.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(len(rec)))
+		copy(buf[5:], rec)
+		o := 5 + len(rec)
+		for _, c := range m.PredCosts {
+			binary.LittleEndian.PutUint32(buf[o:], math.Float32bits(c))
+			o += 4
+		}
+		return buf, nil
+	case MutDeleteNode:
+		var buf [5]byte
+		buf[0] = byte(m.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(m.ID))
+		return buf[:], nil
+	case MutInsertEdge, MutSetEdgeCost:
+		var buf [13]byte
+		buf[0] = byte(m.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(m.From))
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(m.To))
+		binary.LittleEndian.PutUint32(buf[9:13], math.Float32bits(m.Cost))
+		return buf[:], nil
+	case MutDeleteEdge:
+		var buf [9]byte
+		buf[0] = byte(m.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(m.From))
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(m.To))
+		return buf[:], nil
+	case MutSplitPage:
+		var buf [5]byte
+		buf[0] = byte(m.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(m.Page))
+		return buf[:], nil
+	case MutMergePages:
+		buf := make([]byte, 5+4*len(m.Pages))
+		buf[0] = byte(m.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(len(m.Pages)))
+		for i, pid := range m.Pages {
+			binary.LittleEndian.PutUint32(buf[5+4*i:], uint32(pid))
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("netfile: unknown mutation kind %d", m.Kind)
+	}
+}
+
+// DecodeMutation parses a WAL mutation record payload.
+func DecodeMutation(b []byte) (*Mutation, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty mutation record", storage.ErrWALCorrupt)
+	}
+	m := &Mutation{Kind: MutKind(b[0])}
+	body := b[1:]
+	switch m.Kind {
+	case MutInsertNode:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: insert-node record too short", storage.ErrWALCorrupt)
+		}
+		rl := int(binary.LittleEndian.Uint32(body[0:4]))
+		if len(body) < 4+rl {
+			return nil, fmt.Errorf("%w: insert-node record truncated", storage.ErrWALCorrupt)
+		}
+		rec, err := DecodeRecord(body[4 : 4+rl])
+		if err != nil {
+			return nil, fmt.Errorf("%w: insert-node: %v", storage.ErrWALCorrupt, err)
+		}
+		m.Rec = rec
+		rest := body[4+rl:]
+		if len(rest) != 4*len(rec.Preds) {
+			return nil, fmt.Errorf("%w: insert-node pred costs mismatch", storage.ErrWALCorrupt)
+		}
+		m.PredCosts = make([]float32, len(rec.Preds))
+		for i := range m.PredCosts {
+			m.PredCosts[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		return m, nil
+	case MutDeleteNode:
+		if len(body) != 4 {
+			return nil, fmt.Errorf("%w: delete-node record length", storage.ErrWALCorrupt)
+		}
+		m.ID = graph.NodeID(binary.LittleEndian.Uint32(body))
+		return m, nil
+	case MutInsertEdge, MutSetEdgeCost:
+		if len(body) != 12 {
+			return nil, fmt.Errorf("%w: edge record length", storage.ErrWALCorrupt)
+		}
+		m.From = graph.NodeID(binary.LittleEndian.Uint32(body[0:4]))
+		m.To = graph.NodeID(binary.LittleEndian.Uint32(body[4:8]))
+		m.Cost = math.Float32frombits(binary.LittleEndian.Uint32(body[8:12]))
+		return m, nil
+	case MutDeleteEdge:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("%w: delete-edge record length", storage.ErrWALCorrupt)
+		}
+		m.From = graph.NodeID(binary.LittleEndian.Uint32(body[0:4]))
+		m.To = graph.NodeID(binary.LittleEndian.Uint32(body[4:8]))
+		return m, nil
+	case MutSplitPage:
+		if len(body) != 4 {
+			return nil, fmt.Errorf("%w: split-page record length", storage.ErrWALCorrupt)
+		}
+		m.Page = storage.PageID(binary.LittleEndian.Uint32(body))
+		return m, nil
+	case MutMergePages:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: merge-pages record too short", storage.ErrWALCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(body[0:4]))
+		if len(body) != 4+4*n {
+			return nil, fmt.Errorf("%w: merge-pages record length", storage.ErrWALCorrupt)
+		}
+		m.Pages = make([]storage.PageID, n)
+		for i := range m.Pages {
+			m.Pages[i] = storage.PageID(binary.LittleEndian.Uint32(body[4+4*i:]))
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown mutation kind %d", storage.ErrWALCorrupt, b[0])
+	}
+}
+
+// AttachWAL wires the write-ahead log into the file: the buffer pool
+// goes no-steal (dirty pages only reach the store through Checkpoint),
+// every dirty-page write is gated on a log sync, and page frees are
+// deferred to the next checkpoint so no freed page can be recycled —
+// and its zero-fill lost — before the checkpoint that records the
+// free. fs is the FileStore underneath the data store (the allocator
+// whose state checkpoints snapshot).
+func (f *File) AttachWAL(w *storage.WAL, fs *storage.FileStore) {
+	f.wal = w
+	f.fstore = fs
+	f.pool.SetNoSteal(true)
+	f.pool.SetFlushGate(w.Sync)
+}
+
+// WAL returns the attached write-ahead log (nil without one).
+func (f *File) WAL() *storage.WAL { return f.wal }
+
+// LogMutation appends one logical mutation record to the WAL (a no-op
+// without one). The caller brackets mutations with begin/commit
+// records; see the root package's Apply.
+func (f *File) LogMutation(m *Mutation) error {
+	if f.wal == nil {
+		return nil
+	}
+	payload, err := EncodeMutation(m)
+	if err != nil {
+		return err
+	}
+	if _, err := f.wal.Append(storage.WALRecMutation, payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LogReorg records a reorganization (page split or merge) in the
+// current batch. The reorganization policies call it mid-mutation;
+// replay skips these records because re-executed mutations re-trigger
+// the policies.
+func (f *File) LogReorg(kind MutKind, pages []storage.PageID) error {
+	if f.wal == nil {
+		return nil
+	}
+	m := &Mutation{Kind: kind, Pages: pages}
+	if kind == MutSplitPage && len(pages) == 1 {
+		m = &Mutation{Kind: MutSplitPage, Page: pages[0]}
+	}
+	return f.LogMutation(m)
+}
+
+// PendingFrees returns the number of page frees deferred to the next
+// checkpoint.
+func (f *File) PendingFrees() int { return len(f.pendingFree) }
+
+// Checkpoint makes the data file self-contained again: it writes every
+// dirty page image and the allocator state into the WAL, seals the
+// checkpoint, executes the deferred page frees, flushes the pool, and
+// stamps + syncs the data file. Afterwards the WAL before the
+// checkpoint is pruned. The owner must hold the exclusive lock (no
+// concurrent mutations or pinned pages).
+func (f *File) Checkpoint() error {
+	if f.wal == nil || f.fstore == nil {
+		return fmt.Errorf("netfile: checkpoint without an attached WAL")
+	}
+	images := f.pool.DirtySnapshot()
+	startLSN := uint64(0)
+	for _, img := range images {
+		lsn, err := f.wal.Append(storage.WALRecPageImage, storage.EncodeWALPageImage(img.ID, img.Data))
+		if err != nil {
+			return err
+		}
+		if startLSN == 0 {
+			startLSN = lsn
+		}
+	}
+	// The allocator snapshot records the free chain as it will look
+	// after the deferred frees execute: freeing pendingFree[0..k] in
+	// order pushes each onto the chain head, so the final chain is the
+	// reversed pending list in front of the current chain.
+	next, chain, gen, flags, physPageSize := f.fstore.AllocSnapshot()
+	full := make([]storage.PageID, 0, len(f.pendingFree)+len(chain))
+	for i := len(f.pendingFree) - 1; i >= 0; i-- {
+		full = append(full, f.pendingFree[i])
+	}
+	full = append(full, chain...)
+	lsn, err := f.wal.Append(storage.WALRecAllocState,
+		storage.EncodeWALAllocState(physPageSize, flags, gen, next, full))
+	if err != nil {
+		return err
+	}
+	if startLSN == 0 {
+		startLSN = lsn
+	}
+	endLSN, err := f.wal.Append(storage.WALRecCheckpointEnd, storage.EncodeWALCheckpointEnd(startLSN))
+	if err != nil {
+		return err
+	}
+	if err := f.wal.Sync(); err != nil {
+		return err
+	}
+	// The checkpoint is durable in the log; everything after this
+	// point only has to complete before the NEXT checkpoint prunes
+	// this one — recovery can always restore from the log alone.
+	for _, pid := range f.pendingFree {
+		if err := f.dataStore.Free(pid); err != nil {
+			return fmt.Errorf("netfile: checkpoint free page %d: %w", pid, err)
+		}
+	}
+	f.pendingFree = f.pendingFree[:0]
+	if err := f.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := f.fstore.SetAppliedLSN(endLSN); err != nil {
+		return err
+	}
+	return f.wal.Prune(startLSN)
+}

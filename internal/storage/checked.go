@@ -65,7 +65,13 @@ func NewCheckedStore(inner Store) (*CheckedStore, error) {
 // page is pageSize-ChecksumTrailerLen. The header records
 // FlagCheckedPages so OpenPageFile re-wraps the store on open.
 func CreateCheckedFile(path string, pageSize int) (*CheckedStore, *FileStore, error) {
-	fs, err := createFileStore(path, pageSize, FlagCheckedPages)
+	return CreateCheckedFileFlags(path, pageSize, 0)
+}
+
+// CreateCheckedFileFlags is CreateCheckedFile with extra header flags
+// ORed in (e.g. FlagWAL for a write-ahead-logged file).
+func CreateCheckedFileFlags(path string, pageSize int, extraFlags uint32) (*CheckedStore, *FileStore, error) {
+	fs, err := createFileStore(path, pageSize, FlagCheckedPages|extraFlags)
 	if err != nil {
 		return nil, nil, err
 	}

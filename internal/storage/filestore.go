@@ -48,8 +48,11 @@ type FileStore struct {
 	live     map[PageID]bool
 	flags    uint32
 	gen      uint64
-	stats    ioCounters
-	closed   bool
+	// appliedLSN records the WAL checkpoint the data file reflects
+	// (zero for non-WAL files); advisory for fsck and diagnostics.
+	appliedLSN uint64
+	stats      ioCounters
+	closed     bool
 	// closedIDs snapshots the live page ids at Close, so NumPages and
 	// PageIDs keep answering afterwards (the same snapshot semantics
 	// the Store interface documents).
@@ -66,15 +69,17 @@ type FileStore struct {
 //	[20:24) free-list head page id (InvalidPageID when empty)
 //	[24:28) flags (FlagCheckedPages: pages carry checksum trailers)
 //	[28:36) generation (monotonic, bumped on every header write)
-//	[36:40) CRC32-C over bytes [0:36)
+//	[36:44) applied LSN (last WAL checkpoint reflected in the data;
+//	        zero for non-WAL files)
+//	[44:48) CRC32-C over bytes [0:44)
 //
 // Freed pages begin with an 8-byte chain entry:
 //
 //	[0:4) freedMagic
 //	[4:8) next free page id (InvalidPageID terminates the chain)
 const (
-	fsMagic     uint64 = 0xCCA4F11E00000002
-	fsHeaderLen        = 40
+	fsMagic     uint64 = 0xCCA4F11E00000003
+	fsHeaderLen        = 48
 	freedMagic  uint32 = 0xFEEEB10C
 )
 
@@ -84,6 +89,10 @@ const (
 	// written by CheckedStore; OpenPageFile uses it to re-wrap the
 	// store on open.
 	FlagCheckedPages uint32 = 1 << 0
+	// FlagWAL marks a file whose mutations are logged to a sibling
+	// write-ahead log directory (see WALDir); OpenPath replays it on
+	// open.
+	FlagWAL uint32 = 1 << 1
 )
 
 var fsCRCTable = crc32.MakeTable(crc32.Castagnoli)
@@ -161,6 +170,8 @@ func loadFileStore(f *os.File, path string) (*FileStore, error) {
 		flags:    ph.flags,
 		gen:      ph.gen,
 		nfree:    ph.nfree,
+
+		appliedLSN: ph.appliedLSN,
 	}
 	// Walk the free chain: exactly nfree entries, each inside the
 	// allocated range, no cycles, terminated by InvalidPageID.
@@ -198,12 +209,28 @@ func loadFileStore(f *os.File, path string) (*FileStore, error) {
 
 // parsedHeader is the decoded file header.
 type parsedHeader struct {
-	pageSize int
-	next     PageID
-	nfree    int
-	freeHead PageID
-	flags    uint32
-	gen      uint64
+	pageSize   int
+	next       PageID
+	nfree      int
+	freeHead   PageID
+	flags      uint32
+	gen        uint64
+	appliedLSN uint64
+}
+
+// encodeHeader lays out a checksummed header image.
+func encodeHeader(ph parsedHeader) []byte {
+	buf := make([]byte, fsHeaderLen)
+	binary.LittleEndian.PutUint64(buf[0:8], fsMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(ph.pageSize))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(ph.next))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(ph.nfree))
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(ph.freeHead))
+	binary.LittleEndian.PutUint32(buf[24:28], ph.flags)
+	binary.LittleEndian.PutUint64(buf[28:36], ph.gen)
+	binary.LittleEndian.PutUint64(buf[36:44], ph.appliedLSN)
+	binary.LittleEndian.PutUint32(buf[44:48], crc32.Checksum(buf[0:44], fsCRCTable))
+	return buf
 }
 
 // parseHeader decodes and validates a raw header image. Errors wrap
@@ -225,8 +252,9 @@ func parseHeader(hdr []byte) (parsedHeader, error) {
 	ph.freeHead = PageID(binary.LittleEndian.Uint32(hdr[20:24]))
 	ph.flags = binary.LittleEndian.Uint32(hdr[24:28])
 	ph.gen = binary.LittleEndian.Uint64(hdr[28:36])
-	want := binary.LittleEndian.Uint32(hdr[36:40])
-	if got := crc32.Checksum(hdr[0:36], fsCRCTable); got != want {
+	ph.appliedLSN = binary.LittleEndian.Uint64(hdr[36:44])
+	want := binary.LittleEndian.Uint32(hdr[44:48])
+	if got := crc32.Checksum(hdr[0:44], fsCRCTable); got != want {
 		return ph, fmt.Errorf("header checksum mismatch (got %#x, want %#x): %w", got, want, ErrChecksum)
 	}
 	if ph.pageSize < 64 {
@@ -249,16 +277,16 @@ func parseFreedEntry(b []byte) (marker uint32, next PageID, ok bool) {
 // in place. Caller holds the exclusive latch.
 func (fs *FileStore) writeHeader() error {
 	fs.gen++
-	var buf [fsHeaderLen]byte
-	binary.LittleEndian.PutUint64(buf[0:8], fsMagic)
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(fs.pageSize))
-	binary.LittleEndian.PutUint32(buf[12:16], uint32(fs.next))
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(fs.nfree))
-	binary.LittleEndian.PutUint32(buf[20:24], uint32(fs.freeHead))
-	binary.LittleEndian.PutUint32(buf[24:28], fs.flags)
-	binary.LittleEndian.PutUint64(buf[28:36], fs.gen)
-	binary.LittleEndian.PutUint32(buf[36:40], crc32.Checksum(buf[0:36], fsCRCTable))
-	if _, err := fs.f.WriteAt(buf[:], 0); err != nil {
+	buf := encodeHeader(parsedHeader{
+		pageSize:   fs.pageSize,
+		next:       fs.next,
+		nfree:      fs.nfree,
+		freeHead:   fs.freeHead,
+		flags:      fs.flags,
+		gen:        fs.gen,
+		appliedLSN: fs.appliedLSN,
+	})
+	if _, err := fs.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("storage: write file store header: %w", err)
 	}
 	return nil
@@ -284,6 +312,58 @@ func (fs *FileStore) Generation() uint64 {
 
 // Path returns the file path backing the store.
 func (fs *FileStore) Path() string { return fs.path }
+
+// AppliedLSN returns the WAL checkpoint LSN the data file reflects
+// (zero for non-WAL files).
+func (fs *FileStore) AppliedLSN() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.appliedLSN
+}
+
+// SetAppliedLSN stamps the header with the WAL checkpoint LSN just
+// flushed into the data file, and forces everything — the stamped
+// header and all page writes before it — to stable storage.
+func (fs *FileStore) SetAppliedLSN(lsn uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	fs.appliedLSN = lsn
+	if err := fs.writeHeader(); err != nil {
+		return err
+	}
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync applied lsn: %w", err)
+	}
+	return nil
+}
+
+// SetFlag ORs a file-format flag into the header and rewrites it.
+func (fs *FileStore) SetFlag(flag uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	fs.flags |= flag
+	return fs.writeHeader()
+}
+
+// AllocSnapshot captures the allocator state for a WAL checkpoint: the
+// high-water mark, the free chain in head-first order, and the header
+// fields recovery needs to rebuild the file raw.
+func (fs *FileStore) AllocSnapshot() (next PageID, chain []PageID, gen uint64, flags uint32, physPageSize int) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	chain = make([]PageID, 0, fs.nfree)
+	for cur := fs.freeHead; cur != InvalidPageID && len(chain) < fs.nfree; {
+		chain = append(chain, cur)
+		cur = fs.freeNext[cur]
+	}
+	return fs.next, chain, fs.gen, fs.flags, fs.pageSize
+}
 
 // Allocate implements Store. Freed pages are recycled in LIFO order.
 // The header is updated (and the recycled page zeroed) before the id

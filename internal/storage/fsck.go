@@ -3,7 +3,6 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"sort"
 )
@@ -30,6 +29,12 @@ type FsckReport struct {
 	// (FlagCheckedPages).
 	Checked    bool
 	Generation uint64
+	// AppliedLSN is the WAL checkpoint the data file reflects (zero
+	// for non-WAL files).
+	AppliedLSN uint64
+	// WAL reports whether the header carries FlagWAL (mutations are
+	// logged to a sibling WAL directory).
+	WAL bool
 	// NextPage is the allocation high-water mark from the header.
 	NextPage PageID
 	// HeaderErr is non-nil when the header is damaged (torn write,
@@ -101,7 +106,9 @@ func checkFile(f *os.File, path string, opts FsckOptions) (*FsckReport, error) {
 	}
 	rep.PageSize = ph.pageSize
 	rep.Checked = ph.flags&FlagCheckedPages != 0
+	rep.WAL = ph.flags&FlagWAL != 0
 	rep.Generation = ph.gen
+	rep.AppliedLSN = ph.appliedLSN
 	rep.NextPage = ph.next
 
 	// The high-water mark must fit the file: pages may be unwritten at
@@ -242,13 +249,17 @@ func RepairFile(path string, opts FsckOptions) (*FsckReport, error) {
 	var actions []string
 
 	ph := parsedHeader{
-		pageSize: rep.PageSize,
-		next:     rep.NextPage,
-		freeHead: InvalidPageID,
-		gen:      rep.Generation + 1,
+		pageSize:   rep.PageSize,
+		next:       rep.NextPage,
+		freeHead:   InvalidPageID,
+		gen:        rep.Generation + 1,
+		appliedLSN: rep.AppliedLSN,
 	}
 	if rep.Checked {
 		ph.flags |= FlagCheckedPages
+	}
+	if rep.WAL {
+		ph.flags |= FlagWAL
 	}
 
 	// Clamp the high-water mark to what the file can hold.
@@ -322,16 +333,8 @@ func RepairFile(path string, opts FsckOptions) (*FsckReport, error) {
 	if len(ids) > 0 {
 		ph.freeHead = ids[0]
 	}
-	var hdr [fsHeaderLen]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], fsMagic)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(ph.pageSize))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(ph.next))
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(ph.nfree))
-	binary.LittleEndian.PutUint32(hdr[20:24], uint32(ph.freeHead))
-	binary.LittleEndian.PutUint32(hdr[24:28], ph.flags)
-	binary.LittleEndian.PutUint64(hdr[28:36], ph.gen)
-	binary.LittleEndian.PutUint32(hdr[36:40], crc32.Checksum(hdr[0:36], fsCRCTable))
-	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+	hdr := encodeHeader(ph)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
 		return rep, fmt.Errorf("storage: fsck: rewrite header: %w", err)
 	}
 	if rep.HeaderErr != nil {

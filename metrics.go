@@ -85,7 +85,7 @@ type observability struct {
 	shortestPath, evaluateTour            *opMetrics
 	locationAllocation, evaluateRouteUnit *opMetrics
 	scan, findBatch, evaluateRoutes       *opMetrics
-	build                                 *opMetrics
+	build, apply                          *opMetrics
 }
 
 func newObservability(reg *metrics.Registry, tr *metrics.Tracer) *observability {
@@ -116,6 +116,37 @@ func newObservability(reg *metrics.Registry, tr *metrics.Tracer) *observability 
 		findBatch:          newOpMetrics(reg, "find_batch"),
 		evaluateRoutes:     newOpMetrics(reg, "evaluate_routes"),
 		build:              newOpMetrics(reg, "build"),
+		apply:              newOpMetrics(reg, "apply"),
+	}
+}
+
+// opFor maps a batch op to its per-operation instruments, so every op
+// applied through Apply is attributed exactly like its standalone
+// method.
+func (o *observability) opFor(kind netfile.MutKind) *opMetrics {
+	switch kind {
+	case netfile.MutInsertNode:
+		return o.insert
+	case netfile.MutDeleteNode:
+		return o.delete_
+	case netfile.MutInsertEdge:
+		return o.insertEdge
+	case netfile.MutDeleteEdge:
+		return o.deleteEdge
+	default:
+		return o.setEdgeCost
+	}
+}
+
+// walInstrumentation builds the metric hooks wired into the store's
+// write-ahead log: fsync count, commits acknowledged per fsync (the
+// group-commit coalescing factor), appended records and bytes.
+func (o *observability) walInstrumentation() storage.WALInstrumentation {
+	return storage.WALInstrumentation{
+		Fsyncs:    o.reg.Counter("ccam_wal_fsyncs_total"),
+		GroupSize: o.reg.Histogram("ccam_wal_group_size"),
+		Appends:   o.reg.Counter("ccam_wal_appends_total"),
+		Bytes:     o.reg.Counter("ccam_wal_bytes_total"),
 	}
 }
 

@@ -59,6 +59,24 @@ func WithTracing(capacity int) Option {
 	}
 }
 
+// WithWAL enables the write-ahead log: every mutation is logged and
+// group-committed before it is acknowledged, and OpenPath replays the
+// committed tail after a crash. Requires WithPath.
+func WithWAL() Option { return func(o *Options) { o.WAL = true } }
+
+// WithSyncPolicy selects when WAL commits are forced to stable
+// storage (SyncGroupCommit, SyncEveryCommit or SyncNone). Ignored
+// without WithWAL.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *Options) { o.SyncPolicy = p }
+}
+
+// WithCheckpointBytes bounds the WAL between automatic checkpoints
+// (default 4 MiB). Ignored without WithWAL.
+func WithCheckpointBytes(n int64) Option {
+	return func(o *Options) { o.CheckpointBytes = n }
+}
+
 // OpenWith creates a new, empty CCAM store from functional options,
 // applied over the zero Options value (so defaults match Open exactly).
 func OpenWith(opts ...Option) (*Store, error) {

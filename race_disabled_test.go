@@ -1,0 +1,5 @@
+//go:build !race
+
+package ccam
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ccam
+
+// raceEnabled reports whether the race detector instruments this
+// build; timing-sensitive assertions (group-commit coalescing) relax
+// under its overhead.
+const raceEnabled = true
