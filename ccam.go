@@ -175,6 +175,11 @@ type Options struct {
 	// Parallelism bounds the worker pool of the batch queries
 	// (FindBatch, EvaluateRoutes). Zero means runtime.GOMAXPROCS(0).
 	Parallelism int
+	// BuildWorkers bounds the worker pool of the static create's
+	// clustering recursion. Zero means runtime.GOMAXPROCS(0); one runs
+	// serially. The placement depends only on Seed, never on the
+	// worker count.
+	BuildWorkers int
 	// ReadLatency, when positive, charges that much simulated
 	// wall-clock time per physical data-page read of the in-memory
 	// store, reproducing the paper's disk-resident regime for
@@ -298,12 +303,13 @@ func Open(opts Options) (*Store, error) {
 		return nil, errors.New("ccam: Options.WAL requires Options.Path")
 	}
 	cfg := iccam.Config{
-		PageSize:    opts.PageSize,
-		PoolPages:   opts.PoolPages,
-		Seed:        opts.Seed,
-		Dynamic:     opts.Dynamic,
-		Spatial:     opts.Spatial,
-		ReadLatency: opts.ReadLatency,
+		PageSize:     opts.PageSize,
+		PoolPages:    opts.PoolPages,
+		Seed:         opts.Seed,
+		BuildWorkers: opts.BuildWorkers,
+		Dynamic:      opts.Dynamic,
+		Spatial:      opts.Spatial,
+		ReadLatency:  opts.ReadLatency,
 	}
 	var fs *storage.FileStore
 	if opts.Path != "" {
@@ -963,11 +969,12 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	m, err := iccam.New(iccam.Config{
-		PageSize:  st.PageSize(),
-		PoolPages: opts.PoolPages,
-		Seed:      opts.Seed,
-		Dynamic:   opts.Dynamic,
-		Store:     st,
+		PageSize:     st.PageSize(),
+		PoolPages:    opts.PoolPages,
+		Seed:         opts.Seed,
+		BuildWorkers: opts.BuildWorkers,
+		Dynamic:      opts.Dynamic,
+		Store:        st,
 	})
 	if err != nil {
 		fs.Close()

@@ -16,6 +16,7 @@
 //	ccam-bench -exp mutation -parallel 8
 //	ccam-bench -exp metrics
 //	ccam-bench -exp metrics -http :8080
+//	ccam-bench -exp build-scale -sizes 4096,65536 -workers 4 -json out.json -check
 //
 // Flags -seed, -rows and -cols change the synthetic road map; the
 // defaults reproduce the paper-scale Minneapolis map (1079 nodes,
@@ -30,6 +31,11 @@
 // per-operation registry view (latency quantiles, pages per operation
 // by class, buffer hit rate, CRR/WCRR gauges); with -http it then
 // keeps serving /metrics, /metrics.json, /traces and /debug/pprof.
+// The build-scale experiment (also wall-clock, also excluded from all)
+// sweeps network sizes from -sizes and times the Fig. 2 clustering
+// under serial ratio-cut, parallel ratio-cut and parallel multilevel;
+// -json writes the machine-readable result and -check enforces the
+// determinism/quality/speedup regression gates.
 package main
 
 import (
@@ -44,13 +50,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics (the last three are not part of all: they measure wall-clock, not page counts)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, build-scale (the last four are not part of all: they measure wall-clock, not page counts)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
 	cols := flag.Int("cols", 0, "override road map lattice cols")
 	parallel := flag.Int("parallel", 8, "largest worker-pool size the throughput experiment sweeps")
 	httpAddr := flag.String("http", "", "with -exp metrics: keep serving /metrics, /metrics.json, /traces and /debug/pprof on this address after the run")
+	sizes := flag.String("sizes", "", "with -exp build-scale: comma-separated node counts to sweep (default 4096,16384,65536,262144)")
+	jsonPath := flag.String("json", "", "with -exp build-scale: also write the result as JSON to this path")
+	check := flag.Bool("check", false, "with -exp build-scale: fail unless determinism, CRR-parity and speedup gates hold")
+	workers := flag.Int("workers", 0, "with -exp build-scale: clustering worker pool for the parallel variants (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := graph.MinneapolisLikeOpts()
@@ -63,13 +73,28 @@ func main() {
 	}
 	setup := bench.Setup{MapOpts: opts, Seed: *seed}
 
-	if err := run(os.Stdout, *exp, setup, *parallel, *httpAddr); err != nil {
+	if err := run(os.Stdout, *exp, setup, *parallel, *httpAddr, buildScaleOpts{
+		sizes: *sizes, jsonPath: *jsonPath, workers: *workers, check: *check,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string) error {
+// buildScaleOpts carries the build-scale-only flags into run.
+type buildScaleOpts struct {
+	sizes    string
+	jsonPath string
+	workers  int
+	check    bool
+}
+
+func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts) error {
+	// The build-scale experiment generates its own (much larger)
+	// networks, so skip building the default map.
+	if exp == "build-scale" {
+		return runBuildScale(w, setup, bs.sizes, bs.jsonPath, bs.workers, bs.check)
+	}
 	g, err := setup.Network()
 	if err != nil {
 		return err

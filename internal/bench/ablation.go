@@ -52,6 +52,7 @@ func RunAblationPartitioners(setup Setup, blockSize int) (*AblationPartitionerRe
 		{"kernighan-lin", &partition.KL{}, false, false},
 		{"fm", &partition.FM{}, false, false},
 		{"ratio-cut", &partition.RatioCut{}, false, false},
+		{"multilevel", &partition.Multilevel{}, false, false},
 		{"ratio-cut+mway", &partition.RatioCut{}, true, false},
 		{"ratio-cut+coalesce", &partition.RatioCut{}, false, true},
 		{"ratio-cut+both", &partition.RatioCut{}, true, true},
@@ -174,8 +175,8 @@ type AblationScaleResult struct {
 }
 
 // RunAblationScale measures CRR and CCAM build time as the road map
-// grows (block 1024, FM partitioner for the large sizes to keep CPU
-// time bounded).
+// grows (block 1024, multilevel partitioner for the large sizes to keep
+// CPU time bounded).
 func RunAblationScale(setup Setup, sizes []int) (*AblationScaleResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{256, 1024, 4096, 16384}
@@ -203,8 +204,8 @@ func RunAblationScale(setup Setup, sizes []int) (*AblationScaleResult, error) {
 			start := time.Now()
 			var m netfile.AccessMethod
 			if name == "ccam-s" {
-				// FM keeps the largest sweeps tractable.
-				cm, err := newCCAMWithFM(1024, setup.Seed)
+				// Multilevel keeps the largest sweeps tractable.
+				cm, err := newCCAMWithMultilevel(1024, setup.Seed)
 				if err != nil {
 					return nil, err
 				}
@@ -227,7 +228,7 @@ func RunAblationScale(setup Setup, sizes []int) (*AblationScaleResult, error) {
 
 // Print writes the scale sweep.
 func (r *AblationScaleResult) Print(w io.Writer) {
-	fmt.Fprintln(w, "Ablation A3: network size vs CRR (block = 1k; ccam-s uses the FM partitioner)")
+	fmt.Fprintln(w, "Ablation A3: network size vs CRR (block = 1k; ccam-s uses the multilevel partitioner)")
 	fmt.Fprintf(w, "%-10s", "nodes")
 	for _, m := range r.Methods {
 		fmt.Fprintf(w, " %10s", m)

@@ -176,13 +176,18 @@ func TestAblationPartitioners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 6 {
+	if len(res.Rows) != 7 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
+	seen := map[string]bool{}
 	for _, row := range res.Rows {
+		seen[row.Name] = true
 		if row.CRR <= 0.3 || row.CRR > 1 {
 			t.Errorf("%s: CRR %.4f out of range", row.Name, row.CRR)
 		}
+	}
+	if !seen["multilevel"] {
+		t.Error("multilevel partitioner missing from A1")
 	}
 	var buf bytes.Buffer
 	res.Print(&buf)

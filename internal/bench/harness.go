@@ -128,13 +128,14 @@ func sampleNodes(g *graph.Network, frac float64, rng *rand.Rand) []graph.NodeID 
 	return ids[:n]
 }
 
-// newCCAMWithFM builds a CCAM-S instance using the FM partitioner,
-// which scales better than ratio-cut restarts on large maps.
-func newCCAMWithFM(pageSize int, seed int64) (netfile.AccessMethod, error) {
+// newCCAMWithMultilevel builds a CCAM-S instance using the multilevel
+// partitioner and the full worker pool, which scales far better than
+// ratio-cut restarts on large maps.
+func newCCAMWithMultilevel(pageSize int, seed int64) (netfile.AccessMethod, error) {
 	return ccam.New(ccam.Config{
 		PageSize:    pageSize,
 		PoolPages:   64,
 		Seed:        seed,
-		Partitioner: &partition.FM{},
+		Partitioner: &partition.Multilevel{},
 	})
 }

@@ -1,0 +1,168 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func bulkEntries(n int, stride uint64) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Key: uint64(i) * stride, Val: uint64(i) * 31}
+	}
+	return es
+}
+
+// TestBulkLoadEqualsInsertBuilt is the satellite coverage: a bulk-loaded
+// tree must answer point lookups and range scans exactly like an
+// insert-built tree over the same key set, across sizes that exercise
+// single-leaf, multi-leaf and multi-internal-level shapes (page size
+// 256 packs 15 leaf entries / 20 internal entries).
+func TestBulkLoadEqualsInsertBuilt(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 15, 16, 29, 30, 31, 300, 5000} {
+		entries := bulkEntries(n, 3)
+		bulk := newTree(t, 256)
+		if err := bulk.BulkLoad(entries); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref := newTree(t, 256)
+		for _, e := range entries {
+			if err := ref.Insert(e.Key, e.Val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bulk.Validate(); err != nil {
+			t.Fatalf("n=%d: bulk tree invalid: %v", n, err)
+		}
+		if bulk.Len() != ref.Len() {
+			t.Fatalf("n=%d: len %d want %d", n, bulk.Len(), ref.Len())
+		}
+		// Point lookups: every key present, straddling keys absent.
+		for _, e := range entries {
+			v, err := bulk.Get(e.Key)
+			if err != nil || v != e.Val {
+				t.Fatalf("n=%d: Get(%d) = %d, %v", n, e.Key, v, err)
+			}
+			if bulk.Has(e.Key + 1) {
+				t.Fatalf("n=%d: phantom key %d", n, e.Key+1)
+			}
+		}
+		// Full scan matches the reference scan pair for pair.
+		bi, ri := bulk.Min(), ref.Min()
+		for ri.Next() {
+			if !bi.Next() {
+				t.Fatalf("n=%d: bulk scan ended early", n)
+			}
+			if bi.Key() != ri.Key() || bi.Value() != ri.Value() {
+				t.Fatalf("n=%d: scan mismatch %d/%d vs %d/%d", n, bi.Key(), bi.Value(), ri.Key(), ri.Value())
+			}
+		}
+		if bi.Next() {
+			t.Fatalf("n=%d: bulk scan has extra entries", n)
+		}
+		if bi.Err() != nil || ri.Err() != nil {
+			t.Fatalf("n=%d: scan errors %v / %v", n, bi.Err(), ri.Err())
+		}
+		// Seeks from random keys agree too (range-scan entry points).
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 50; trial++ {
+			k := uint64(rng.Intn(3*n + 10))
+			bs, rs := bulk.Seek(k), ref.Seek(k)
+			bn, rn := bs.Next(), rs.Next()
+			if bn != rn {
+				t.Fatalf("n=%d: Seek(%d) presence %v vs %v", n, k, bn, rn)
+			}
+			if bn && (bs.Key() != rs.Key() || bs.Value() != rs.Value()) {
+				t.Fatalf("n=%d: Seek(%d) landed on %d vs %d", n, k, bs.Key(), rs.Key())
+			}
+		}
+	}
+}
+
+func TestBulkLoadTailRebalance(t *testing.T) {
+	// Page size 256: leafCap 15, min 7. 16 entries would leave a 1-entry
+	// tail leaf; the loader must rebalance the last two leaves. Sweep all
+	// tail residues across a couple of full rows.
+	for n := 15; n <= 65; n++ {
+		tr := newTree(t, 256)
+		if err := tr.BulkLoad(bulkEntries(n, 1)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBulkLoadMutableAfterwards(t *testing.T) {
+	// The bulk-built tree must accept ordinary inserts and deletes.
+	tr := newTree(t, 256)
+	if err := tr.BulkLoad(bulkEntries(500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if err := tr.Insert(2*i+1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := tr.Delete(2 * i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 600 {
+		t.Fatalf("len = %d, want 600", tr.Len())
+	}
+}
+
+func TestBulkLoadErrors(t *testing.T) {
+	tr := newTree(t, 256)
+	if err := tr.BulkLoad([]Entry{{1, 1}, {1, 2}}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate keys = %v", err)
+	}
+	if err := tr.BulkLoad([]Entry{{5, 1}, {3, 2}}); err == nil {
+		t.Fatal("unsorted entries accepted")
+	}
+	if err := tr.BulkLoad(bulkEntries(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(bulkEntries(10, 1)); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("second bulk load = %v", err)
+	}
+}
+
+func TestPackCounts(t *testing.T) {
+	for _, tc := range []struct {
+		n, capacity, minN int
+		want              []int
+	}{
+		{5, 15, 7, []int{5}},
+		{15, 15, 7, []int{15}},
+		{16, 15, 7, []int{8, 8}},
+		{30, 15, 7, []int{15, 15}},
+		{31, 15, 7, []int{15, 8, 8}},
+		{37, 15, 7, []int{15, 15, 7}},
+		{36, 15, 7, []int{15, 11, 10}},
+	} {
+		got := packCounts(tc.n, tc.capacity, tc.minN)
+		sum := 0
+		for _, c := range got {
+			sum += c
+		}
+		if sum != tc.n {
+			t.Fatalf("packCounts(%d,%d,%d) loses items: %v", tc.n, tc.capacity, tc.minN, got)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("packCounts(%d,%d,%d) = %v, want %v", tc.n, tc.capacity, tc.minN, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("packCounts(%d,%d,%d) = %v, want %v", tc.n, tc.capacity, tc.minN, got, tc.want)
+			}
+		}
+	}
+}

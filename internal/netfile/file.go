@@ -3,7 +3,9 @@ package netfile
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"ccam/internal/btree"
@@ -575,24 +577,111 @@ func (f *File) UsedBytesOn(pid storage.PageID) (int, error) {
 
 // BulkLoad writes the given page groups of network g into the file.
 // Each group becomes one data page; groups must fit.
+//
+// The load is staged for throughput: page images are encoded in
+// parallel off to the side (graph reads are pure, so workers share g),
+// then written out sequentially in group order — page ids are assigned
+// in that deterministic order — and finally the node index and Z-order
+// spatial index are built bottom-up from sorted runs instead of one
+// descent-and-split insert per record.
 func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
 	if f.NumNodes() != 0 {
 		return fmt.Errorf("netfile: bulk load into non-empty file")
 	}
-	for gi, group := range groups {
-		pid, err := f.AllocatePage()
+	// Stage 1: encode every group into a detached page image.
+	type pageImage struct {
+		buf  []byte
+		free int
+		recs []*Record
+	}
+	images := make([]*pageImage, len(groups))
+	var firstErr error
+	var errOnce sync.Once
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range work {
+				img := &pageImage{
+					buf:  make([]byte, f.pageSize),
+					recs: make([]*Record, 0, len(groups[gi])),
+				}
+				sp := storage.NewSlottedPage(img.buf)
+				for _, id := range groups[gi] {
+					rec, err := RecordFromNode(g, id)
+					if err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("netfile: bulk load group %d: %w", gi, err) })
+						return
+					}
+					if _, err := sp.Insert(EncodeRecord(rec)); err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("netfile: bulk load group %d node %d: %w", gi, id, err) })
+						return
+					}
+					img.recs = append(img.recs, rec)
+				}
+				img.free = sp.FreeSpace()
+				images[gi] = img
+			}
+		}()
+	}
+	for gi := range groups {
+		work <- gi
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Stage 2: sequential write-out in group order, so group i always
+	// lands on the i-th allocated page id regardless of worker count.
+	total := 0
+	pids := make([]storage.PageID, len(groups))
+	for gi, img := range images {
+		pid, b, err := f.pool.FetchNew()
 		if err != nil {
+			return fmt.Errorf("netfile: bulk load allocate page: %w", err)
+		}
+		copy(b, img.buf)
+		if err := f.pool.Unpin(pid, true); err != nil {
 			return err
 		}
-		for _, id := range group {
-			rec, err := RecordFromNode(g, id)
-			if err != nil {
-				return fmt.Errorf("netfile: bulk load group %d: %w", gi, err)
-			}
-			if err := f.InsertRecordAt(rec, pid); err != nil {
-				return fmt.Errorf("netfile: bulk load group %d node %d: %w", gi, id, err)
-			}
+		f.pages[pid] = true
+		f.free[pid] = img.free
+		pids[gi] = pid
+		total += len(img.recs)
+	}
+
+	// Stage 3: bottom-up index builds from sorted runs.
+	entries := make([]btree.Entry, 0, total)
+	for gi, img := range images {
+		for _, rec := range img.recs {
+			entries = append(entries, btree.Entry{Key: uint64(rec.ID), Val: uint64(pids[gi])})
 		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Key == entries[i-1].Key {
+			return fmt.Errorf("%w: %d", ErrDuplicate, graph.NodeID(entries[i].Key))
+		}
+	}
+	if err := f.index.BulkLoad(entries); err != nil {
+		return fmt.Errorf("netfile: bulk load node index: %w", err)
+	}
+	spatialEntries := make([]spatialEntry, 0, total)
+	for _, img := range images {
+		for _, rec := range img.recs {
+			spatialEntries = append(spatialEntries, spatialEntry{pos: rec.Pos, id: rec.ID})
+		}
+	}
+	if err := f.spatial.bulkLoad(spatialEntries); err != nil {
+		return fmt.Errorf("netfile: bulk load spatial index: %w", err)
 	}
 	return f.pool.FlushAll()
 }

@@ -53,6 +53,15 @@ type spatialIndex interface {
 	// search visits ids of entries inside rect; fn returning false
 	// stops early.
 	search(rect geom.Rect, fn func(id graph.NodeID) bool) error
+	// bulkLoad populates an empty index with all entries at once;
+	// structures without a bulk path fall back to per-entry put.
+	bulkLoad(entries []spatialEntry) error
+}
+
+// spatialEntry is one point record for bulkLoad.
+type spatialEntry struct {
+	pos geom.Point
+	id  graph.NodeID
 }
 
 func newSpatialIndex(kind SpatialKind, quant geom.Quantizer) (spatialIndex, error) {
@@ -99,6 +108,18 @@ func (z *zorderIndex) remove(p geom.Point, id graph.NodeID) error {
 	return err
 }
 
+// bulkLoad builds the Z-order B+-tree bottom-up from the sorted key
+// run. Keys are unique even for co-located points because the node id
+// occupies the low 32 bits.
+func (z *zorderIndex) bulkLoad(entries []spatialEntry) error {
+	bes := make([]btree.Entry, len(entries))
+	for i, e := range entries {
+		bes[i] = btree.Entry{Key: z.key(e.pos, e.id), Val: uint64(e.id)}
+	}
+	sort.Slice(bes, func(i, j int) bool { return bes[i].Key < bes[j].Key })
+	return z.tree.BulkLoad(bes)
+}
+
 func (z *zorderIndex) search(rect geom.Rect, fn func(graph.NodeID) bool) error {
 	loX, loY := z.quant.Grid(rect.Min)
 	hiX, hiY := z.quant.Grid(rect.Max)
@@ -143,6 +164,17 @@ func (r *rtreeIndex) put(p geom.Point, id graph.NodeID) error {
 func (r *rtreeIndex) remove(p geom.Point, id graph.NodeID) error {
 	if err := r.tree.Delete(p, uint64(id)); err != nil {
 		return fmt.Errorf("%w: spatial entry for %d", ErrNotFound, id)
+	}
+	return nil
+}
+
+// bulkLoad has no bottom-up path for the R-tree; it falls back to
+// per-entry inserts.
+func (r *rtreeIndex) bulkLoad(entries []spatialEntry) error {
+	for _, e := range entries {
+		if err := r.put(e.pos, e.id); err != nil {
+			return err
+		}
 	}
 	return nil
 }

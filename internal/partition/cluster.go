@@ -3,10 +3,32 @@ package partition
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"ccam/internal/graph"
 	"ccam/internal/storage"
 )
+
+// ClusterOptions configures the top-down clustering recursion.
+type ClusterOptions struct {
+	// Workers bounds the number of frontier subsets partitioned
+	// concurrently (0 = GOMAXPROCS). The result is identical at every
+	// worker count for a fixed Seed.
+	Workers int
+	// Seed drives all randomness: every subset derives its own RNG seed
+	// from its parent's by a splitmix64 step, so the random stream a
+	// subset sees depends only on its position in the recursion tree,
+	// never on scheduling.
+	Seed int64
+}
+
+func (o ClusterOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // ClusterNodesIntoPages is the paper's Figure 2: top-down connectivity
 // clustering. The node set starts as one subset; subsets exceeding
@@ -14,56 +36,121 @@ import (
 // ⌈pageSize/2⌉ as the side floor) until every subset fits in a page.
 // sizeOf gives the record byte size of each node. The result is one
 // node-id slice per data page.
+//
+// This wrapper runs serially, drawing its seed from rng; use
+// ClusterNodesIntoPagesOpts to run the recursion on a worker pool.
 func ClusterNodesIntoPages(g *graph.Network, sizeOf func(graph.NodeID) int, pageSize int, part Bipartitioner, rng *rand.Rand) ([][]graph.NodeID, error) {
+	return ClusterNodesIntoPagesOpts(g, sizeOf, pageSize, part, ClusterOptions{Workers: 1, Seed: rng.Int63()})
+}
+
+// ClusterNodesIntoPagesOpts is ClusterNodesIntoPages with the frontier
+// subsets — independent subproblems — partitioned concurrently on a
+// bounded worker pool. sizeOf is consulted exactly once per node (the
+// projection onto the Weighted working set); subset byte sizes are
+// threaded down the recursion, and each bipartition splits the parent
+// Weighted directly into index-remapped sub-Weighteds instead of
+// re-materializing subnetworks. Output is deterministic: a fixed
+// opts.Seed yields an identical page list at any worker count.
+func ClusterNodesIntoPagesOpts(g *graph.Network, sizeOf func(graph.NodeID) int, pageSize int, part Bipartitioner, opts ClusterOptions) ([][]graph.NodeID, error) {
 	if g.NumNodes() == 0 {
 		return nil, ErrEmptyGraph
 	}
-	for _, id := range g.NodeIDs() {
-		if s := sizeOf(id); s > pageSize {
-			return nil, fmt.Errorf("%w: node %d needs %d bytes, page is %d", ErrNodeTooLarge, id, s, pageSize)
-		}
-	}
-	minPgSize := (pageSize + 1) / 2
+	w := BuildWeighted(g, sizeOf)
+	return ClusterWeightedIntoPages(w, pageSize, part, opts)
+}
 
-	subsetSize := func(ids []graph.NodeID) int {
-		total := 0
-		for _, id := range ids {
-			total += sizeOf(id)
-		}
-		return total
+// ClusterWeightedIntoPages runs the Figure 2 recursion directly over a
+// prepared Weighted working set (see ClusterNodesIntoPagesOpts).
+func ClusterWeightedIntoPages(w *Weighted, pageSize int, part Bipartitioner, opts ClusterOptions) ([][]graph.NodeID, error) {
+	if w.N() == 0 {
+		return nil, ErrEmptyGraph
 	}
+	for i, s := range w.Size {
+		if s > pageSize {
+			return nil, fmt.Errorf("%w: node %d needs %d bytes, page is %d", ErrNodeTooLarge, w.IDs[i], s, pageSize)
+		}
+	}
+	run := &clusterRun{
+		pageSize: pageSize,
+		minPg:    (pageSize + 1) / 2,
+		part:     part,
+		sem:      make(chan struct{}, opts.workers()-1),
+	}
+	return run.solve(w, splitmix64(uint64(opts.Seed)))
+}
 
-	frontier := [][]graph.NodeID{g.NodeIDs()}
-	var pages [][]graph.NodeID
-	for len(frontier) > 0 {
-		cur := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		if subsetSize(cur) <= pageSize {
-			pages = append(pages, cur)
-			continue
-		}
-		keep := make(map[graph.NodeID]bool, len(cur))
-		for _, id := range cur {
-			keep[id] = true
-		}
-		sub := g.Subnetwork(keep)
-		w := BuildWeighted(sub, sizeOf)
-		a, b, err := part.Bipartition(w, minPgSize, rng)
-		if err != nil {
-			return nil, fmt.Errorf("partition: clustering subset of %d nodes: %w", len(cur), err)
-		}
-		if len(a) == 0 || len(b) == 0 {
-			return nil, fmt.Errorf("partition: %s returned an empty side", part.Name())
-		}
-		for _, half := range [][]graph.NodeID{a, b} {
-			if subsetSize(half) > pageSize {
-				frontier = append(frontier, half)
-			} else {
-				pages = append(pages, half)
-			}
+// clusterRun holds the recursion's shared state. sem bounds the number
+// of subsets partitioned concurrently beyond the calling goroutine: a
+// recursion step that acquires a slot hands its first half to a fresh
+// goroutine and keeps the second; otherwise both run inline.
+type clusterRun struct {
+	pageSize int
+	minPg    int
+	part     Bipartitioner
+	sem      chan struct{}
+}
+
+// solve clusters one subset. Subset byte size is w.Total, carried from
+// the parent split — no per-pop re-scan. Pages merge first-half before
+// second-half, so the page order depends only on the recursion tree.
+func (c *clusterRun) solve(w *Weighted, seed uint64) ([][]graph.NodeID, error) {
+	if w.Total <= c.pageSize {
+		return [][]graph.NodeID{w.IDs}, nil
+	}
+	rng := rand.New(rand.NewSource(int64(splitmix64(seed))))
+	a, b, err := c.part.Bipartition(w, c.minPg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("partition: clustering subset of %d nodes: %w", w.N(), err)
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return nil, fmt.Errorf("partition: %s returned an empty side", c.part.Name())
+	}
+	wa, wb, err := w.splitByIDs(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %s: %w", c.part.Name(), err)
+	}
+	seedA := splitmix64(seed ^ 0x517cc1b727220a95)
+	seedB := splitmix64(seed ^ 0x2545f4914f6cdd1d)
+
+	var (
+		pa, pb     [][]graph.NodeID
+		errA, errB error
+	)
+	select {
+	case c.sem <- struct{}{}:
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pa, errA = c.solve(wa, seedA)
+			<-c.sem
+		}()
+		pb, errB = c.solve(wb, seedB)
+		wg.Wait()
+	default:
+		pa, errA = c.solve(wa, seedA)
+		if errA == nil {
+			pb, errB = c.solve(wb, seedB)
 		}
 	}
-	return pages, nil
+	if errA != nil {
+		return nil, errA
+	}
+	if errB != nil {
+		return nil, errB
+	}
+	return append(pa, pb...), nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a single deterministic,
+// well-mixed step from one 64-bit state to the next. Each recursion
+// node derives its RNG seed and its children's seeds from its own seed
+// with it, so random streams are reproducible at any worker count.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // PackSequential assigns nodes to pages greedily in the given order,

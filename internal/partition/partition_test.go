@@ -11,7 +11,7 @@ import (
 func unitSize(graph.NodeID) int { return 10 }
 
 func allPartitioners() []Bipartitioner {
-	return []Bipartitioner{&FM{}, &RatioCut{}, &KL{}}
+	return []Bipartitioner{&FM{}, &RatioCut{}, &KL{}, &Multilevel{}}
 }
 
 func TestBuildWeightedCollapsesDirectedPairs(t *testing.T) {

@@ -177,6 +177,90 @@ func (w *Weighted) split(side []bool) (a, b []graph.NodeID) {
 	return a, b
 }
 
+// indexOf returns the dense index of id. IDs are ascending (BuildWeighted
+// sorts them and splitByIDs preserves the order), so a binary search
+// suffices; -1 when absent.
+func (w *Weighted) indexOf(id graph.NodeID) int {
+	i := sort.Search(len(w.IDs), func(i int) bool { return w.IDs[i] >= id })
+	if i < len(w.IDs) && w.IDs[i] == id {
+		return i
+	}
+	return -1
+}
+
+// splitByIDs materializes the two induced sub-Weighteds of a
+// bipartition, remapping dense indexes and filtering adjacency in one
+// pass over the parent — no map-based graph.Subnetwork, no repeated
+// BuildWeighted, no sizeOf re-scan (Total is carried from the parent's
+// sizes). Every node of w must appear in exactly one of a, b; sides may
+// be in any order. Ascending-ID order of the parent is preserved in
+// both children, so adjacency lists stay sorted and indexOf keeps
+// working down the recursion.
+func (w *Weighted) splitByIDs(a, b []graph.NodeID) (wa, wb *Weighted, err error) {
+	n := w.N()
+	if len(a)+len(b) != n {
+		return nil, nil, fmt.Errorf("partition: bipartition covers %d of %d nodes", len(a)+len(b), n)
+	}
+	inB := make([]bool, n)
+	for _, id := range b {
+		i := w.indexOf(id)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("partition: bipartition returned foreign node %d", id)
+		}
+		inB[i] = true
+	}
+	wa = &Weighted{
+		IDs:  make([]graph.NodeID, 0, len(a)),
+		Size: make([]int, 0, len(a)),
+		Adj:  make([][]WEdge, len(a)),
+	}
+	wb = &Weighted{
+		IDs:  make([]graph.NodeID, 0, len(b)),
+		Size: make([]int, 0, len(b)),
+		Adj:  make([][]WEdge, len(b)),
+	}
+	// remap[i] is node i's dense index within its side; assigning in
+	// ascending parent order keeps both children's IDs ascending.
+	remap := make([]int32, n)
+	for i := 0; i < n; i++ {
+		side := wa
+		if inB[i] {
+			side = wb
+		}
+		remap[i] = int32(len(side.IDs))
+		side.IDs = append(side.IDs, w.IDs[i])
+		side.Size = append(side.Size, w.Size[i])
+		side.Total += w.Size[i]
+	}
+	if len(wa.IDs) != len(a) {
+		return nil, nil, fmt.Errorf("partition: bipartition sides overlap (%d + %d nodes over %d)", len(a), len(b), n)
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range w.Adj[u] {
+			if e.To <= u || inB[u] != inB[e.To] {
+				continue // cut edge, or the mirror half handles it
+			}
+			side := wa
+			if inB[u] {
+				side = wb
+			}
+			ru, rv := remap[u], remap[e.To]
+			side.Adj[ru] = append(side.Adj[ru], WEdge{To: int(rv), W: e.W})
+			side.Adj[rv] = append(side.Adj[rv], WEdge{To: int(ru), W: e.W})
+		}
+	}
+	// Parent adjacency is sorted by To, and remap is monotone within a
+	// side, so the forward halves are appended in order — but the mirror
+	// halves are not; restore the sorted-adjacency invariant.
+	for _, side := range []*Weighted{wa, wb} {
+		for i := range side.Adj {
+			es := side.Adj[i]
+			sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+		}
+	}
+	return wa, wb, nil
+}
+
 // Bipartitioner cuts a weighted graph into two sides, each of total
 // size at least minSize bytes whenever feasible. Implementations strive
 // to minimize the cut weight (maximize CRR/WCRR of the eventual

@@ -34,6 +34,12 @@ func WithSpatial(kind SpatialIndexKind) Option {
 // (FindBatch, EvaluateRoutes). Zero means runtime.GOMAXPROCS(0).
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
+// WithBuildWorkers bounds the worker pool of the static create's
+// clustering recursion. Zero means runtime.GOMAXPROCS(0); one runs
+// serially. For a fixed seed the built file is identical at any worker
+// count.
+func WithBuildWorkers(n int) Option { return func(o *Options) { o.BuildWorkers = n } }
+
 // WithReadLatency charges d of simulated wall-clock time per physical
 // data-page read of the in-memory store (the paper's disk-resident
 // regime for throughput experiments). Ignored with WithPath.
