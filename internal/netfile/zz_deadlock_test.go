@@ -1,0 +1,34 @@
+package netfile
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// All groups reference a node missing from the graph, so every worker
+// errors out on its first group. With GOMAXPROCS=1 there is one worker;
+// once it returns, the producer's unbuffered send blocks forever.
+func TestBulkLoadErrorDeadlock(t *testing.T) {
+	g := testNetwork(t)
+	f, err := Create(Options{PageSize: 1024, PoolPages: 32, Bounds: g.Bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups [][]int64
+	_ = groups
+	bad := make([][]typeNodeID, 0)
+	_ = bad
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	done := make(chan error, 1)
+	go func() {
+		done <- f.BulkLoad(g, badGroups())
+	}()
+	select {
+	case err := <-done:
+		t.Logf("returned: %v", err)
+	case <-time.After(3 * time.Second):
+		t.Fatal("BulkLoad hung (deadlock)")
+	}
+}
