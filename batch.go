@@ -150,19 +150,6 @@ func (s *Store) EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggr
 	return run()
 }
 
-// RangeQueryCtx is RangeQuery with cooperative cancellation: the
-// context is checked before each candidate record fetch, so canceling
-// it stops the index scan without paying for the remaining page reads.
-func (s *Store) RangeQueryCtx(ctx context.Context, rect Rect) ([]*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
-	if err != nil {
-		return nil, err
-	}
-	return f.RangeQueryCtx(ctx, rect)
-}
-
 // defaultCheckpointBytes bounds the WAL between automatic checkpoints
 // (Options.CheckpointBytes overrides it).
 const defaultCheckpointBytes = 4 << 20

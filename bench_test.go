@@ -208,7 +208,7 @@ func BenchmarkFind(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+		if _, err := s.Find(context.Background(), ids[i%len(ids)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -240,7 +240,7 @@ func BenchmarkFindChecked(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+		if _, err := s.Find(context.Background(), ids[i%len(ids)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -268,7 +268,7 @@ func BenchmarkFindInstrumented(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+		if _, err := s.Find(context.Background(), ids[i%len(ids)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,7 +281,7 @@ func BenchmarkGetSuccessors(b *testing.B) {
 	ids := g.NodeIDs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.GetSuccessors(ids[i%len(ids)]); err != nil {
+		if _, err := s.GetSuccessors(context.Background(), ids[i%len(ids)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -298,7 +298,7 @@ func BenchmarkEvaluateRoute(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.EvaluateRoute(routes[i%len(routes)]); err != nil {
+		if _, err := s.EvaluateRoute(context.Background(), routes[i%len(routes)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -315,7 +315,7 @@ func BenchmarkRangeQuery(b *testing.B) {
 	)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RangeQuery(window); err != nil {
+		if _, err := s.RangeQuery(context.Background(), window); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,7 +367,7 @@ func BenchmarkConcurrentFind(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		rng := rand.New(rand.NewSource(int64(b.N)))
 		for pb.Next() {
-			if _, err := s.Find(ids[rng.Intn(len(ids))]); err != nil {
+			if _, err := s.Find(context.Background(), ids[rng.Intn(len(ids))]); err != nil {
 				b.Error(err)
 				return
 			}

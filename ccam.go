@@ -22,8 +22,11 @@
 //	store, err := ccam.Open(ccam.Options{PageSize: 2048})
 //	...
 //	err = store.Build(net)
-//	rec, err := store.Find(1)
-//	agg, err := store.EvaluateRoute(ccam.Route{1, 2})
+//	rec, err := store.Find(ctx, 1)
+//	agg, err := store.EvaluateRoute(ctx, ccam.Route{1, 2})
+//
+// Queries are context-first; callers without a context can use the
+// ctx-less view: store.Plain().Find(1).
 //
 // Baseline access methods from the paper's evaluation (DFS-AM, BFS-AM,
 // WDFS-AM and the Grid File) are available through NewBaseline for
@@ -99,6 +102,9 @@ const (
 	SecondOrder = netfile.SecondOrder
 	// HigherOrder also reorganizes the PAG-neighbor pages.
 	HigherOrder = netfile.HigherOrder
+	// Lazy behaves first-order per update but reorganizes a page's
+	// neighborhood after enough updates accumulate on it (paper §2.4).
+	Lazy = netfile.Lazy
 )
 
 // Common sentinel errors.
@@ -115,6 +121,12 @@ var (
 	// store poisoned by a mid-batch apply failure (reopen it with
 	// OpenPath to recover the committed prefix).
 	ErrClosed = errors.New("ccam: store is closed")
+	// ErrOverloaded reports a request shed by admission control: the
+	// serving layer (cmd/ccam-serve) was already running its maximum
+	// number of in-flight requests and refused this one instead of
+	// queueing it. The request did not run; retrying after a backoff is
+	// safe.
+	ErrOverloaded = errors.New("ccam: server overloaded")
 	// ErrEdgeExists reports an insert of an edge that is already
 	// stored.
 	ErrEdgeExists = graph.ErrEdgeExists
@@ -435,14 +447,10 @@ func (s *Store) file() (*netfile.File, error) {
 	return f, nil
 }
 
-// Find retrieves the record of a node.
-func (s *Store) Find(id NodeID) (*Record, error) {
-	return s.FindCtx(context.Background(), id)
-}
-
-// FindCtx is Find with cooperative cancellation: the context is
-// checked before the record fetch.
-func (s *Store) FindCtx(ctx context.Context, id NodeID) (*Record, error) {
+// Find retrieves the record of a node. The context is checked before
+// the record fetch, so canceling it (or exceeding its deadline) stops
+// the operation early.
+func (s *Store) Find(ctx context.Context, id NodeID) (*Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -459,8 +467,12 @@ func (s *Store) FindCtx(ctx context.Context, id NodeID) (*Record, error) {
 }
 
 // GetASuccessor retrieves the record of succ, a successor of cur; the
-// buffered page containing cur is searched first.
-func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
+// buffered page containing cur is searched first. The context is
+// checked before the fetch.
+func (s *Store) GetASuccessor(ctx context.Context, cur *Record, succ NodeID) (*Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -477,14 +489,9 @@ func (s *Store) GetASuccessor(cur *Record, succ NodeID) (*Record, error) {
 }
 
 // GetSuccessors retrieves the records of all successors of a node.
-func (s *Store) GetSuccessors(id NodeID) ([]*Record, error) {
-	return s.GetSuccessorsCtx(context.Background(), id)
-}
-
-// GetSuccessorsCtx is GetSuccessors with cooperative cancellation:
-// the context is checked before the node's own fetch and before each
+// The context is checked before the node's own fetch and before each
 // successor fetch.
-func (s *Store) GetSuccessorsCtx(ctx context.Context, id NodeID) ([]*Record, error) {
+func (s *Store) GetSuccessors(ctx context.Context, id NodeID) ([]*Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -501,15 +508,10 @@ func (s *Store) GetSuccessorsCtx(ctx context.Context, id NodeID) ([]*Record, err
 }
 
 // EvaluateRoute computes the aggregate property of a route as a Find
-// followed by Get-A-successor operations.
-func (s *Store) EvaluateRoute(route Route) (RouteAggregate, error) {
-	return s.EvaluateRouteCtx(context.Background(), route)
-}
-
-// EvaluateRouteCtx is EvaluateRoute with cooperative cancellation:
-// the context is checked before each hop's record fetch, so canceling
-// it stops a long route without paying for the remaining page reads.
-func (s *Store) EvaluateRouteCtx(ctx context.Context, route Route) (RouteAggregate, error) {
+// followed by Get-A-successor operations. The context is checked
+// before each hop's record fetch, so canceling it stops a long route
+// without paying for the remaining page reads.
+func (s *Store) EvaluateRoute(ctx context.Context, route Route) (RouteAggregate, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -526,8 +528,10 @@ func (s *Store) EvaluateRouteCtx(ctx context.Context, route Route) (RouteAggrega
 }
 
 // RangeQuery returns all records whose positions lie inside rect, via
-// the Z-ordered secondary index.
-func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
+// the Z-ordered secondary index. The context is checked before each
+// candidate record fetch, so canceling it stops the index scan without
+// paying for the remaining page reads.
+func (s *Store) RangeQuery(ctx context.Context, rect Rect) ([]*Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -536,11 +540,11 @@ func (s *Store) RangeQuery(rect Rect) ([]*Record, error) {
 	}
 	if s.obs != nil {
 		sn := s.obs.beginOp(s.obs.rangeQuery, f)
-		recs, err := f.RangeQuery(rect)
+		recs, err := f.RangeQueryCtx(ctx, rect)
 		sn.end(err)
 		return recs, err
 	}
-	return f.RangeQuery(rect)
+	return f.RangeQueryCtx(ctx, rect)
 }
 
 // Insert adds a new node with its edges under the given policy. It is
@@ -569,8 +573,12 @@ func (s *Store) DeleteEdge(from, to NodeID, policy Policy) error {
 
 // Has reports whether a node is stored. Unlike Contains, it surfaces
 // real failures: an unbuilt store or an index error comes back as a
-// non-nil error instead of being conflated with "absent".
-func (s *Store) Has(id NodeID) (bool, error) {
+// non-nil error instead of being conflated with "absent". The context
+// is checked before the index probe.
+func (s *Store) Has(ctx context.Context, id NodeID) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.file()
@@ -583,7 +591,7 @@ func (s *Store) Has(id NodeID) (bool, error) {
 // Contains reports whether a node is stored. It is a convenience
 // wrapper around Has that treats every failure as "not stored".
 func (s *Store) Contains(id NodeID) bool {
-	ok, err := s.Has(id)
+	ok, err := s.Has(context.Background(), id)
 	return err == nil && ok
 }
 

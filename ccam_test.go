@@ -1,6 +1,7 @@
 package ccam
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"os"
@@ -29,7 +30,7 @@ func TestStoreLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.Find(1); err == nil {
+	if _, err := s.Find(context.Background(), 1); err == nil {
 		t.Fatal("Find on unbuilt store succeeded")
 	}
 	if err := s.Build(g); err != nil {
@@ -42,14 +43,14 @@ func TestStoreLifecycle(t *testing.T) {
 		t.Fatal("no pages")
 	}
 	id := g.NodeIDs()[0]
-	rec, err := s.Find(id)
+	rec, err := s.Find(context.Background(), id)
 	if err != nil || rec.ID != id {
 		t.Fatalf("Find = %v, %v", rec, err)
 	}
 	if !s.Contains(id) || s.Contains(999999) {
 		t.Fatal("Contains wrong")
 	}
-	if _, err := s.Find(999999); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Find(context.Background(), 999999); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing find = %v", err)
 	}
 	if crr := s.CRR(g); crr < 0.5 {
@@ -70,20 +71,20 @@ func TestStoreOperations(t *testing.T) {
 
 	// Get-successors and Get-A-successor.
 	id := g.NodeIDs()[5]
-	succs, err := s.GetSuccessors(id)
+	succs, err := s.GetSuccessors(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(succs) != len(g.Successors(id)) {
 		t.Fatalf("GetSuccessors = %d records, want %d", len(succs), len(g.Successors(id)))
 	}
-	rec, _ := s.Find(id)
+	rec, _ := s.Find(context.Background(), id)
 	if len(rec.Succs) > 0 {
-		sr, err := s.GetASuccessor(rec, rec.Succs[0].To)
+		sr, err := s.GetASuccessor(context.Background(), rec, rec.Succs[0].To)
 		if err != nil || sr.ID != rec.Succs[0].To {
 			t.Fatalf("GetASuccessor = %v, %v", sr, err)
 		}
-		if _, err := s.GetASuccessor(rec, 999999); err == nil {
+		if _, err := s.GetASuccessor(context.Background(), rec, 999999); err == nil {
 			t.Fatal("GetASuccessor accepted a non-successor")
 		}
 	}
@@ -95,7 +96,7 @@ func TestStoreOperations(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range routes {
-		agg, err := s.EvaluateRoute(r)
+		agg, err := s.EvaluateRoute(context.Background(), r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestStoreOperations(t *testing.T) {
 
 	// Range query.
 	b := g.Bounds()
-	all, err := s.RangeQuery(b)
+	all, err := s.RangeQuery(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestStoreOperations(t *testing.T) {
 	if err := s.ResetIO(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Find(victim); err != nil {
+	if _, err := s.Find(context.Background(), victim); err != nil {
 		t.Fatal(err)
 	}
 	if s.IO().Reads == 0 {
@@ -163,7 +164,7 @@ func TestStoreFileBacked(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := g.NodeIDs()[3]
-	if _, err := s.Find(id); err != nil {
+	if _, err := s.Find(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Flush(); err != nil {
@@ -185,7 +186,7 @@ func TestBaselines(t *testing.T) {
 			t.Fatalf("build %s: %v", kind, err)
 		}
 		id := g.NodeIDs()[0]
-		rec, err := m.Find(id)
+		rec, err := m.Find(context.Background(), id)
 		if err != nil || rec.ID != id {
 			t.Fatalf("%s Find = %v, %v", kind, rec, err)
 		}
@@ -261,7 +262,7 @@ func TestStoreReopen(t *testing.T) {
 	}
 	// Every record is intact, with its full lists.
 	for _, id := range g.NodeIDs() {
-		rec, err := r.Find(id)
+		rec, err := r.Find(context.Background(), id)
 		if err != nil {
 			t.Fatalf("reopened Find(%d): %v", id, err)
 		}
@@ -275,7 +276,7 @@ func TestStoreReopen(t *testing.T) {
 		t.Fatalf("reopened CRR %.4f, was %.4f", got, wantCRR)
 	}
 	// The reopened store is fully operational: spatial query + update.
-	all, err := r.RangeQuery(g.Bounds())
+	all, err := r.RangeQuery(context.Background(), g.Bounds())
 	if err != nil || len(all) != g.NumNodes() {
 		t.Fatalf("reopened range query: %d records, %v", len(all), err)
 	}
@@ -322,12 +323,12 @@ func TestStoreConcurrentUse(t *testing.T) {
 				id := ids[rng.Intn(len(ids))]
 				switch i % 4 {
 				case 0:
-					if _, err := s.Find(id); err != nil {
+					if _, err := s.Find(context.Background(), id); err != nil {
 						errCh <- err
 						return
 					}
 				case 1:
-					if _, err := s.GetSuccessors(id); err != nil {
+					if _, err := s.GetSuccessors(context.Background(), id); err != nil {
 						errCh <- err
 						return
 					}
@@ -361,7 +362,7 @@ func TestStoreWithRTreeIndex(t *testing.T) {
 	if err := s.Build(g); err != nil {
 		t.Fatal(err)
 	}
-	all, err := s.RangeQuery(g.Bounds())
+	all, err := s.RangeQuery(context.Background(), g.Bounds())
 	if err != nil || len(all) != g.NumNodes() {
 		t.Fatalf("r-tree range query = %d, %v", len(all), err)
 	}
@@ -434,7 +435,7 @@ func TestOpenPathDetectsCorruption(t *testing.T) {
 		t.Fatalf("after quarantine Len = %d, want 0 < n < %d", got, total)
 	}
 	for _, id := range g.NodeIDs() {
-		rec, err := r.Find(id)
+		rec, err := r.Find(context.Background(), id)
 		if err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue // quarantined with its page

@@ -17,6 +17,7 @@
 //	ccam-bench -exp metrics
 //	ccam-bench -exp metrics -http :8080
 //	ccam-bench -exp build-scale -sizes 4096,65536 -workers 4 -json out.json -check
+//	ccam-bench -exp serve -conns 10000 -duration 10s -json out.json -check
 //
 // Flags -seed, -rows and -cols change the synthetic road map; the
 // defaults reproduce the paper-scale Minneapolis map (1079 nodes,
@@ -35,7 +36,14 @@
 // sweeps network sizes from -sizes and times the Fig. 2 clustering
 // under serial ratio-cut, parallel ratio-cut and parallel multilevel;
 // -json writes the machine-readable result and -check enforces the
-// determinism/quality/speedup regression gates.
+// determinism/quality/speedup regression gates. The serve experiment
+// (wall-clock, excluded from all) load-tests the ccam-serve query
+// service: it spawns the server in-process over a file-backed store,
+// opens -conns binary-protocol connections, drives a mixed read
+// workload closed-loop (or open-loop with -rate), reports client and
+// server p50/p95/p99 with shed counts, then drains the server and
+// verifies the reopen replays no WAL; -addr points it at an external
+// server instead.
 package main
 
 import (
@@ -50,7 +58,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, build-scale (the last four are not part of all: they measure wall-clock, not page counts)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, build-scale, serve (the last five are not part of all: they measure wall-clock, not page counts)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
@@ -58,9 +66,16 @@ func main() {
 	parallel := flag.Int("parallel", 8, "largest worker-pool size the throughput experiment sweeps")
 	httpAddr := flag.String("http", "", "with -exp metrics: keep serving /metrics, /metrics.json, /traces and /debug/pprof on this address after the run")
 	sizes := flag.String("sizes", "", "with -exp build-scale: comma-separated node counts to sweep (default 4096,16384,65536,262144)")
-	jsonPath := flag.String("json", "", "with -exp build-scale: also write the result as JSON to this path")
-	check := flag.Bool("check", false, "with -exp build-scale: fail unless determinism, CRR-parity and speedup gates hold")
+	jsonPath := flag.String("json", "", "with -exp build-scale or serve: also write the result as JSON to this path")
+	check := flag.Bool("check", false, "with -exp build-scale or serve: fail unless the experiment's regression gates hold")
 	workers := flag.Int("workers", 0, "with -exp build-scale: clustering worker pool for the parallel variants (0 = GOMAXPROCS)")
+	conns := flag.Int("conns", 10000, "with -exp serve: concurrent binary-protocol connections")
+	duration := flag.Duration("duration", 10e9, "with -exp serve: measured load window")
+	rate := flag.Int("rate", 0, "with -exp serve: open-loop target req/s across all connections (0 = closed loop)")
+	addr := flag.String("addr", "", "with -exp serve: load an external ccam-serve binary port instead of an in-process server")
+	serveBin := flag.String("serve-bin", "", "with -exp serve: run this ccam-serve binary as a child process instead of serving in-process (doubles the per-process fd budget and exercises the real SIGTERM drain)")
+	nodes := flag.Int("nodes", 262144, "with -exp serve: road-map size for the in-process server")
+	inflight := flag.Int("max-inflight", 0, "with -exp serve: in-process server admission cap (0 = server default)")
 	flag.Parse()
 
 	opts := graph.MinneapolisLikeOpts()
@@ -75,6 +90,10 @@ func main() {
 
 	if err := run(os.Stdout, *exp, setup, *parallel, *httpAddr, buildScaleOpts{
 		sizes: *sizes, jsonPath: *jsonPath, workers: *workers, check: *check,
+	}, serveConfig{
+		Nodes: *nodes, Conns: *conns, Duration: *duration, Rate: *rate,
+		Addr: *addr, ServeBin: *serveBin, MaxInFlight: *inflight,
+		JSONPath: *jsonPath, Check: *check, Seed: *seed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-bench:", err)
 		os.Exit(1)
@@ -89,11 +108,14 @@ type buildScaleOpts struct {
 	check    bool
 }
 
-func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts) error {
-	// The build-scale experiment generates its own (much larger)
-	// networks, so skip building the default map.
+func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts, sc serveConfig) error {
+	// The build-scale and serve experiments generate their own (much
+	// larger) networks, so skip building the default map.
 	if exp == "build-scale" {
 		return runBuildScale(w, setup, bs.sizes, bs.jsonPath, bs.workers, bs.check)
+	}
+	if exp == "serve" {
+		return runServe(w, sc)
 	}
 	g, err := setup.Network()
 	if err != nil {

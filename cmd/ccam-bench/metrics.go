@@ -48,18 +48,19 @@ func runMetrics(w io.Writer, g *graph.Network, seed int64, httpAddr string) erro
 		return err
 	}
 
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(seed))
 	ids := g.NodeIDs()
 	pick := func() ccam.NodeID { return ids[rng.Intn(len(ids))] }
 
 	// Point lookups and successor expansions.
 	for i := 0; i < 400; i++ {
-		if _, err := st.Find(pick()); err != nil {
+		if _, err := st.Find(ctx, pick()); err != nil {
 			return err
 		}
 	}
 	for i := 0; i < 200; i++ {
-		if _, err := st.GetSuccessors(pick()); err != nil {
+		if _, err := st.GetSuccessors(ctx, pick()); err != nil {
 			return err
 		}
 	}
@@ -69,7 +70,7 @@ func runMetrics(w io.Writer, g *graph.Network, seed int64, httpAddr string) erro
 		return err
 	}
 	for _, r := range routes {
-		if _, err := st.EvaluateRoute(r); err != nil {
+		if _, err := st.EvaluateRoute(ctx, r); err != nil {
 			return err
 		}
 	}
@@ -82,7 +83,7 @@ func runMetrics(w io.Writer, g *graph.Network, seed int64, httpAddr string) erro
 			ccam.Point{X: cx - b.Width()/8, Y: cy - b.Height()/8},
 			ccam.Point{X: cx + b.Width()/8, Y: cy + b.Height()/8},
 		)
-		if _, err := st.RangeQuery(win); err != nil {
+		if _, err := st.RangeQuery(ctx, win); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,631 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ccam"
+	"ccam/internal/graph"
+	"ccam/internal/metrics"
+	"ccam/internal/server"
+	"ccam/internal/wire"
+)
+
+// serveConfig carries the -exp serve flags.
+type serveConfig struct {
+	// Nodes sizes the generated road map (smallest side² lattice
+	// covering it, largest component kept). Ignored with Addr.
+	Nodes int
+	// Conns is the number of concurrent binary-protocol connections.
+	Conns int
+	// Duration is the measured load window.
+	Duration time.Duration
+	// Rate, when positive, runs an open loop targeting this many
+	// requests/s across all connections (each connection fires on its
+	// own schedule regardless of completions). Zero runs a closed loop:
+	// every connection keeps exactly one request in flight.
+	Rate int
+	// Addr, when set, loads an external server's binary port instead of
+	// managing one (then the drain check is skipped).
+	Addr string
+	// ServeBin, when set, runs the server as a child ccam-serve process
+	// at this binary path instead of in-process. Two processes double
+	// the file-descriptor budget — one end of each loopback connection
+	// per process — which is what lets a 20000-fd rlimit carry 10000+
+	// connections; the drain check then exercises the daemon's real
+	// SIGTERM path.
+	ServeBin string
+	// MaxInFlight is the managed server's admission cap.
+	MaxInFlight int
+	// JSONPath, when set, also writes the result as JSON there.
+	JSONPath string
+	// Check enforces the acceptance gates (non-zero throughput, zero
+	// protocol errors, clean drain).
+	Check bool
+	// Seed drives the workload and the generated map.
+	Seed int64
+}
+
+// serveResult is the machine-readable outcome (BENCH_serve.json).
+type serveResult struct {
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges,omitempty"`
+	Conns       int     `json:"conns"`
+	Rate        int     `json:"rate,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	MaxInFlight int     `json:"max_in_flight"`
+
+	Requests   int64   `json:"requests"`
+	Throughput float64 `json:"throughput_rps"`
+	Sheds      int64   `json:"sheds"`
+	ProtoErrs  int64   `json:"protocol_errors"`
+
+	// Client-observed latency of completed (non-shed) requests.
+	ClientP50Ms float64 `json:"client_p50_ms"`
+	ClientP95Ms float64 `json:"client_p95_ms"`
+	ClientP99Ms float64 `json:"client_p99_ms"`
+	// Server-side request latency from the server's own histogram
+	// (in-process server only; a child process keeps its own registry).
+	ServerP50Ms float64 `json:"server_p50_ms,omitempty"`
+	ServerP95Ms float64 `json:"server_p95_ms,omitempty"`
+	ServerP99Ms float64 `json:"server_p99_ms,omitempty"`
+
+	DrainClean      bool `json:"drain_clean"`
+	ReplayedBatches int  `json:"replayed_batches"`
+}
+
+// raiseFDLimit lifts RLIMIT_NOFILE toward want. Best-effort — raising
+// the hard limit needs privileges and may be refused — so the caller
+// re-reads the limit and budgets connections against what it got.
+func raiseFDLimit(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	lim.Cur = want
+	if lim.Max < want {
+		lim.Max = want
+	}
+	syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}
+
+func fdLimit() uint64 {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 1024
+	}
+	return lim.Cur
+}
+
+// serveTarget is the server under load, however it is hosted.
+type serveTarget struct {
+	addr string         // binary-protocol address
+	g    *graph.Network // road map behind the store; nil when unknown
+	ids  []ccam.NodeID  // workload id population
+	// blind marks an id population the target may not fully hold
+	// (external server): ErrNotFound counts as a served request there.
+	blind bool
+	// drain gracefully stops the managed server and returns how many
+	// WAL batches a reopen replays (0 = the drain checkpointed
+	// cleanly). Nil for an external server.
+	drain func(io.Writer) (int, error)
+	// stop releases whatever drain did not (temp dirs, processes).
+	stop func()
+
+	srv *server.Server // in-process only, for server-side stats
+}
+
+// runServe is the -exp serve experiment: a load generator for the
+// ccam-serve query service. It brings up the server (in-process, or a
+// child ccam-serve when -serve-bin is given), opens -conns
+// binary-protocol connections, drives a mixed read workload for
+// -duration, reports client/server p50/p95/p99 with shed counts, then
+// drains the server and verifies a reopen replays no WAL.
+func runServe(w io.Writer, cfg serveConfig) error {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 10000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 262144
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = server.DefaultMaxInFlight
+	}
+
+	// Budget file descriptors: each connection costs one fd here, plus
+	// a second one in this process when the server is in-process too.
+	perConn := uint64(2)
+	if cfg.Addr != "" || cfg.ServeBin != "" {
+		perConn = 1
+	}
+	raiseFDLimit(perConn*uint64(cfg.Conns) + 4096)
+	if max := int((fdLimit() - 2048) / perConn); cfg.Conns > max {
+		fmt.Fprintf(w, "serve: fd limit %d caps connections at %d (wanted %d; -serve-bin doubles the budget)\n",
+			fdLimit(), max, cfg.Conns)
+		cfg.Conns = max
+	}
+
+	res := serveResult{Conns: cfg.Conns, Rate: cfg.Rate, MaxInFlight: cfg.MaxInFlight}
+
+	var (
+		tgt *serveTarget
+		err error
+	)
+	switch {
+	case cfg.Addr != "":
+		tgt, err = dialExternal(cfg)
+	case cfg.ServeBin != "":
+		tgt, err = startChild(w, cfg)
+	default:
+		tgt, err = startInProcess(w, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	defer tgt.stop()
+	if tgt.g != nil {
+		res.Nodes, res.Edges = tgt.g.NumNodes(), tgt.g.NumEdges()
+	} else {
+		res.Nodes = len(tgt.ids)
+	}
+
+	// Dial the fleet in parallel batches.
+	fmt.Fprintf(w, "serve: opening %d connections to %s...\n", cfg.Conns, tgt.addr)
+	clients := make([]*wire.Client, cfg.Conns)
+	var dialErrs atomic.Int64
+	var dialWG sync.WaitGroup
+	dialSem := make(chan struct{}, 256)
+	for i := range clients {
+		dialWG.Add(1)
+		dialSem <- struct{}{}
+		go func(i int) {
+			defer dialWG.Done()
+			defer func() { <-dialSem }()
+			c, err := wire.Dial(tgt.addr)
+			if err != nil {
+				dialErrs.Add(1)
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	dialWG.Wait()
+	closeClients := func() {
+		for i, c := range clients {
+			if c != nil {
+				c.Close()
+				clients[i] = nil
+			}
+		}
+	}
+	defer closeClients()
+	if n := dialErrs.Load(); n > 0 {
+		return fmt.Errorf("serve: %d of %d connections failed to open", n, cfg.Conns)
+	}
+
+	// Commit one mutation up front so the WAL holds real bytes: the
+	// drain check below then proves Shutdown checkpointed (a reopen
+	// after an unclean stop would have to replay this batch).
+	if tgt.drain != nil {
+		if err := commitMarkerMutation(clients[0], tgt); err != nil {
+			return fmt.Errorf("serve: marker mutation: %w", err)
+		}
+	}
+
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("client_request_ns")
+	var requests, sheds, protoErrs atomic.Int64
+	deadlineAt := time.Now().Add(cfg.Duration)
+	perConnInterval := time.Duration(0)
+	if cfg.Rate > 0 {
+		perConnInterval = time.Duration(float64(time.Second) * float64(cfg.Conns) / float64(cfg.Rate))
+	}
+
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *wire.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			ctx := context.Background()
+			next := time.Now()
+			for {
+				if cfg.Rate > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(perConnInterval)
+				}
+				if !time.Now().Before(deadlineAt) {
+					return
+				}
+				start := time.Now()
+				err := oneRequest(ctx, c, tgt, rng)
+				switch {
+				case err == nil:
+					requests.Add(1)
+					lat.ObserveSince(start)
+				case errors.Is(err, ccam.ErrOverloaded):
+					sheds.Add(1)
+					// Back off briefly so shed retries don't spin.
+					time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+				default:
+					protoErrs.Add(1)
+					return // a broken connection stops its worker
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(loadStart).Seconds()
+
+	res.Requests = requests.Load()
+	res.Sheds = sheds.Load()
+	res.ProtoErrs = protoErrs.Load()
+	res.DurationS = elapsed
+	res.Throughput = float64(res.Requests) / elapsed
+	snap := lat.Snapshot()
+	res.ClientP50Ms = float64(snap.P50()) / 1e6
+	res.ClientP95Ms = float64(snap.P95()) / 1e6
+	res.ClientP99Ms = float64(snap.P99()) / 1e6
+	if tgt.srv != nil {
+		stats := tgt.srv.Stats()
+		res.ServerP50Ms = float64(stats.Latency.P50()) / 1e6
+		res.ServerP95Ms = float64(stats.Latency.P95()) / 1e6
+		res.ServerP99Ms = float64(stats.Latency.P99()) / 1e6
+	}
+
+	if tgt.drain != nil {
+		closeClients()
+		replayed, err := tgt.drain(w)
+		if err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		res.ReplayedBatches = replayed
+		res.DrainClean = replayed == 0
+	}
+
+	printServeResult(w, cfg, &res, tgt)
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	if cfg.Check {
+		if res.Requests == 0 || res.Throughput <= 0 {
+			return errors.New("serve: check failed: zero throughput")
+		}
+		if res.ProtoErrs != 0 {
+			return fmt.Errorf("serve: check failed: %d protocol errors", res.ProtoErrs)
+		}
+		if tgt.drain != nil && !res.DrainClean {
+			return fmt.Errorf("serve: check failed: reopen replayed %d batches", res.ReplayedBatches)
+		}
+	}
+	return nil
+}
+
+// oneRequest issues one workload operation: 60% point find, 20%
+// successor fetch, 15% route evaluation (short random walks), 5%
+// window query — the paper's read operations in rough route-planning
+// proportions.
+func oneRequest(ctx context.Context, c *wire.Client, tgt *serveTarget, rng *rand.Rand) error {
+	id := tgt.ids[rng.Intn(len(tgt.ids))]
+	var err error
+	switch p := rng.Intn(100); {
+	case p < 60:
+		_, err = c.Find(ctx, id)
+	case p < 80:
+		_, err = c.GetSuccessors(ctx, id)
+	case p < 95:
+		route := ccam.Route{id}
+		if tgt.g != nil {
+			cur := id
+			for hop := 0; hop < 3; hop++ {
+				succs := tgt.g.SuccessorEdges(cur)
+				if len(succs) == 0 {
+					break
+				}
+				cur = succs[rng.Intn(len(succs))].To
+				route = append(route, cur)
+			}
+		}
+		_, err = c.EvaluateRoute(ctx, route)
+	default:
+		var rec *ccam.Record
+		rec, err = c.Find(ctx, id)
+		if err == nil {
+			win := ccam.NewRect(rec.Pos, ccam.Point{X: rec.Pos.X + 300, Y: rec.Pos.Y + 300})
+			_, err = c.RangeQuery(ctx, win)
+		}
+	}
+	if err != nil && tgt.blind && errors.Is(err, ccam.ErrNotFound) {
+		return nil // sampling ids the external server may not hold
+	}
+	return err
+}
+
+// commitMarkerMutation applies one durable set-edge-cost batch (same
+// cost value, so query results are unchanged) purely to put committed
+// bytes in the WAL before the drain check.
+func commitMarkerMutation(c *wire.Client, tgt *serveTarget) error {
+	for _, id := range tgt.ids {
+		succs := tgt.g.SuccessorEdges(id)
+		if len(succs) == 0 {
+			continue
+		}
+		_, err := c.Apply(context.Background(), []wire.ApplyOp{{
+			Kind: wire.OpSetEdgeCost,
+			From: succs[0].From, To: succs[0].To, Cost: float32(succs[0].Cost),
+		}})
+		return err
+	}
+	return errors.New("no edge to mutate")
+}
+
+// buildRoadMap generates the experiment's network: the smallest side²
+// lattice covering cfg.Nodes, pruned to its largest component.
+func buildRoadMap(cfg serveConfig) (*graph.Network, error) {
+	mapOpts := graph.MinneapolisLikeOpts()
+	mapOpts.Seed = cfg.Seed
+	side := 1
+	for side*side < cfg.Nodes {
+		side++
+	}
+	mapOpts.Rows, mapOpts.Cols = side, side
+	return graph.RoadMap(mapOpts)
+}
+
+// dialExternal probes an already-running server. Its id space is
+// unknown, so the workload samples a low id range blind and the drain
+// check is skipped.
+func dialExternal(cfg serveConfig) (*serveTarget, error) {
+	c, err := wire.Dial(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", cfg.Addr, err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		return nil, fmt.Errorf("serve: ping %s: %w", cfg.Addr, err)
+	}
+	ids := make([]ccam.NodeID, 1<<16)
+	for i := range ids {
+		ids[i] = ccam.NodeID(i)
+	}
+	return &serveTarget{addr: cfg.Addr, ids: ids, blind: true, stop: func() {}}, nil
+}
+
+// startInProcess builds the store and serves it from this process.
+func startInProcess(w io.Writer, cfg serveConfig) (*serveTarget, error) {
+	g, err := buildRoadMap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "serve: road map %d nodes, %d edges; building store...\n", g.NumNodes(), g.NumEdges())
+
+	dir, err := os.MkdirTemp("", "ccam-serve-bench-")
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "net.ccam")
+	buildStart := time.Now()
+	st, err := ccam.Open(ccam.Options{
+		Path: path, PageSize: 2048, PoolPages: 8192,
+		Seed: cfg.Seed, WAL: true, Metrics: true,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	fail := func(err error) (*serveTarget, error) {
+		st.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	if err := st.Build(g); err != nil {
+		return fail(err)
+	}
+	if err := st.Flush(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(w, "serve: built in %.1fs (%d pages)\n", time.Since(buildStart).Seconds(), st.NumPages())
+
+	srv := server.New(server.Options{Store: st, MaxInFlight: cfg.MaxInFlight})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	go srv.ServeBinary(l)
+
+	return &serveTarget{
+		addr: l.Addr().String(),
+		g:    g,
+		ids:  g.NodeIDs(),
+		srv:  srv,
+		drain: func(io.Writer) (int, error) {
+			sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				return 0, err
+			}
+			if err := st.Close(); err != nil {
+				return 0, err
+			}
+			return replayedBatches(path)
+		},
+		stop: func() { st.Close(); os.RemoveAll(dir) },
+	}, nil
+}
+
+// startChild builds the store inside a child ccam-serve process (the
+// real daemon) and waits for its binary port to answer. Draining sends
+// SIGTERM — the daemon's own graceful-drain path — waits for a clean
+// exit, and reopens the store file here to count replayed WAL batches.
+func startChild(w io.Writer, cfg serveConfig) (*serveTarget, error) {
+	// The daemon generates its map from (-nodes, -seed) exactly as
+	// buildRoadMap does, so generating it here too yields the daemon's
+	// id space without asking it.
+	g, err := buildRoadMap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "serve: road map %d nodes, %d edges; building store in child %s...\n",
+		g.NumNodes(), g.NumEdges(), cfg.ServeBin)
+
+	dir, err := os.MkdirTemp("", "ccam-serve-bench-")
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "net.ccam")
+	tcpAddr, err := freePort()
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	cmd := exec.Command(cfg.ServeBin,
+		"-path", path, "-create",
+		"-nodes", fmt.Sprint(cfg.Nodes), "-seed", fmt.Sprint(cfg.Seed),
+		"-pool", "8192", "-max-inflight", fmt.Sprint(cfg.MaxInFlight),
+		"-http", "", "-tcp", tcpAddr)
+	cmd.Stdout = w
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	stop := func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+		os.RemoveAll(dir)
+	}
+
+	// Building a quarter-million-node store takes tens of seconds;
+	// poll the binary port until the daemon answers.
+	ready := false
+	for deadline := time.Now().Add(5 * time.Minute); time.Now().Before(deadline); {
+		select {
+		case <-exited:
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("serve: child exited during startup: %v", exitErr)
+		default:
+		}
+		if c, err := wire.Dial(tcpAddr); err == nil {
+			err = c.Ping(context.Background())
+			c.Close()
+			if err == nil {
+				ready = true
+			}
+		}
+		if ready {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if !ready {
+		stop()
+		return nil, errors.New("serve: child never became ready")
+	}
+
+	return &serveTarget{
+		addr: tcpAddr,
+		g:    g,
+		ids:  g.NodeIDs(),
+		drain: func(w io.Writer) (int, error) {
+			fmt.Fprintln(w, "serve: SIGTERM to child, waiting for drain...")
+			if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				return 0, err
+			}
+			select {
+			case <-exited:
+				if exitErr != nil {
+					return 0, fmt.Errorf("child exit: %w", exitErr)
+				}
+			case <-time.After(60 * time.Second):
+				return 0, errors.New("child did not exit within 60s of SIGTERM")
+			}
+			return replayedBatches(path)
+		},
+		stop: stop,
+	}, nil
+}
+
+// replayedBatches reopens the store file and reports how many WAL
+// batches the reopen had to replay (0 after a clean drain).
+func replayedBatches(path string) (int, error) {
+	st, err := ccam.OpenPath(path, ccam.Options{PoolPages: 256})
+	if err != nil {
+		return 0, fmt.Errorf("reopen after drain: %w", err)
+	}
+	defer st.Close()
+	return st.WALStats().ReplayedBatches, nil
+}
+
+// freePort reserves an ephemeral loopback port and releases it for the
+// child to bind. The tiny reuse race is acceptable for a benchmark.
+func freePort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func printServeResult(w io.Writer, cfg serveConfig, res *serveResult, tgt *serveTarget) {
+	fmt.Fprintf(w, "\nccam-serve load (%d conns, %s", res.Conns, cfg.Duration)
+	if cfg.Rate > 0 {
+		fmt.Fprintf(w, ", open loop %d req/s", cfg.Rate)
+	} else {
+		fmt.Fprintf(w, ", closed loop")
+	}
+	fmt.Fprintf(w, ", cap %d)\n", res.MaxInFlight)
+	fmt.Fprintf(w, "%-12s %12s\n", "metric", "value")
+	fmt.Fprintf(w, "%-12s %12d\n", "requests", res.Requests)
+	fmt.Fprintf(w, "%-12s %12.0f\n", "req/s", res.Throughput)
+	fmt.Fprintf(w, "%-12s %12d\n", "sheds", res.Sheds)
+	fmt.Fprintf(w, "%-12s %12d\n", "proto errs", res.ProtoErrs)
+	fmt.Fprintf(w, "%-12s %9.2f ms\n", "client p50", res.ClientP50Ms)
+	fmt.Fprintf(w, "%-12s %9.2f ms\n", "client p95", res.ClientP95Ms)
+	fmt.Fprintf(w, "%-12s %9.2f ms\n", "client p99", res.ClientP99Ms)
+	if tgt.srv != nil {
+		fmt.Fprintf(w, "%-12s %9.2f ms\n", "server p50", res.ServerP50Ms)
+		fmt.Fprintf(w, "%-12s %9.2f ms\n", "server p95", res.ServerP95Ms)
+		fmt.Fprintf(w, "%-12s %9.2f ms\n", "server p99", res.ServerP99Ms)
+	}
+	if tgt.drain != nil {
+		fmt.Fprintf(w, "%-12s %12v\n", "drain clean", res.DrainClean)
+	}
+}

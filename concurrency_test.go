@@ -53,7 +53,7 @@ func TestConcurrentReaders(t *testing.T) {
 				switch i % 5 {
 				case 0:
 					id := ids[rng.Intn(len(ids))]
-					rec, err := s.Find(id)
+					rec, err := s.Find(context.Background(), id)
 					if err != nil {
 						errCh <- err
 						return
@@ -64,7 +64,7 @@ func TestConcurrentReaders(t *testing.T) {
 					}
 				case 1:
 					id := ids[rng.Intn(len(ids))]
-					succs, err := s.GetSuccessors(id)
+					succs, err := s.GetSuccessors(context.Background(), id)
 					if err != nil {
 						errCh <- err
 						return
@@ -75,7 +75,7 @@ func TestConcurrentReaders(t *testing.T) {
 					}
 				case 2:
 					r := routes[rng.Intn(len(routes))]
-					agg, err := s.EvaluateRoute(r)
+					agg, err := s.EvaluateRoute(context.Background(), r)
 					if err != nil {
 						errCh <- err
 						return
@@ -85,7 +85,7 @@ func TestConcurrentReaders(t *testing.T) {
 						return
 					}
 				case 3:
-					recs, err := s.RangeQuery(window)
+					recs, err := s.RangeQuery(context.Background(), window)
 					if err != nil {
 						errCh <- err
 						return
@@ -98,7 +98,7 @@ func TestConcurrentReaders(t *testing.T) {
 					}
 				case 4:
 					id := ids[rng.Intn(len(ids))]
-					ok, err := s.Has(id)
+					ok, err := s.Has(context.Background(), id)
 					if err != nil {
 						errCh <- err
 						return
@@ -204,7 +204,7 @@ func TestReadersWithWriter(t *testing.T) {
 				switch i % 3 {
 				case 0:
 					id := stable[rng.Intn(len(stable))]
-					rec, err := s.Find(id)
+					rec, err := s.Find(context.Background(), id)
 					if err != nil {
 						errCh <- err
 						return
@@ -215,12 +215,12 @@ func TestReadersWithWriter(t *testing.T) {
 					}
 				case 1:
 					r := routes[rng.Intn(len(routes))]
-					if _, err := s.EvaluateRoute(r); err != nil {
+					if _, err := s.EvaluateRoute(context.Background(), r); err != nil {
 						errCh <- err
 						return
 					}
 				case 2:
-					if _, err := s.RangeQuery(window); err != nil {
+					if _, err := s.RangeQuery(context.Background(), window); err != nil {
 						errCh <- err
 						return
 					}
@@ -291,7 +291,7 @@ func TestEvaluateRoutesMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, r := range routes {
-		want, err := s.EvaluateRoute(r)
+		want, err := s.EvaluateRoute(context.Background(), r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,11 +305,11 @@ func TestRangeQueryCtx(t *testing.T) {
 	s, g := builtStore(t, Options{PageSize: 1024, Seed: 4})
 	bb := g.Bounds()
 	window := NewRect(bb.Min, Point{X: bb.Min.X + bb.Width()*0.6, Y: bb.Min.Y + bb.Height()*0.6})
-	want, err := s.RangeQuery(window)
+	want, err := s.RangeQuery(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.RangeQueryCtx(context.Background(), window)
+	got, err := s.RangeQuery(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestRangeQueryCtx(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.RangeQueryCtx(ctx, window); !errors.Is(err, context.Canceled) {
+	if _, err := s.RangeQuery(ctx, window); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled RangeQueryCtx: got %v, want context.Canceled", err)
 	}
 }
@@ -365,7 +365,7 @@ func TestHasSurfacesErrors(t *testing.T) {
 	}
 	defer s.Close()
 	// Unbuilt store: Has errors, Contains stays a quiet false.
-	if _, err := s.Has(1); err == nil {
+	if _, err := s.Has(context.Background(), 1); err == nil {
 		t.Fatal("Has on unbuilt store returned nil error")
 	}
 	if s.Contains(1) {
@@ -376,17 +376,17 @@ func TestHasSurfacesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := g.NodeIDs()[0]
-	if ok, err := s.Has(id); err != nil || !ok {
+	if ok, err := s.Has(context.Background(), id); err != nil || !ok {
 		t.Fatalf("Has(%d) = %v, %v; want true, nil", id, ok, err)
 	}
-	if ok, err := s.Has(1 << 30); err != nil || ok {
+	if ok, err := s.Has(context.Background(), 1<<30); err != nil || ok {
 		t.Fatalf("Has(missing) = %v, %v; want false, nil", ok, err)
 	}
 }
 
 func TestIOStatsString(t *testing.T) {
 	s, g := builtStore(t, Options{PageSize: 1024, Seed: 2})
-	if _, err := s.Find(g.NodeIDs()[0]); err != nil {
+	if _, err := s.Find(context.Background(), g.NodeIDs()[0]); err != nil {
 		t.Fatal(err)
 	}
 	got := s.IO().String()

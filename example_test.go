@@ -1,6 +1,7 @@
 package ccam_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func Example() {
 		log.Fatal(err)
 	}
 
-	agg, err := store.EvaluateRoute(ccam.Route{1, 2, 3})
+	agg, err := store.EvaluateRoute(context.Background(), ccam.Route{1, 2, 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func ExampleStore_GetSuccessors() {
 		log.Fatal(err)
 	}
 
-	succs, err := store.GetSuccessors(1)
+	succs, err := store.GetSuccessors(context.Background(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,8 +52,13 @@ func main() {
 	fmt.Printf("stored %d nodes on %d pages, CRR = %.2f\n\n",
 		store.Len(), store.NumPages(), store.CRR(net))
 
+	// Queries are context-first: a context carries cancellation and
+	// deadlines end to end (ccam-serve passes per-request contexts
+	// through the same methods).
+	ctx := context.Background()
+
 	// Find: retrieve one node record.
-	rec, err := store.Find(id(1, 1)) // the central intersection
+	rec, err := store.Find(ctx, id(1, 1)) // the central intersection
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +66,7 @@ func main() {
 		rec.ID, rec.Pos, len(rec.Succs), len(rec.Preds))
 
 	// Get-successors: all intersections one hop away.
-	succs, err := store.GetSuccessors(rec.ID)
+	succs, err := store.GetSuccessors(ctx, rec.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,11 +80,11 @@ func main() {
 	must(store.ResetIO())
 	routeA := ccam.Route{id(0, 0), id(0, 1), id(0, 2), id(1, 2), id(2, 2)}
 	routeB := ccam.Route{id(0, 0), id(1, 0), id(2, 0), id(2, 1), id(2, 2)}
-	aggA, err := store.EvaluateRoute(routeA)
+	aggA, err := store.EvaluateRoute(ctx, routeA)
 	if err != nil {
 		log.Fatal(err)
 	}
-	aggB, err := store.EvaluateRoute(routeB)
+	aggB, err := store.Plain().EvaluateRoute(routeB) // ctx-less convenience view
 	if err != nil {
 		log.Fatal(err)
 	}

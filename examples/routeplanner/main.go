@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -55,7 +56,7 @@ func main() {
 			if err := store.ResetIO(); err != nil {
 				log.Fatal(err)
 			}
-			agg, err := store.EvaluateRoute(r)
+			agg, err := store.EvaluateRoute(context.Background(), r)
 			if err != nil {
 				log.Fatal(err)
 			}

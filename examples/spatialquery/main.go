@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	g, err := ccam.RoadMap(ccam.MinneapolisLikeOpts())
 	if err != nil {
 		log.Fatal(err)
@@ -46,7 +48,7 @@ func main() {
 		if err := store.ResetIO(); err != nil {
 			log.Fatal(err)
 		}
-		recs, err := store.RangeQuery(window)
+		recs, err := store.RangeQuery(ctx, window)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inside, err := store.RangeQuery(quadrant)
+	inside, err := store.RangeQuery(ctx, quadrant)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func main() {
 		if err := store.ResetIO(); err != nil {
 			log.Fatal(err)
 		}
-		agg, err := store.EvaluateRoute(r)
+		agg, err := store.EvaluateRoute(ctx, r)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccam/internal/btree"
@@ -597,6 +598,14 @@ func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
 	images := make([]*pageImage, len(groups))
 	var firstErr error
 	var errOnce sync.Once
+	// failed flips on the first error; workers must keep draining work
+	// (skipping it) rather than return, or the producer's unbuffered
+	// send would block forever once every worker had bailed out.
+	var failed atomic.Bool
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
 	work := make(chan int)
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
@@ -608,22 +617,31 @@ func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
 		go func() {
 			defer wg.Done()
 			for gi := range work {
+				if failed.Load() {
+					continue
+				}
 				img := &pageImage{
 					buf:  make([]byte, f.pageSize),
 					recs: make([]*Record, 0, len(groups[gi])),
 				}
 				sp := storage.NewSlottedPage(img.buf)
+				ok := true
 				for _, id := range groups[gi] {
 					rec, err := RecordFromNode(g, id)
 					if err != nil {
-						errOnce.Do(func() { firstErr = fmt.Errorf("netfile: bulk load group %d: %w", gi, err) })
-						return
+						fail(fmt.Errorf("netfile: bulk load group %d: %w", gi, err))
+						ok = false
+						break
 					}
 					if _, err := sp.Insert(EncodeRecord(rec)); err != nil {
-						errOnce.Do(func() { firstErr = fmt.Errorf("netfile: bulk load group %d node %d: %w", gi, id, err) })
-						return
+						fail(fmt.Errorf("netfile: bulk load group %d node %d: %w", gi, id, err))
+						ok = false
+						break
 					}
 					img.recs = append(img.recs, rec)
+				}
+				if !ok {
+					continue
 				}
 				img.free = sp.FreeSpace()
 				images[gi] = img

@@ -4,31 +4,39 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"ccam/internal/graph"
 )
 
 // All groups reference a node missing from the graph, so every worker
 // errors out on its first group. With GOMAXPROCS=1 there is one worker;
-// once it returns, the producer's unbuffered send blocks forever.
+// a producer that kept blocking on an unbuffered send after that worker
+// returned would hang the load forever. The regression pinned here is
+// that BulkLoad surfaces the error instead of deadlocking.
 func TestBulkLoadErrorDeadlock(t *testing.T) {
 	g := testNetwork(t)
 	f, err := Create(Options{PageSize: 1024, PoolPages: 32, Bounds: g.Bounds()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var groups [][]int64
-	_ = groups
-	bad := make([][]typeNodeID, 0)
-	_ = bad
+	missing := graph.NodeID(1 << 30)
+	bad := make([][]graph.NodeID, 64)
+	for i := range bad {
+		bad[i] = []graph.NodeID{missing + graph.NodeID(i)}
+	}
 	old := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(old)
 	done := make(chan error, 1)
 	go func() {
-		done <- f.BulkLoad(g, badGroups())
+		done <- f.BulkLoad(g, bad)
 	}()
 	select {
 	case err := <-done:
+		if err == nil {
+			t.Fatal("bulk load of missing nodes succeeded")
+		}
 		t.Logf("returned: %v", err)
-	case <-time.After(3 * time.Second):
+	case <-time.After(30 * time.Second):
 		t.Fatal("BulkLoad hung (deadlock)")
 	}
 }

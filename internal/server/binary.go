@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"ccam"
+	"ccam/internal/wire"
+)
+
+// ServeBinary accepts binary-protocol connections on l until the
+// listener closes (Shutdown closes it). Each connection gets one
+// reader goroutine; each request runs in its own goroutine so a
+// connection may pipeline, with responses serialized on a write lock
+// and matched by request id.
+func (s *Server) ServeBinary(l net.Listener) error {
+	s.listenMu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.listenMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one binary connection. The connection context is
+// canceled the moment the read side fails — a client disconnect
+// aborts every query still running on its behalf.
+func (s *Server) serveConn(conn net.Conn) {
+	if !s.track(conn) { // already draining
+		conn.Close()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var (
+		writeMu sync.Mutex
+		pending sync.WaitGroup
+	)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	respond := func(payload []byte) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if wire.WriteFrame(bw, payload) == nil {
+			bw.Flush()
+		}
+	}
+
+	br := bufio.NewReaderSize(conn, 16<<10)
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		id, op, deadlineMS, body, err := wire.DecodeRequest(frame)
+		if err != nil {
+			respond(wire.EncodeErrResponse(id, err))
+			break
+		}
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			s.handleBinary(ctx, id, op, deadlineMS, body, respond)
+		}()
+	}
+	cancel()
+	pending.Wait()
+	s.untrack(conn)
+	conn.Close()
+}
+
+// handleBinary dispatches one binary request through the shared
+// admission/deadline path. The response is written while the request
+// still holds its admission slot, so a drain that begins during the
+// request cannot close the connection before the reply is out.
+func (s *Server) handleBinary(connCtx context.Context, id uint32, op wire.Op, deadlineMS uint32, body []byte, respond func([]byte)) {
+	responded := false
+	err := s.do(connCtx, func(ctx context.Context) error {
+		if deadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+			defer cancel()
+		}
+		out, ferr := s.dispatchBinary(ctx, op, body)
+		responded = true
+		if ferr != nil {
+			respond(wire.EncodeErrResponse(id, ferr))
+			return ferr
+		}
+		respond(wire.EncodeOKResponse(id, out))
+		return nil
+	})
+	// err without a response means admission refused the request
+	// (shed or draining) before fn ran.
+	if err != nil && !responded {
+		respond(wire.EncodeErrResponse(id, err))
+	}
+}
+
+func (s *Server) dispatchBinary(ctx context.Context, op wire.Op, body []byte) ([]byte, error) {
+	switch op {
+	case wire.OpPing:
+		return nil, ctx.Err()
+	case wire.OpFind:
+		id, err := wire.DecodeIDBody(body)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := s.st.Find(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeRecordBody(rec), nil
+	case wire.OpHas:
+		id, err := wire.DecodeIDBody(body)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := s.st.Has(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeBoolBody(ok), nil
+	case wire.OpGetSuccessors:
+		id, err := wire.DecodeIDBody(body)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := s.st.GetSuccessors(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeRecordsBody(recs), nil
+	case wire.OpEvaluateRoute:
+		ids, rest, err := wire.DecodeIDsBody(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, wire.RemoteError(wire.CodeBadRequest, "trailing bytes after route")
+		}
+		agg, err := s.st.EvaluateRoute(ctx, ccam.Route(ids))
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeAggBody(agg), nil
+	case wire.OpRangeQuery:
+		rect, err := wire.DecodeRectBody(body)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := s.st.RangeQuery(ctx, rect)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeRecordsBody(recs), nil
+	case wire.OpFindBatch:
+		ids, rest, err := wire.DecodeIDsBody(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, wire.RemoteError(wire.CodeBadRequest, "trailing bytes after ids")
+		}
+		recs, err := s.st.FindBatch(ctx, ids)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeRecordsBody(recs), nil
+	case wire.OpEvaluateRoutes:
+		routes, err := wire.DecodeRoutesBody(body)
+		if err != nil {
+			return nil, err
+		}
+		aggs, err := s.st.EvaluateRoutes(ctx, routes)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeAggsBody(aggs), nil
+	case wire.OpApply:
+		ops, err := wire.DecodeApplyBody(body)
+		if err != nil {
+			return nil, err
+		}
+		req := wire.ApplyRequest{Ops: ops}
+		b, err := req.Batch()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.st.Apply(ctx, b); err != nil {
+			return nil, err
+		}
+		return wire.EncodeUint32Body(uint32(b.Len())), nil
+	}
+	return nil, wire.RemoteError(wire.CodeBadRequest, "unknown op "+op.String())
+}

@@ -1,0 +1,251 @@
+// Package server puts a ccam.Store in front of network traffic. It
+// serves the store's query surface over two protocols sharing one
+// dispatch path — JSON over HTTP (Handler) and the compact binary
+// protocol of internal/wire (ServeBinary) — with per-request contexts
+// and deadlines, admission control that sheds excess load with
+// ccam.ErrOverloaded, and a graceful drain (Shutdown) that stops
+// accepting work, finishes what is in flight, and checkpoints so a
+// reopen replays nothing.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ccam"
+	"ccam/internal/metrics"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Store is the served store. Required.
+	Store *ccam.Store
+	// MaxInFlight caps concurrently executing requests across both
+	// protocols; a request arriving with the cap exhausted is shed
+	// immediately with ccam.ErrOverloaded instead of queueing behind
+	// work the server cannot keep up with. Zero selects 1024.
+	MaxInFlight int
+	// DefaultDeadline bounds requests that carry no deadline of their
+	// own. Zero means unbounded.
+	DefaultDeadline time.Duration
+}
+
+// DefaultMaxInFlight is the admission cap when Options.MaxInFlight is
+// zero. Connections are not capped — only running requests are — so
+// idle connections cost one goroutine and no admission slots.
+const DefaultMaxInFlight = 1024
+
+// Server serves one store over both protocols.
+type Server struct {
+	st          *ccam.Store
+	maxInFlight int
+	defDeadline time.Duration
+
+	// gate is the admission state: inflight running requests, the
+	// draining flag, and a cond broadcast when inflight drops so
+	// Shutdown can wait for the tail.
+	gate struct {
+		sync.Mutex
+		cond     *sync.Cond
+		inflight int
+		draining bool
+	}
+
+	// conns tracks open binary connections so Shutdown can close them
+	// after the drain.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// listenMu guards listeners registered by ServeBinary.
+	listenMu  sync.Mutex
+	listeners []net.Listener
+
+	reg      *metrics.Registry
+	requests *metrics.Counter
+	errs     *metrics.Counter
+	sheds    *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// New builds a server over st. Server instruments (request count,
+// errors, sheds, latency histogram) land in the store's metrics
+// registry when the store has one, so /metrics exposes store and
+// server series side by side; a store without metrics gets a private
+// registry (Stats still works, /metrics stays store-only).
+func New(opts Options) *Server {
+	if opts.Store == nil {
+		panic("server: Options.Store is required")
+	}
+	s := &Server{
+		st:          opts.Store,
+		maxInFlight: opts.MaxInFlight,
+		defDeadline: opts.DefaultDeadline,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	if s.maxInFlight <= 0 {
+		s.maxInFlight = DefaultMaxInFlight
+	}
+	s.gate.cond = sync.NewCond(&s.gate.Mutex)
+	s.reg = opts.Store.Metrics()
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	s.requests = s.reg.Counter("ccam_server_requests_total")
+	s.errs = s.reg.Counter("ccam_server_errors_total")
+	s.sheds = s.reg.Counter("ccam_server_shed_total")
+	s.latency = s.reg.Histogram("ccam_server_request_ns")
+	s.reg.GaugeFunc("ccam_server_inflight", func() float64 {
+		s.gate.Lock()
+		defer s.gate.Unlock()
+		return float64(s.gate.inflight)
+	})
+	return s
+}
+
+// Store returns the served store.
+func (s *Server) Store() *ccam.Store { return s.st }
+
+// MaxInFlight returns the effective admission cap.
+func (s *Server) MaxInFlight() int { return s.maxInFlight }
+
+// admit claims an admission slot. It never blocks: over the cap it
+// sheds with ccam.ErrOverloaded, during a drain it refuses with
+// ccam.ErrClosed. The returned release must be called exactly once.
+func (s *Server) admit() (release func(), err error) {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	if s.gate.draining {
+		return nil, ccam.ErrClosed
+	}
+	if s.gate.inflight >= s.maxInFlight {
+		s.sheds.Inc()
+		return nil, fmt.Errorf("%w: %d requests in flight", ccam.ErrOverloaded, s.gate.inflight)
+	}
+	s.gate.inflight++
+	return func() {
+		s.gate.Lock()
+		s.gate.inflight--
+		if s.gate.inflight == 0 {
+			s.gate.cond.Broadcast()
+		}
+		s.gate.Unlock()
+	}, nil
+}
+
+// requestHook, when non-nil, runs inside every admitted request with
+// the request's context, before dispatch. Test-only: it lets tests
+// hold requests in flight and observe context cancellation.
+var requestHook func(ctx context.Context)
+
+// do runs one admitted request: claim a slot, bound the context,
+// execute, record instruments.
+func (s *Server) do(ctx context.Context, fn func(ctx context.Context) error) error {
+	release, err := s.admit()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && s.defDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.defDeadline)
+		defer cancel()
+	}
+	start := time.Now()
+	s.requests.Inc()
+	if requestHook != nil {
+		requestHook(ctx)
+	}
+	err = fn(ctx)
+	s.latency.ObserveSince(start)
+	if err != nil {
+		s.errs.Inc()
+	}
+	return err
+}
+
+// Stats is a point-in-time view of the server instruments.
+type Stats struct {
+	Requests int64
+	Errors   int64
+	Sheds    int64
+	Latency  metrics.HistSnapshot
+}
+
+// Stats snapshots the server instruments.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests: s.requests.Value(),
+		Errors:   s.errs.Value(),
+		Sheds:    s.sheds.Value(),
+		Latency:  s.latency.Snapshot(),
+	}
+}
+
+// track registers a live binary connection; untrack removes it.
+func (s *Server) track(c net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.conns == nil {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// Shutdown drains the server: stop accepting connections, refuse new
+// requests (ccam.ErrClosed), wait for in-flight requests to finish —
+// bounded by ctx — then close remaining connections and checkpoint
+// the store so the next OpenPath replays no WAL. The store itself is
+// left open for the caller to Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gate.Lock()
+	s.gate.draining = true
+	s.gate.Unlock()
+
+	s.listenMu.Lock()
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.listeners = nil
+	s.listenMu.Unlock()
+
+	// Wait for the in-flight tail, but give up when ctx expires (the
+	// cond has no timeout; poke it from a watcher goroutine).
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		s.gate.Lock()
+		for s.gate.inflight > 0 {
+			s.gate.cond.Wait()
+		}
+		s.gate.Unlock()
+	}()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+
+	s.connMu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.connMu.Unlock()
+	for c := range conns {
+		c.Close()
+	}
+
+	if err := s.st.Flush(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}

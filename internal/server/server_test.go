@@ -1,0 +1,526 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccam"
+	"ccam/internal/graph"
+	"ccam/internal/wire"
+)
+
+func testNetwork(t *testing.T) *ccam.Network {
+	t.Helper()
+	opts := graph.MinneapolisLikeOpts()
+	opts.Rows, opts.Cols = 12, 12
+	g, err := graph.RoadMap(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testStore(t *testing.T) (*ccam.Store, *ccam.Network) {
+	t.Helper()
+	g := testNetwork(t)
+	st, err := ccam.Open(ccam.Options{PageSize: 1024, PoolPages: 64, Seed: 1, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	return st, g
+}
+
+// startServer serves st over both protocols on loopback and returns
+// the binary address and the HTTP base URL.
+func startServer(t *testing.T, st *ccam.Store, opts Options) (*Server, string, string) {
+	t.Helper()
+	opts.Store = st
+	srv := New(opts)
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(bl)
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(hl)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Shutdown(ctx)
+	})
+	return srv, bl.Addr().String(), "http://" + hl.Addr().String()
+}
+
+// queryClient is the surface both protocol clients share, so the
+// golden test runs identically over each.
+type queryClient interface {
+	Find(ctx context.Context, id ccam.NodeID) (*ccam.Record, error)
+	Has(ctx context.Context, id ccam.NodeID) (bool, error)
+	GetSuccessors(ctx context.Context, id ccam.NodeID) ([]*ccam.Record, error)
+	EvaluateRoute(ctx context.Context, route ccam.Route) (ccam.RouteAggregate, error)
+	RangeQuery(ctx context.Context, rect ccam.Rect) ([]*ccam.Record, error)
+	FindBatch(ctx context.Context, ids []ccam.NodeID) ([]*ccam.Record, error)
+	EvaluateRoutes(ctx context.Context, routes []ccam.Route) ([]ccam.RouteAggregate, error)
+	Apply(ctx context.Context, ops []wire.ApplyOp) (int, error)
+}
+
+// TestGoldenBothProtocols compares every remote query against the
+// same query run directly on the store, over each protocol.
+func TestGoldenBothProtocols(t *testing.T) {
+	st, g := testStore(t)
+	_, binAddr, httpBase := startServer(t, st, Options{})
+
+	bc, err := wire.Dial(binAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	clients := map[string]queryClient{
+		"binary": bc,
+		"json":   &wire.HTTPClient{Base: httpBase},
+	}
+
+	ctx := context.Background()
+	ids := g.NodeIDs()
+	id := ids[len(ids)/2]
+	route := ccam.Route{ids[0]}
+	for _, e := range g.SuccessorEdges(ids[0]) {
+		route = append(route, e.To)
+		break
+	}
+	wantRec, err := st.Find(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSuccs, _ := st.GetSuccessors(ctx, id)
+	wantAgg, err := st.EvaluateRoute(ctx, route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := ccam.NewRect(wantRec.Pos, ccam.Point{X: wantRec.Pos.X + 500, Y: wantRec.Pos.Y + 500})
+	wantRange, _ := st.RangeQuery(ctx, win)
+	batchIDs := []ccam.NodeID{ids[0], ids[1], id}
+	wantBatch, _ := st.FindBatch(ctx, batchIDs)
+	routes := []ccam.Route{route, {id}}
+	wantAggs, _ := st.EvaluateRoutes(ctx, routes)
+
+	for name, c := range clients {
+		t.Run(name, func(t *testing.T) {
+			rec, err := c.Find(ctx, id)
+			if err != nil || !reflect.DeepEqual(rec, wantRec) {
+				t.Fatalf("Find = %+v, %v; want %+v", rec, err, wantRec)
+			}
+			ok, err := c.Has(ctx, id)
+			if err != nil || !ok {
+				t.Fatalf("Has = %v, %v", ok, err)
+			}
+			succs, err := c.GetSuccessors(ctx, id)
+			if err != nil || !recordsEqual(succs, wantSuccs) {
+				t.Fatalf("GetSuccessors: got %d recs, err %v", len(succs), err)
+			}
+			agg, err := c.EvaluateRoute(ctx, route)
+			if err != nil || agg != wantAgg {
+				t.Fatalf("EvaluateRoute = %+v, %v; want %+v", agg, err, wantAgg)
+			}
+			got, err := c.RangeQuery(ctx, win)
+			if err != nil || !recordsEqual(got, wantRange) {
+				t.Fatalf("RangeQuery: got %d recs, err %v; want %d", len(got), err, len(wantRange))
+			}
+			batch, err := c.FindBatch(ctx, batchIDs)
+			if err != nil || !recordsEqual(batch, wantBatch) {
+				t.Fatalf("FindBatch: got %d recs, err %v", len(batch), err)
+			}
+			aggs, err := c.EvaluateRoutes(ctx, routes)
+			if err != nil || !reflect.DeepEqual(aggs, wantAggs) {
+				t.Fatalf("EvaluateRoutes = %+v, %v; want %+v", aggs, err, wantAggs)
+			}
+		})
+	}
+}
+
+func recordsEqual(a, b []*ccam.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Pos != b[i].Pos {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApplyBothProtocols commits one mutation batch per protocol and
+// verifies the store state moved.
+func TestApplyBothProtocols(t *testing.T) {
+	st, g := testStore(t)
+	_, binAddr, httpBase := startServer(t, st, Options{})
+	ctx := context.Background()
+
+	ids := g.NodeIDs()
+	from := ids[0]
+	var to ccam.NodeID
+	var oldCost float32
+	for _, e := range g.SuccessorEdges(from) {
+		to, oldCost = e.To, float32(e.Cost)
+		break
+	}
+
+	bc, err := wire.Dial(binAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	n, err := bc.Apply(ctx, []wire.ApplyOp{
+		{Kind: wire.OpSetEdgeCost, From: from, To: to, Cost: oldCost + 10},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("binary Apply = %d, %v", n, err)
+	}
+	agg, err := st.EvaluateRoute(ctx, ccam.Route{from, to})
+	if err != nil || agg.TotalCost != float64(oldCost+10) {
+		t.Fatalf("after binary apply: total %v, err %v; want %v", agg.TotalCost, err, oldCost+10)
+	}
+
+	hc := &wire.HTTPClient{Base: httpBase}
+	n, err = hc.Apply(ctx, []wire.ApplyOp{
+		{Kind: wire.OpSetEdgeCost, From: from, To: to, Cost: oldCost},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("json Apply = %d, %v", n, err)
+	}
+	agg, err = st.EvaluateRoute(ctx, ccam.Route{from, to})
+	if err != nil || float32(agg.TotalCost) != oldCost {
+		t.Fatalf("after json apply: total %v, err %v; want %v", agg.TotalCost, err, oldCost)
+	}
+}
+
+// TestErrorMappingBothProtocols asserts errors.Is against the store's
+// sentinels survives each protocol, and the JSON protocol pairs the
+// right HTTP status.
+func TestErrorMappingBothProtocols(t *testing.T) {
+	st, _ := testStore(t)
+	_, binAddr, httpBase := startServer(t, st, Options{})
+	ctx := context.Background()
+	const missing = ccam.NodeID(1 << 30)
+
+	bc, err := wire.Dial(binAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	if _, err := bc.Find(ctx, missing); !errors.Is(err, ccam.ErrNotFound) {
+		t.Fatalf("binary missing find = %v, want ErrNotFound", err)
+	}
+	hc := &wire.HTTPClient{Base: httpBase}
+	if _, err := hc.Find(ctx, missing); !errors.Is(err, ccam.ErrNotFound) {
+		t.Fatalf("json missing find = %v, want ErrNotFound", err)
+	}
+	// Raw status check: not_found must surface as 404.
+	resp, err := http.Post(httpBase+"/v1/find", "application/json", reqBody(`{"id":1073741824}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing find status = %d, want 404", resp.StatusCode)
+	}
+	// Malformed JSON maps to bad_request/400.
+	resp, err = http.Post(httpBase+"/v1/find", "application/json", reqBody(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func reqBody(s string) *strings.Reader { return strings.NewReader(s) }
+
+// TestCancellationPropagation verifies a client disconnect cancels
+// the context of the query running on its behalf, on both protocols.
+func TestCancellationPropagation(t *testing.T) {
+	st, g := testStore(t)
+	entered := make(chan struct{}, 4)
+	canceled := make(chan error, 4)
+	var hookOn atomic.Bool
+	requestHook = func(ctx context.Context) {
+		if !hookOn.Load() {
+			return
+		}
+		entered <- struct{}{}
+		select {
+		case <-ctx.Done():
+			canceled <- ctx.Err()
+		case <-time.After(10 * time.Second):
+			canceled <- errors.New("request context never canceled")
+		}
+	}
+	defer func() { requestHook = nil }()
+	_, binAddr, httpBase := startServer(t, st, Options{})
+	id := g.NodeIDs()[0]
+	hookOn.Store(true)
+
+	t.Run("binary", func(t *testing.T) {
+		bc, err := wire.Dial(binAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go bc.Find(context.Background(), id)
+		<-entered
+		bc.Close() // disconnect with the query in flight
+		if err := <-canceled; !errors.Is(err, context.Canceled) {
+			t.Fatalf("server-side ctx ended with %v, want Canceled", err)
+		}
+	})
+
+	t.Run("http", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		hc := &wire.HTTPClient{Base: httpBase}
+		done := make(chan error, 1)
+		go func() {
+			_, err := hc.Find(ctx, id)
+			done <- err
+		}()
+		<-entered
+		cancel() // aborts the in-flight HTTP request
+		if err := <-canceled; !errors.Is(err, context.Canceled) {
+			t.Fatalf("server-side ctx ended with %v, want Canceled", err)
+		}
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("client got %v, want Canceled", err)
+		}
+	})
+}
+
+// TestAdmissionControl fills the in-flight cap and asserts the
+// overflow is shed immediately with ccam.ErrOverloaded.
+func TestAdmissionControl(t *testing.T) {
+	st, g := testStore(t)
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var hookOn atomic.Bool
+	requestHook = func(ctx context.Context) {
+		if !hookOn.Load() {
+			return
+		}
+		entered <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+	}
+	defer func() { requestHook = nil }()
+	srv, binAddr, httpBase := startServer(t, st, Options{MaxInFlight: 2})
+	id := g.NodeIDs()[0]
+	hookOn.Store(true)
+
+	// Two requests occupy both slots.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		c, err := wire.Dial(binAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		go func() {
+			_, err := c.Find(context.Background(), id)
+			results <- err
+		}()
+	}
+	<-entered
+	<-entered
+
+	// Overflow on each protocol sheds with ErrOverloaded, not a queue.
+	c3, err := wire.Dial(binAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, err := c3.Find(context.Background(), id); !errors.Is(err, ccam.ErrOverloaded) {
+		t.Fatalf("binary overflow = %v, want ErrOverloaded", err)
+	}
+	hc := &wire.HTTPClient{Base: httpBase}
+	if _, err := hc.Find(context.Background(), id); !errors.Is(err, ccam.ErrOverloaded) {
+		t.Fatalf("json overflow = %v, want ErrOverloaded", err)
+	}
+
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted request failed: %v", err)
+		}
+	}
+	if sheds := srv.Stats().Sheds; sheds != 2 {
+		t.Fatalf("shed count = %d, want 2", sheds)
+	}
+}
+
+// TestGracefulDrain runs the full drain contract on a WAL store:
+// in-flight work finishes with its response delivered, new work is
+// refused with ccam.ErrClosed, and the checkpoint leaves nothing for
+// OpenPath to replay.
+func TestGracefulDrain(t *testing.T) {
+	g := testNetwork(t)
+	path := filepath.Join(t.TempDir(), "net.ccam")
+	st, err := ccam.Open(ccam.Options{PageSize: 1024, PoolPages: 64, Seed: 1, Path: path, WAL: true, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Build(g); err != nil {
+		t.Fatal(err)
+	}
+
+	block := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	var hookOn atomic.Bool
+	requestHook = func(ctx context.Context) {
+		if !hookOn.Load() {
+			return
+		}
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		select {
+		case <-block:
+		case <-time.After(10 * time.Second):
+		}
+	}
+	defer func() { requestHook = nil }()
+
+	srv := New(Options{Store: st})
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(bl)
+
+	ctx := context.Background()
+	ids := g.NodeIDs()
+	from := ids[0]
+	var to ccam.NodeID
+	var cost float32
+	for _, e := range g.SuccessorEdges(from) {
+		to, cost = e.To, float32(e.Cost)
+		break
+	}
+	c1, err := wire.Dial(bl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	// A committed mutation puts real bytes in the WAL before the drain.
+	if _, err := c1.Apply(ctx, []wire.ApplyOp{
+		{Kind: wire.OpSetEdgeCost, From: from, To: to, Cost: cost + 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := wire.Dial(bl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// One slow query in flight when the drain begins.
+	hookOn.Store(true)
+	slow := make(chan error, 1)
+	go func() {
+		_, err := c1.Find(ctx, from)
+		slow <- err
+	}()
+	<-entered
+	hookOn.Store(false)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(sctx)
+	}()
+
+	// The drain must wait for the in-flight query...
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// ...while refusing new requests on a live connection.
+	if _, err := c2.Find(ctx, from); !errors.Is(err, ccam.ErrClosed) {
+		t.Fatalf("request during drain = %v, want ErrClosed", err)
+	}
+
+	close(block)
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight request lost its response: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain checkpointed: reopening replays nothing, and the
+	// committed mutation is in the data pages.
+	r, err := ccam.OpenPath(path, ccam.Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if ws := r.WALStats(); ws.ReplayedBatches != 0 {
+		t.Fatalf("reopen replayed %d batches, want 0 (clean drain)", ws.ReplayedBatches)
+	}
+	agg, err := r.EvaluateRoute(ctx, ccam.Route{from, to})
+	if err != nil || float32(agg.TotalCost) != cost+5 {
+		t.Fatalf("reopened route total = %v, %v; want %v", agg.TotalCost, err, cost+5)
+	}
+}
+
+// TestDeadlinePropagation: a request-carried deadline bounds the
+// server-side context.
+func TestDeadlinePropagation(t *testing.T) {
+	st, g := testStore(t)
+	var sawDeadline atomic.Bool
+	var hookOn atomic.Bool
+	requestHook = func(ctx context.Context) {
+		if !hookOn.Load() {
+			return
+		}
+		// The binary path applies the wire deadline inside dispatch;
+		// the HTTP path inside the handler. Both run after the hook, so
+		// wait for the parent: an expired budget cancels it too... the
+		// hook instead records whether a deadline reached the request.
+		_, ok := ctx.Deadline()
+		sawDeadline.Store(ok)
+	}
+	defer func() { requestHook = nil }()
+	_, _, httpBase := startServer(t, st, Options{DefaultDeadline: 250 * time.Millisecond})
+	hookOn.Store(true)
+	hc := &wire.HTTPClient{Base: httpBase}
+	if _, err := hc.Find(context.Background(), g.NodeIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline.Load() {
+		t.Fatal("DefaultDeadline did not bound the request context")
+	}
+}

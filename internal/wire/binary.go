@@ -1,0 +1,656 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ccam"
+	"ccam/internal/netfile"
+)
+
+// The binary protocol. Both directions carry length-prefixed frames:
+//
+//	[0:4)  payload length n (uint32 LE, excluding the prefix itself)
+//	[4:4+n) payload
+//
+// A request payload is
+//
+//	[0:4)  request id (echoed verbatim in the response, so a
+//	       connection may pipeline requests and match replies
+//	       out of order)
+//	[4]    op code
+//	[5:9)  deadline in milliseconds (uint32 LE; 0 = none) — the server
+//	       bounds the query's context by it
+//	[9:)   op-specific body
+//
+// and a response payload is
+//
+//	[0:4)  request id
+//	[4]    status code (Code)
+//	[5:)   op-specific body when the code is CodeOK, otherwise
+//	       uint16 LE message length + message bytes
+//
+// All integers are little endian, matching the store's record format
+// (records travel as their stored netfile image, no re-encoding).
+
+// Op identifies a binary-protocol operation.
+type Op uint8
+
+// Binary protocol op codes. Like error codes these are stable:
+// existing values never change meaning, new ops are only appended.
+const (
+	// OpPing is a no-op round trip (empty body both ways).
+	OpPing Op = 0
+	// OpFind looks up one record: body id -> record image.
+	OpFind Op = 1
+	// OpGetSuccessors fetches all successor records: id -> record list.
+	OpGetSuccessors Op = 2
+	// OpEvaluateRoute aggregates one route: id list -> aggregate.
+	OpEvaluateRoute Op = 3
+	// OpRangeQuery fetches records in a window: rect -> record list.
+	OpRangeQuery Op = 4
+	// OpHas tests presence: id -> bool byte.
+	OpHas Op = 5
+	// OpFindBatch looks up many records: id list -> record list.
+	OpFindBatch Op = 6
+	// OpEvaluateRoutes aggregates many routes: route list -> aggregates.
+	OpEvaluateRoutes Op = 7
+	// OpApply commits one transactional batch: op list -> applied count.
+	OpApply Op = 8
+)
+
+// String names the op for errors and traces.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpFind:
+		return "find"
+	case OpGetSuccessors:
+		return "get-successors"
+	case OpEvaluateRoute:
+		return "evaluate-route"
+	case OpRangeQuery:
+		return "range-query"
+	case OpHas:
+		return "has"
+	case OpFindBatch:
+		return "find-batch"
+	case OpEvaluateRoutes:
+		return "evaluate-routes"
+	case OpApply:
+		return "apply"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MaxFrame bounds a frame payload; a peer announcing more is treated
+// as corrupt and the connection is dropped.
+const MaxFrame = 16 << 20
+
+// reqHeaderSize is the fixed request-payload prefix: id + op + deadline.
+const reqHeaderSize = 9
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrBadRequest, len(payload), MaxFrame)
+	}
+	var pfx [4]byte
+	binary.LittleEndian.PutUint32(pfx[:], uint32(len(payload)))
+	if _, err := w.Write(pfx[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame. io.EOF before the first
+// prefix byte means a clean close; a short payload is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(pfx[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrBadRequest, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest builds a request payload.
+func EncodeRequest(id uint32, op Op, deadlineMS uint32, body []byte) []byte {
+	buf := make([]byte, reqHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], id)
+	buf[4] = byte(op)
+	binary.LittleEndian.PutUint32(buf[5:9], deadlineMS)
+	copy(buf[reqHeaderSize:], body)
+	return buf
+}
+
+// DecodeRequest splits a request payload into its header and body.
+func DecodeRequest(payload []byte) (id uint32, op Op, deadlineMS uint32, body []byte, err error) {
+	if len(payload) < reqHeaderSize {
+		return 0, 0, 0, nil, fmt.Errorf("%w: request payload of %d bytes", ErrBadRequest, len(payload))
+	}
+	id = binary.LittleEndian.Uint32(payload[0:4])
+	op = Op(payload[4])
+	deadlineMS = binary.LittleEndian.Uint32(payload[5:9])
+	return id, op, deadlineMS, payload[reqHeaderSize:], nil
+}
+
+// EncodeOKResponse builds a success response payload.
+func EncodeOKResponse(id uint32, body []byte) []byte {
+	buf := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], id)
+	buf[4] = byte(CodeOK)
+	copy(buf[5:], body)
+	return buf
+}
+
+// EncodeErrResponse builds an error response payload for err (which
+// must be non-nil).
+func EncodeErrResponse(id uint32, err error) []byte {
+	msg := err.Error()
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	buf := make([]byte, 5+2+len(msg))
+	binary.LittleEndian.PutUint32(buf[0:4], id)
+	buf[4] = byte(CodeOf(err))
+	binary.LittleEndian.PutUint16(buf[5:7], uint16(len(msg)))
+	copy(buf[7:], msg)
+	return buf
+}
+
+// DecodeResponse splits a response payload. For a non-OK code the
+// returned error wraps the code's sentinel (errors.Is survives the
+// round trip); body is nil then.
+func DecodeResponse(payload []byte) (id uint32, body []byte, err error) {
+	if len(payload) < 5 {
+		return 0, nil, fmt.Errorf("%w: response payload of %d bytes", ErrBadRequest, len(payload))
+	}
+	id = binary.LittleEndian.Uint32(payload[0:4])
+	code := Code(payload[4])
+	if code == CodeOK {
+		return id, payload[5:], nil
+	}
+	rest := payload[5:]
+	if len(rest) < 2 {
+		return id, nil, fmt.Errorf("%w: truncated error response", ErrBadRequest)
+	}
+	n := int(binary.LittleEndian.Uint16(rest[0:2]))
+	if len(rest) < 2+n {
+		return id, nil, fmt.Errorf("%w: truncated error message", ErrBadRequest)
+	}
+	return id, nil, RemoteError(code, string(rest[2:2+n]))
+}
+
+// --- op bodies -------------------------------------------------------
+
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func takeUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: truncated body", ErrBadRequest)
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func takeFloat64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated body", ErrBadRequest)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// EncodeIDBody encodes a single node id (OpFind, OpHas,
+// OpGetSuccessors requests).
+func EncodeIDBody(id ccam.NodeID) []byte {
+	return appendUint32(nil, uint32(id))
+}
+
+// DecodeIDBody decodes a single node id.
+func DecodeIDBody(b []byte) (ccam.NodeID, error) {
+	v, rest, err := takeUint32(b)
+	if err != nil || len(rest) != 0 {
+		return 0, fmt.Errorf("%w: id body of %d bytes", ErrBadRequest, len(b))
+	}
+	return ccam.NodeID(v), nil
+}
+
+// EncodeIDsBody encodes a node-id list (OpEvaluateRoute, OpFindBatch
+// requests).
+func EncodeIDsBody(ids []ccam.NodeID) []byte {
+	buf := appendUint32(make([]byte, 0, 4+4*len(ids)), uint32(len(ids)))
+	for _, id := range ids {
+		buf = appendUint32(buf, uint32(id))
+	}
+	return buf
+}
+
+// DecodeIDsBody decodes a node-id list, returning the remainder of the
+// buffer (route lists concatenate).
+func DecodeIDsBody(b []byte) ([]ccam.NodeID, []byte, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n)*4 > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("%w: id list of %d entries in %d bytes", ErrBadRequest, n, len(b))
+	}
+	ids := make([]ccam.NodeID, n)
+	for i := range ids {
+		ids[i] = ccam.NodeID(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return ids, b[4*n:], nil
+}
+
+// EncodeRectBody encodes a query window (OpRangeQuery request).
+func EncodeRectBody(r ccam.Rect) []byte {
+	buf := make([]byte, 0, 32)
+	buf = appendFloat64(buf, r.Min.X)
+	buf = appendFloat64(buf, r.Min.Y)
+	buf = appendFloat64(buf, r.Max.X)
+	buf = appendFloat64(buf, r.Max.Y)
+	return buf
+}
+
+// DecodeRectBody decodes a query window.
+func DecodeRectBody(b []byte) (ccam.Rect, error) {
+	var vals [4]float64
+	var err error
+	for i := range vals {
+		if vals[i], b, err = takeFloat64(b); err != nil {
+			return ccam.Rect{}, err
+		}
+	}
+	if len(b) != 0 {
+		return ccam.Rect{}, fmt.Errorf("%w: %d trailing bytes after rect", ErrBadRequest, len(b))
+	}
+	return ccam.NewRect(ccam.Point{X: vals[0], Y: vals[1]}, ccam.Point{X: vals[2], Y: vals[3]}), nil
+}
+
+// EncodeRoutesBody encodes a route list (OpEvaluateRoutes request).
+func EncodeRoutesBody(routes []ccam.Route) []byte {
+	buf := appendUint32(nil, uint32(len(routes)))
+	for _, r := range routes {
+		buf = appendUint32(buf, uint32(len(r)))
+		for _, id := range r {
+			buf = appendUint32(buf, uint32(id))
+		}
+	}
+	return buf
+}
+
+// DecodeRoutesBody decodes a route list.
+func DecodeRoutesBody(b []byte) ([]ccam.Route, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	routes := make([]ccam.Route, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n; i++ {
+		var ids []ccam.NodeID
+		if ids, b, err = DecodeIDsBody(b); err != nil {
+			return nil, err
+		}
+		routes = append(routes, ccam.Route(ids))
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after routes", ErrBadRequest, len(b))
+	}
+	return routes, nil
+}
+
+// EncodeRecordBody encodes one record (OpFind response) as its stored
+// netfile image.
+func EncodeRecordBody(rec *ccam.Record) []byte {
+	return netfile.EncodeRecord(rec)
+}
+
+// DecodeRecordBody decodes one record.
+func DecodeRecordBody(b []byte) (*ccam.Record, error) {
+	rec, err := netfile.DecodeRecord(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return rec, nil
+}
+
+// EncodeRecordsBody encodes a record list (OpGetSuccessors,
+// OpRangeQuery, OpFindBatch responses): count, then per record a
+// uint32 length + stored image.
+func EncodeRecordsBody(recs []*ccam.Record) []byte {
+	sz := 4
+	for _, r := range recs {
+		sz += 4 + r.EncodedSize()
+	}
+	buf := appendUint32(make([]byte, 0, sz), uint32(len(recs)))
+	for _, r := range recs {
+		img := netfile.EncodeRecord(r)
+		buf = appendUint32(buf, uint32(len(img)))
+		buf = append(buf, img...)
+	}
+	return buf
+}
+
+// DecodeRecordsBody decodes a record list.
+func DecodeRecordsBody(b []byte) ([]*ccam.Record, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*ccam.Record, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n; i++ {
+		var sz uint32
+		if sz, b, err = takeUint32(b); err != nil {
+			return nil, err
+		}
+		if uint64(sz) > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: record of %d bytes in %d-byte body", ErrBadRequest, sz, len(b))
+		}
+		rec, err := DecodeRecordBody(b[:sz])
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		b = b[sz:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after records", ErrBadRequest, len(b))
+	}
+	return recs, nil
+}
+
+// EncodeBoolBody encodes a verdict byte (OpHas response).
+func EncodeBoolBody(v bool) []byte {
+	if v {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeBoolBody decodes a verdict byte.
+func DecodeBoolBody(b []byte) (bool, error) {
+	if len(b) != 1 || b[0] > 1 {
+		return false, fmt.Errorf("%w: bool body of %d bytes", ErrBadRequest, len(b))
+	}
+	return b[0] == 1, nil
+}
+
+// aggSize is the encoded size of one route aggregate.
+const aggSize = 4 + 3*8
+
+func appendAgg(buf []byte, a ccam.RouteAggregate) []byte {
+	buf = appendUint32(buf, uint32(a.Nodes))
+	buf = appendFloat64(buf, a.TotalCost)
+	buf = appendFloat64(buf, a.MinCost)
+	buf = appendFloat64(buf, a.MaxCost)
+	return buf
+}
+
+func takeAgg(b []byte) (ccam.RouteAggregate, []byte, error) {
+	if len(b) < aggSize {
+		return ccam.RouteAggregate{}, nil, fmt.Errorf("%w: truncated aggregate", ErrBadRequest)
+	}
+	var a ccam.RouteAggregate
+	a.Nodes = int(binary.LittleEndian.Uint32(b))
+	a.TotalCost = math.Float64frombits(binary.LittleEndian.Uint64(b[4:]))
+	a.MinCost = math.Float64frombits(binary.LittleEndian.Uint64(b[12:]))
+	a.MaxCost = math.Float64frombits(binary.LittleEndian.Uint64(b[20:]))
+	return a, b[aggSize:], nil
+}
+
+// EncodeAggBody encodes one route aggregate (OpEvaluateRoute response).
+func EncodeAggBody(a ccam.RouteAggregate) []byte {
+	return appendAgg(make([]byte, 0, aggSize), a)
+}
+
+// DecodeAggBody decodes one route aggregate.
+func DecodeAggBody(b []byte) (ccam.RouteAggregate, error) {
+	a, rest, err := takeAgg(b)
+	if err != nil {
+		return a, err
+	}
+	if len(rest) != 0 {
+		return a, fmt.Errorf("%w: %d trailing bytes after aggregate", ErrBadRequest, len(rest))
+	}
+	return a, nil
+}
+
+// EncodeAggsBody encodes positional aggregates (OpEvaluateRoutes
+// response).
+func EncodeAggsBody(aggs []ccam.RouteAggregate) []byte {
+	buf := appendUint32(make([]byte, 0, 4+aggSize*len(aggs)), uint32(len(aggs)))
+	for _, a := range aggs {
+		buf = appendAgg(buf, a)
+	}
+	return buf
+}
+
+// DecodeAggsBody decodes positional aggregates.
+func DecodeAggsBody(b []byte) ([]ccam.RouteAggregate, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]ccam.RouteAggregate, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n; i++ {
+		var a ccam.RouteAggregate
+		if a, b, err = takeAgg(b); err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, a)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after aggregates", ErrBadRequest, len(b))
+	}
+	return aggs, nil
+}
+
+// EncodeUint32Body encodes a counter (OpApply response: ops applied).
+func EncodeUint32Body(v uint32) []byte {
+	return appendUint32(nil, v)
+}
+
+// DecodeUint32Body decodes a counter.
+func DecodeUint32Body(b []byte) (uint32, error) {
+	v, rest, err := takeUint32(b)
+	if err != nil || len(rest) != 0 {
+		return 0, fmt.Errorf("%w: counter body of %d bytes", ErrBadRequest, len(b))
+	}
+	return v, nil
+}
+
+// Binary apply-op kind bytes (the ApplyOp.Kind names, one byte each).
+const (
+	binOpInsertNode  = 1
+	binOpDeleteNode  = 2
+	binOpInsertEdge  = 3
+	binOpDeleteEdge  = 4
+	binOpSetEdgeCost = 5
+)
+
+func kindByte(kind string) (byte, error) {
+	switch kind {
+	case OpInsertNode:
+		return binOpInsertNode, nil
+	case OpDeleteNode:
+		return binOpDeleteNode, nil
+	case OpInsertEdge:
+		return binOpInsertEdge, nil
+	case OpDeleteEdge:
+		return binOpDeleteEdge, nil
+	case OpSetEdgeCost:
+		return binOpSetEdgeCost, nil
+	}
+	return 0, fmt.Errorf("%w: unknown apply kind %q", ErrBadRequest, kind)
+}
+
+func kindName(b byte) (string, error) {
+	switch b {
+	case binOpInsertNode:
+		return OpInsertNode, nil
+	case binOpDeleteNode:
+		return OpDeleteNode, nil
+	case binOpInsertEdge:
+		return OpInsertEdge, nil
+	case binOpDeleteEdge:
+		return OpDeleteEdge, nil
+	case binOpSetEdgeCost:
+		return OpSetEdgeCost, nil
+	}
+	return "", fmt.Errorf("%w: unknown apply kind byte %d", ErrBadRequest, b)
+}
+
+func policyByte(name string) (byte, error) {
+	p, err := ParsePolicy(name)
+	return byte(p), err
+}
+
+// policyName inverts policyByte; the byte is the netfile.Policy value.
+func policyName(b byte) (string, error) {
+	if b > byte(ccam.Lazy) {
+		return "", fmt.Errorf("%w: unknown policy byte %d", ErrBadRequest, b)
+	}
+	return ccam.Policy(b).String(), nil
+}
+
+// EncodeApplyBody encodes a transactional batch (OpApply request):
+// count, then per op a kind byte, policy byte and kind-specific
+// fields; insert-node carries a length-prefixed record image plus its
+// positional predecessor costs.
+func EncodeApplyBody(ops []ApplyOp) ([]byte, error) {
+	buf := appendUint32(nil, uint32(len(ops)))
+	for i, op := range ops {
+		kb, err := kindByte(op.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		pb, err := policyByte(op.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		buf = append(buf, kb, pb)
+		switch kb {
+		case binOpInsertNode:
+			if op.Node == nil {
+				return nil, fmt.Errorf("%w: op %d: insert-node without node", ErrBadRequest, i)
+			}
+			img := netfile.EncodeRecord(op.Node.Record())
+			buf = appendUint32(buf, uint32(len(img)))
+			buf = append(buf, img...)
+			buf = appendUint32(buf, uint32(len(op.PredCosts)))
+			for _, c := range op.PredCosts {
+				buf = appendUint32(buf, math.Float32bits(c))
+			}
+		case binOpDeleteNode:
+			buf = appendUint32(buf, uint32(op.ID))
+		case binOpInsertEdge, binOpSetEdgeCost:
+			buf = appendUint32(buf, uint32(op.From))
+			buf = appendUint32(buf, uint32(op.To))
+			buf = appendUint32(buf, math.Float32bits(op.Cost))
+		case binOpDeleteEdge:
+			buf = appendUint32(buf, uint32(op.From))
+			buf = appendUint32(buf, uint32(op.To))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeApplyBody decodes a transactional batch.
+func DecodeApplyBody(b []byte) ([]ApplyOp, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]ApplyOp, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: truncated apply op", ErrBadRequest)
+		}
+		kb, pb := b[0], b[1]
+		b = b[2:]
+		var op ApplyOp
+		if op.Kind, err = kindName(kb); err != nil {
+			return nil, err
+		}
+		if op.Policy, err = policyName(pb); err != nil {
+			return nil, err
+		}
+		switch kb {
+		case binOpInsertNode:
+			var sz uint32
+			if sz, b, err = takeUint32(b); err != nil {
+				return nil, err
+			}
+			if uint64(sz) > uint64(len(b)) {
+				return nil, fmt.Errorf("%w: record of %d bytes in %d-byte body", ErrBadRequest, sz, len(b))
+			}
+			rec, err := DecodeRecordBody(b[:sz])
+			if err != nil {
+				return nil, err
+			}
+			b = b[sz:]
+			rj := RecordToJSON(rec)
+			op.Node = &rj
+			var nc uint32
+			if nc, b, err = takeUint32(b); err != nil {
+				return nil, err
+			}
+			if uint64(nc)*4 > uint64(len(b)) {
+				return nil, fmt.Errorf("%w: %d pred costs in %d bytes", ErrBadRequest, nc, len(b))
+			}
+			op.PredCosts = make([]float32, nc)
+			for j := range op.PredCosts {
+				op.PredCosts[j] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*j:]))
+			}
+			b = b[4*nc:]
+		case binOpDeleteNode:
+			var v uint32
+			if v, b, err = takeUint32(b); err != nil {
+				return nil, err
+			}
+			op.ID = ccam.NodeID(v)
+		case binOpInsertEdge, binOpSetEdgeCost, binOpDeleteEdge:
+			var from, to uint32
+			if from, b, err = takeUint32(b); err != nil {
+				return nil, err
+			}
+			if to, b, err = takeUint32(b); err != nil {
+				return nil, err
+			}
+			op.From, op.To = ccam.NodeID(from), ccam.NodeID(to)
+			if kb != binOpDeleteEdge {
+				var c uint32
+				if c, b, err = takeUint32(b); err != nil {
+					return nil, err
+				}
+				op.Cost = math.Float32frombits(c)
+			}
+		}
+		ops = append(ops, op)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after apply ops", ErrBadRequest, len(b))
+	}
+	return ops, nil
+}

@@ -1,0 +1,379 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccam"
+)
+
+// Client is a binary-protocol connection. It issues one request at a
+// time (calls serialize on an internal mutex); open several clients
+// for concurrency — connections are cheap on the server side.
+//
+// Context handling: a context deadline travels in the request header
+// so the server bounds the query itself. If the context is canceled
+// while a reply is pending the connection is closed (the server sees
+// the disconnect and cancels the running query) and the client is no
+// longer usable.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint32
+	closed atomic.Bool
+}
+
+// Dial connects a binary-protocol client to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// DialContext is Dial bounded by ctx.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 16<<10),
+		bw:   bufio.NewWriterSize(conn, 16<<10),
+	}
+}
+
+// Close closes the underlying connection. It is safe to call with a
+// request in flight: the exchange unblocks with an error (net.Conn is
+// concurrency-safe, so Close takes no client lock).
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	return c.conn.Close()
+}
+
+// deadlineMS converts a context deadline to the header's millisecond
+// budget (0 = none). A deadline in the past becomes the minimum 1ms so
+// the server still sees an expired budget rather than none.
+func deadlineMS(ctx context.Context) uint32 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		return 1
+	}
+	if ms > 1<<31 {
+		return 1 << 31
+	}
+	return uint32(ms)
+}
+
+// call performs one request/response exchange.
+func (c *Client) call(ctx context.Context, op Op, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ccam.ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+
+	// While the exchange is in flight, a context cancellation must
+	// unblock the read: closing the connection is the only portable
+	// interrupt, and it doubles as disconnect-propagation to the
+	// server.
+	watchDone := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		select {
+		case <-ctx.Done():
+			c.closed.Store(true)
+			c.conn.Close()
+		case <-watchDone:
+		}
+	}()
+	finish := func(b []byte, err error) ([]byte, error) {
+		close(watchDone)
+		watcher.Wait()
+		if err != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return b, err
+	}
+
+	if err := WriteFrame(c.bw, EncodeRequest(id, op, deadlineMS(ctx), body)); err != nil {
+		return finish(nil, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return finish(nil, err)
+	}
+	payload, err := ReadFrame(c.br)
+	if err != nil {
+		return finish(nil, err)
+	}
+	gotID, respBody, err := DecodeResponse(payload)
+	if err == nil && gotID != id {
+		return finish(nil, fmt.Errorf("%w: response id %d for request %d", ErrBadRequest, gotID, id))
+	}
+	return finish(respBody, err)
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, OpPing, nil)
+	return err
+}
+
+// Find fetches one record.
+func (c *Client) Find(ctx context.Context, id ccam.NodeID) (*ccam.Record, error) {
+	body, err := c.call(ctx, OpFind, EncodeIDBody(id))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRecordBody(body)
+}
+
+// Has reports whether a node is stored.
+func (c *Client) Has(ctx context.Context, id ccam.NodeID) (bool, error) {
+	body, err := c.call(ctx, OpHas, EncodeIDBody(id))
+	if err != nil {
+		return false, err
+	}
+	return DecodeBoolBody(body)
+}
+
+// GetSuccessors fetches all successor records of a node.
+func (c *Client) GetSuccessors(ctx context.Context, id ccam.NodeID) ([]*ccam.Record, error) {
+	body, err := c.call(ctx, OpGetSuccessors, EncodeIDBody(id))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRecordsBody(body)
+}
+
+// EvaluateRoute aggregates edge costs along a route.
+func (c *Client) EvaluateRoute(ctx context.Context, route ccam.Route) (ccam.RouteAggregate, error) {
+	body, err := c.call(ctx, OpEvaluateRoute, EncodeIDsBody(route))
+	if err != nil {
+		return ccam.RouteAggregate{}, err
+	}
+	return DecodeAggBody(body)
+}
+
+// RangeQuery fetches all records positioned inside the window.
+func (c *Client) RangeQuery(ctx context.Context, rect ccam.Rect) ([]*ccam.Record, error) {
+	body, err := c.call(ctx, OpRangeQuery, EncodeRectBody(rect))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRecordsBody(body)
+}
+
+// FindBatch fetches many records.
+func (c *Client) FindBatch(ctx context.Context, ids []ccam.NodeID) ([]*ccam.Record, error) {
+	body, err := c.call(ctx, OpFindBatch, EncodeIDsBody(ids))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRecordsBody(body)
+}
+
+// EvaluateRoutes aggregates many routes (positional results).
+func (c *Client) EvaluateRoutes(ctx context.Context, routes []ccam.Route) ([]ccam.RouteAggregate, error) {
+	body, err := c.call(ctx, OpEvaluateRoutes, EncodeRoutesBody(routes))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAggsBody(body)
+}
+
+// Apply commits one transactional batch and returns the op count.
+func (c *Client) Apply(ctx context.Context, ops []ApplyOp) (int, error) {
+	reqBody, err := EncodeApplyBody(ops)
+	if err != nil {
+		return 0, err
+	}
+	body, err := c.call(ctx, OpApply, reqBody)
+	if err != nil {
+		return 0, err
+	}
+	n, err := DecodeUint32Body(body)
+	return int(n), err
+}
+
+// HTTPClient speaks the JSON protocol. Unlike Client it is safe for
+// concurrent use (http.Client pools connections underneath).
+type HTTPClient struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7070".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *HTTPClient) do(ctx context.Context, path string, in, out any) error {
+	var body io.Reader
+	method := http.MethodGet
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Mirror the binary header's deadline budget so the server bounds
+	// the query itself, not just the transport.
+	if ms := deadlineMS(ctx); ms > 0 {
+		req.Header.Set("X-Ccam-Deadline-Ms", fmt.Sprint(ms))
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrame))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return DecodeErrorResponse(raw, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Find fetches one record.
+func (c *HTTPClient) Find(ctx context.Context, id ccam.NodeID) (*ccam.Record, error) {
+	var out FindResponse
+	if err := c.do(ctx, "/v1/find", FindRequest{ID: id}, &out); err != nil {
+		return nil, err
+	}
+	return out.Record.Record(), nil
+}
+
+// Has reports whether a node is stored.
+func (c *HTTPClient) Has(ctx context.Context, id ccam.NodeID) (bool, error) {
+	var out HasResponse
+	if err := c.do(ctx, "/v1/has", HasRequest{ID: id}, &out); err != nil {
+		return false, err
+	}
+	return out.Has, nil
+}
+
+// GetSuccessors fetches all successor records of a node.
+func (c *HTTPClient) GetSuccessors(ctx context.Context, id ccam.NodeID) ([]*ccam.Record, error) {
+	var out RecordsResponse
+	if err := c.do(ctx, "/v1/successors", SuccessorsRequest{ID: id}, &out); err != nil {
+		return nil, err
+	}
+	return jsonRecords(out.Records), nil
+}
+
+// EvaluateRoute aggregates edge costs along a route.
+func (c *HTTPClient) EvaluateRoute(ctx context.Context, route ccam.Route) (ccam.RouteAggregate, error) {
+	var out RouteResponse
+	if err := c.do(ctx, "/v1/route", RouteRequest{Route: route}, &out); err != nil {
+		return ccam.RouteAggregate{}, err
+	}
+	return out.Aggregate.Aggregate(), nil
+}
+
+// RangeQuery fetches all records positioned inside the window.
+func (c *HTTPClient) RangeQuery(ctx context.Context, rect ccam.Rect) ([]*ccam.Record, error) {
+	var out RecordsResponse
+	if err := c.do(ctx, "/v1/range", RangeRequest{Rect: RectToJSON(rect)}, &out); err != nil {
+		return nil, err
+	}
+	return jsonRecords(out.Records), nil
+}
+
+// FindBatch fetches many records.
+func (c *HTTPClient) FindBatch(ctx context.Context, ids []ccam.NodeID) ([]*ccam.Record, error) {
+	var out RecordsResponse
+	if err := c.do(ctx, "/v1/find-batch", FindBatchRequest{IDs: ids}, &out); err != nil {
+		return nil, err
+	}
+	return jsonRecords(out.Records), nil
+}
+
+// EvaluateRoutes aggregates many routes (positional results).
+func (c *HTTPClient) EvaluateRoutes(ctx context.Context, routes []ccam.Route) ([]ccam.RouteAggregate, error) {
+	rr := make([][]ccam.NodeID, len(routes))
+	for i, r := range routes {
+		rr[i] = r
+	}
+	var out RoutesResponse
+	if err := c.do(ctx, "/v1/routes", RoutesRequest{Routes: rr}, &out); err != nil {
+		return nil, err
+	}
+	aggs := make([]ccam.RouteAggregate, len(out.Aggregates))
+	for i, a := range out.Aggregates {
+		aggs[i] = a.Aggregate()
+	}
+	return aggs, nil
+}
+
+// Apply commits one transactional batch and returns the op count.
+func (c *HTTPClient) Apply(ctx context.Context, ops []ApplyOp) (int, error) {
+	var out ApplyResponse
+	if err := c.do(ctx, "/v1/apply", ApplyRequest{Ops: ops}, &out); err != nil {
+		return 0, err
+	}
+	return out.Applied, nil
+}
+
+// Info describes the served store.
+func (c *HTTPClient) Info(ctx context.Context) (InfoResponse, error) {
+	var out InfoResponse
+	err := c.do(ctx, "/v1/info", nil, &out)
+	return out, err
+}
+
+func jsonRecords(rs []RecordJSON) []*ccam.Record {
+	out := make([]*ccam.Record, len(rs))
+	for i, r := range rs {
+		out[i] = r.Record()
+	}
+	return out
+}

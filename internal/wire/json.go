@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ccam"
+)
+
+// The JSON protocol. One endpoint per query/mutation, all POST with a
+// JSON body (GET /v1/info is the read-only exception):
+//
+//	POST /v1/find        FindRequest        -> FindResponse
+//	POST /v1/has         HasRequest         -> HasResponse
+//	POST /v1/successors  SuccessorsRequest  -> RecordsResponse
+//	POST /v1/route       RouteRequest       -> RouteResponse
+//	POST /v1/range       RangeRequest       -> RecordsResponse
+//	POST /v1/find-batch  FindBatchRequest   -> RecordsResponse
+//	POST /v1/routes      RoutesRequest      -> RoutesResponse
+//	POST /v1/apply       ApplyRequest       -> ApplyResponse
+//	GET  /v1/info                           -> InfoResponse
+//
+// A non-2xx response carries ErrorResponse; its "code" field is the
+// stable Code name and is the only part clients should branch on.
+
+// RecordJSON is the JSON form of a stored node record.
+type RecordJSON struct {
+	ID ccam.NodeID `json:"id"`
+	X  float64     `json:"x"`
+	Y  float64     `json:"y"`
+	// Attrs is the opaque attribute payload (base64 via encoding/json's
+	// []byte convention); omitted when empty.
+	Attrs []byte        `json:"attrs,omitempty"`
+	Succs []SuccJSON    `json:"succs,omitempty"`
+	Preds []ccam.NodeID `json:"preds,omitempty"`
+}
+
+// SuccJSON is one successor-list element.
+type SuccJSON struct {
+	To   ccam.NodeID `json:"to"`
+	Cost float32     `json:"cost"`
+}
+
+// RecordToJSON converts a stored record to its wire form.
+func RecordToJSON(r *ccam.Record) RecordJSON {
+	out := RecordJSON{ID: r.ID, X: r.Pos.X, Y: r.Pos.Y, Attrs: r.Attrs, Preds: r.Preds}
+	if len(r.Succs) > 0 {
+		out.Succs = make([]SuccJSON, len(r.Succs))
+		for i, s := range r.Succs {
+			out.Succs[i] = SuccJSON{To: s.To, Cost: s.Cost}
+		}
+	}
+	return out
+}
+
+// Record converts the wire form back to a record.
+func (r RecordJSON) Record() *ccam.Record {
+	rec := &ccam.Record{
+		ID:    r.ID,
+		Pos:   ccam.Point{X: r.X, Y: r.Y},
+		Attrs: r.Attrs,
+		Preds: r.Preds,
+	}
+	if len(r.Succs) > 0 {
+		rec.Succs = make([]ccam.SuccEntry, len(r.Succs))
+		for i, s := range r.Succs {
+			rec.Succs[i] = ccam.SuccEntry{To: s.To, Cost: s.Cost}
+		}
+	}
+	return rec
+}
+
+// RecordsToJSON converts a record slice.
+func RecordsToJSON(recs []*ccam.Record) []RecordJSON {
+	out := make([]RecordJSON, len(recs))
+	for i, r := range recs {
+		out[i] = RecordToJSON(r)
+	}
+	return out
+}
+
+// AggregateJSON is the JSON form of a route aggregate.
+type AggregateJSON struct {
+	Nodes     int     `json:"nodes"`
+	TotalCost float64 `json:"total_cost"`
+	MinCost   float64 `json:"min_cost"`
+	MaxCost   float64 `json:"max_cost"`
+}
+
+// AggregateToJSON converts a route aggregate to its wire form.
+func AggregateToJSON(a ccam.RouteAggregate) AggregateJSON {
+	return AggregateJSON{Nodes: a.Nodes, TotalCost: a.TotalCost, MinCost: a.MinCost, MaxCost: a.MaxCost}
+}
+
+// Aggregate converts the wire form back.
+func (a AggregateJSON) Aggregate() ccam.RouteAggregate {
+	return ccam.RouteAggregate{Nodes: a.Nodes, TotalCost: a.TotalCost, MinCost: a.MinCost, MaxCost: a.MaxCost}
+}
+
+// RectJSON is the JSON form of a query window.
+type RectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// Rect converts the wire form to a ccam.Rect (corner order agnostic).
+func (r RectJSON) Rect() ccam.Rect {
+	return ccam.NewRect(ccam.Point{X: r.MinX, Y: r.MinY}, ccam.Point{X: r.MaxX, Y: r.MaxY})
+}
+
+// RectToJSON converts a query window to its wire form.
+func RectToJSON(r ccam.Rect) RectJSON {
+	return RectJSON{MinX: r.Min.X, MinY: r.Min.Y, MaxX: r.Max.X, MaxY: r.Max.Y}
+}
+
+// Request bodies.
+type (
+	// FindRequest asks for one node's record.
+	FindRequest struct {
+		ID ccam.NodeID `json:"id"`
+	}
+	// HasRequest asks whether a node is stored.
+	HasRequest struct {
+		ID ccam.NodeID `json:"id"`
+	}
+	// SuccessorsRequest asks for all successor records of a node.
+	SuccessorsRequest struct {
+		ID ccam.NodeID `json:"id"`
+	}
+	// RouteRequest asks for the aggregate of one route.
+	RouteRequest struct {
+		Route []ccam.NodeID `json:"route"`
+	}
+	// RangeRequest asks for all records inside a window.
+	RangeRequest struct {
+		Rect RectJSON `json:"rect"`
+	}
+	// FindBatchRequest asks for many records (positional results).
+	FindBatchRequest struct {
+		IDs []ccam.NodeID `json:"ids"`
+	}
+	// RoutesRequest asks for many route aggregates (positional).
+	RoutesRequest struct {
+		Routes [][]ccam.NodeID `json:"routes"`
+	}
+	// ApplyRequest carries one transactional batch; all ops commit or
+	// none do.
+	ApplyRequest struct {
+		Ops []ApplyOp `json:"ops"`
+	}
+)
+
+// ApplyOp kind names (the ApplyOp.Kind field).
+const (
+	OpInsertNode  = "insert-node"
+	OpDeleteNode  = "delete-node"
+	OpInsertEdge  = "insert-edge"
+	OpDeleteEdge  = "delete-edge"
+	OpSetEdgeCost = "set-edge-cost"
+)
+
+// ApplyOp is one mutation of a transactional batch. Kind selects which
+// fields matter:
+//
+//	insert-node:   Node (its Succs carry the out-edge costs), PredCosts
+//	               (positional costs of Node.Preds), Policy
+//	delete-node:   ID, Policy
+//	insert-edge:   From, To, Cost, Policy
+//	delete-edge:   From, To, Policy
+//	set-edge-cost: From, To, Cost
+type ApplyOp struct {
+	Kind      string      `json:"kind"`
+	Policy    string      `json:"policy,omitempty"`
+	Node      *RecordJSON `json:"node,omitempty"`
+	PredCosts []float32   `json:"pred_costs,omitempty"`
+	ID        ccam.NodeID `json:"id,omitempty"`
+	From      ccam.NodeID `json:"from,omitempty"`
+	To        ccam.NodeID `json:"to,omitempty"`
+	Cost      float32     `json:"cost,omitempty"`
+}
+
+// ParsePolicy resolves a reorganization policy name. The empty string
+// is FirstOrder (the cheapest policy is the default).
+func ParsePolicy(name string) (ccam.Policy, error) {
+	switch name {
+	case "", "first-order":
+		return ccam.FirstOrder, nil
+	case "second-order":
+		return ccam.SecondOrder, nil
+	case "higher-order":
+		return ccam.HigherOrder, nil
+	case "lazy":
+		return ccam.Lazy, nil
+	}
+	return 0, fmt.Errorf("%w: unknown policy %q", ErrBadRequest, name)
+}
+
+// Batch converts the request into the store's batch form.
+func (r *ApplyRequest) Batch() (*ccam.Batch, error) {
+	b := new(ccam.Batch)
+	for i, op := range r.Ops {
+		pol, err := ParsePolicy(op.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		switch op.Kind {
+		case OpInsertNode:
+			if op.Node == nil {
+				return nil, fmt.Errorf("%w: op %d: insert-node without node", ErrBadRequest, i)
+			}
+			b.Insert(&ccam.InsertOp{Rec: op.Node.Record(), PredCosts: op.PredCosts}, pol)
+		case OpDeleteNode:
+			b.Delete(op.ID, pol)
+		case OpInsertEdge:
+			b.InsertEdge(op.From, op.To, op.Cost, pol)
+		case OpDeleteEdge:
+			b.DeleteEdge(op.From, op.To, pol)
+		case OpSetEdgeCost:
+			b.SetEdgeCost(op.From, op.To, op.Cost)
+		default:
+			return nil, fmt.Errorf("%w: op %d: unknown kind %q", ErrBadRequest, i, op.Kind)
+		}
+	}
+	return b, nil
+}
+
+// Response bodies.
+type (
+	// FindResponse carries one record.
+	FindResponse struct {
+		Record RecordJSON `json:"record"`
+	}
+	// HasResponse carries a stored/absent verdict.
+	HasResponse struct {
+		Has bool `json:"has"`
+	}
+	// RecordsResponse carries a record list (successors, range and
+	// batch results).
+	RecordsResponse struct {
+		Records []RecordJSON `json:"records"`
+	}
+	// RouteResponse carries one aggregate.
+	RouteResponse struct {
+		Aggregate AggregateJSON `json:"aggregate"`
+	}
+	// RoutesResponse carries positional aggregates.
+	RoutesResponse struct {
+		Aggregates []AggregateJSON `json:"aggregates"`
+	}
+	// ApplyResponse acknowledges a committed batch.
+	ApplyResponse struct {
+		Applied int `json:"applied"`
+	}
+	// InfoResponse describes the served store.
+	InfoResponse struct {
+		Name        string `json:"name"`
+		Nodes       int    `json:"nodes"`
+		Pages       int    `json:"pages"`
+		MaxInFlight int    `json:"max_in_flight"`
+	}
+	// ErrorResponse is the body of every non-2xx JSON response.
+	ErrorResponse struct {
+		Error ErrorJSON `json:"error"`
+	}
+	// ErrorJSON is the error payload: the stable code name plus a
+	// human-readable message.
+	ErrorJSON struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+)
+
+// DecodeErrorResponse turns an ErrorResponse body into the client-side
+// error (wrapping the code's sentinel).
+func DecodeErrorResponse(body []byte, httpStatus int) error {
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
+		return RemoteError(CodeInternal, fmt.Sprintf("http %d: %s", httpStatus, body))
+	}
+	return RemoteError(CodeFromName(er.Error.Code), er.Error.Message)
+}
+
+// Routes converts a JSON route list to ccam routes.
+func Routes(rr [][]ccam.NodeID) []ccam.Route {
+	routes := make([]ccam.Route, len(rr))
+	for i, r := range rr {
+		routes[i] = ccam.Route(r)
+	}
+	return routes
+}

@@ -7,6 +7,7 @@ package ccam
 // internal/metrics.
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -44,7 +45,7 @@ func TestOpCountersAndDeltas(t *testing.T) {
 	ids := g.NodeIDs()
 	const finds = 50
 	for i := 0; i < finds; i++ {
-		if _, err := s.Find(ids[i%len(ids)]); err != nil {
+		if _, err := s.Find(context.Background(), ids[i%len(ids)]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,7 +76,7 @@ func TestOpCountersAndDeltas(t *testing.T) {
 		t.Fatalf("index pages = %d, want >= %d", idx, finds)
 	}
 	// A failed lookup counts in both total and errors.
-	if _, err := s.Find(NodeID(1 << 30)); err == nil {
+	if _, err := s.Find(context.Background(), NodeID(1<<30)); err == nil {
 		t.Fatal("lookup of absent node succeeded")
 	}
 	if got := reg.Counter("ccam_op_find_errors_total").Value(); got != 1 {
@@ -87,7 +88,7 @@ func TestTracesRecorded(t *testing.T) {
 	s, g := obsStore(t)
 	ids := g.NodeIDs()
 	s.ResetIO() // empty the pool so the next find has a physical read
-	if _, err := s.Find(ids[0]); err != nil {
+	if _, err := s.Find(context.Background(), ids[0]); err != nil {
 		t.Fatal(err)
 	}
 	trs := s.Traces(1)
@@ -122,7 +123,7 @@ func TestIOAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range g.NodeIDs()[:64] {
-		if _, err := s.Find(id); err != nil {
+		if _, err := s.Find(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -184,7 +185,7 @@ func TestGaugesTrackBuildAndMutations(t *testing.T) {
 
 func TestExportersViaStore(t *testing.T) {
 	s, g := obsStore(t)
-	if _, err := s.Find(g.NodeIDs()[0]); err != nil {
+	if _, err := s.Find(context.Background(), g.NodeIDs()[0]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -246,7 +247,7 @@ func TestDisabledMetricsAddNoAllocs(t *testing.T) {
 		t.Fatal("metrics unexpectedly enabled")
 	}
 	id := g.NodeIDs()[0]
-	if _, err := s.Find(id); err != nil { // warm the page
+	if _, err := s.Find(context.Background(), id); err != nil { // warm the page
 		t.Fatal(err)
 	}
 	f := s.m.File()
@@ -256,7 +257,7 @@ func TestDisabledMetricsAddNoAllocs(t *testing.T) {
 		}
 	})
 	wrapped := testing.AllocsPerRun(200, func() {
-		if _, err := s.Find(id); err != nil {
+		if _, err := s.Find(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -527,7 +527,7 @@ func TestApplyAtomicUnderMidBatchFault(t *testing.T) {
 	}
 	// The store is poisoned: every call fails with ErrClosed until
 	// reopen.
-	if _, err := s.Find(e0.From); !errors.Is(err, ErrClosed) {
+	if _, err := s.Find(context.Background(), e0.From); !errors.Is(err, ErrClosed) {
 		t.Fatalf("poisoned store Find error = %v", err)
 	}
 	if err := s.SetEdgeCost(e0.From, e0.To, 1); !errors.Is(err, ErrClosed) {
@@ -604,7 +604,7 @@ func TestApplyValidationLeavesStateUntouched(t *testing.T) {
 	if err := s.Apply(context.Background(), ok); err != nil {
 		t.Fatalf("cross-op batch rejected: %v", err)
 	}
-	rec, err := s.Find(e0.From)
+	rec, err := s.Find(context.Background(), e0.From)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -702,13 +702,13 @@ func TestErrClosedAndCtxCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.FindCtx(ctx, g.NodeIDs()[0]); !errors.Is(err, context.Canceled) {
+	if _, err := s.Find(ctx, g.NodeIDs()[0]); !errors.Is(err, context.Canceled) {
 		t.Fatalf("FindCtx on canceled ctx = %v", err)
 	}
-	if _, err := s.GetSuccessorsCtx(ctx, g.NodeIDs()[0]); !errors.Is(err, context.Canceled) {
+	if _, err := s.GetSuccessors(ctx, g.NodeIDs()[0]); !errors.Is(err, context.Canceled) {
 		t.Fatalf("GetSuccessorsCtx on canceled ctx = %v", err)
 	}
-	if _, err := s.EvaluateRouteCtx(ctx, Route{g.NodeIDs()[0]}); !errors.Is(err, context.Canceled) {
+	if _, err := s.EvaluateRoute(ctx, Route{g.NodeIDs()[0]}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("EvaluateRouteCtx on canceled ctx = %v", err)
 	}
 	if err := s.Apply(ctx, new(Batch).SetEdgeCost(1, 2, 3)); !errors.Is(err, context.Canceled) {
@@ -717,7 +717,7 @@ func TestErrClosedAndCtxCancel(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Find(g.NodeIDs()[0]); !errors.Is(err, ErrClosed) {
+	if _, err := s.Find(context.Background(), g.NodeIDs()[0]); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Find after Close = %v", err)
 	}
 	if err := s.Insert(&InsertOp{Rec: &Record{ID: 1}}, FirstOrder); !errors.Is(err, ErrClosed) {
