@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ccam/internal/netfile"
 	"ccam/internal/storage"
@@ -106,7 +107,7 @@ func (s *Store) FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error) 
 		return out, nil
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.findBatch, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.findBatch, f)
 		out, err := run()
 		sn.end(err)
 		return out, err
@@ -142,7 +143,7 @@ func (s *Store) EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggr
 		return out, nil
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.evaluateRoutes, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.evaluateRoutes, f)
 		out, err := run()
 		sn.end(err)
 		return out, err
@@ -268,7 +269,7 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 	}
 	var applySnap opSnap
 	if s.obs != nil {
-		applySnap = s.obs.beginOp(s.obs.apply, f)
+		applySnap = s.obs.beginOpCtx(ctx, s.obs.apply, f)
 	}
 	w := f.WAL()
 	if w != nil {
@@ -344,8 +345,24 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 	s.mu.Unlock()
 	if w != nil {
 		// The commit fsync runs outside the store lock so concurrent
-		// committers coalesce into one fsync (group commit).
-		if err := w.Commit(commitLSN); err != nil {
+		// committers coalesce into one fsync (group commit). The wait is
+		// measured from the committing request's perspective — group
+		// formation plus fsync — and charged to the request's ReqStats
+		// and the ccam_wal_commit_wait_ns histogram (see DESIGN.md on why
+		// the request, not the fsync leader, owns this time).
+		var commitStart time.Time
+		if s.obs != nil {
+			commitStart = time.Now()
+		}
+		err := w.Commit(commitLSN)
+		if s.obs != nil {
+			waitNs := time.Since(commitStart).Nanoseconds()
+			s.obs.walCommitWait.Observe(waitNs)
+			if applySnap.rs != nil {
+				applySnap.rs.WALWaitNs += waitNs
+			}
+		}
+		if err != nil {
 			s.mu.Lock()
 			if s.failed == nil {
 				s.failed = fmt.Errorf("%w: wal commit failed, reopen to recover: %v", ErrClosed, err)

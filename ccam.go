@@ -458,7 +458,7 @@ func (s *Store) Find(ctx context.Context, id NodeID) (*Record, error) {
 		return nil, err
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.find, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.find, f)
 		rec, err := f.FindCtx(ctx, id)
 		sn.end(err)
 		return rec, err
@@ -480,7 +480,7 @@ func (s *Store) GetASuccessor(ctx context.Context, cur *Record, succ NodeID) (*R
 		return nil, err
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.getASuccessor, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.getASuccessor, f)
 		rec, err := f.GetASuccessor(cur, succ)
 		sn.end(err)
 		return rec, err
@@ -499,7 +499,7 @@ func (s *Store) GetSuccessors(ctx context.Context, id NodeID) ([]*Record, error)
 		return nil, err
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.getSuccessors, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.getSuccessors, f)
 		recs, err := f.GetSuccessorsCtx(ctx, id)
 		sn.end(err)
 		return recs, err
@@ -519,7 +519,7 @@ func (s *Store) EvaluateRoute(ctx context.Context, route Route) (RouteAggregate,
 		return RouteAggregate{}, err
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.evaluateRoute, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.evaluateRoute, f)
 		agg, err := f.EvaluateRouteCtx(ctx, route)
 		sn.end(err)
 		return agg, err
@@ -539,7 +539,7 @@ func (s *Store) RangeQuery(ctx context.Context, rect Rect) ([]*Record, error) {
 		return nil, err
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOp(s.obs.rangeQuery, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.rangeQuery, f)
 		recs, err := f.RangeQueryCtx(ctx, rect)
 		sn.end(err)
 		return recs, err

@@ -76,6 +76,8 @@ func main() {
 	serveBin := flag.String("serve-bin", "", "with -exp serve: run this ccam-serve binary as a child process instead of serving in-process (doubles the per-process fd budget and exercises the real SIGTERM drain)")
 	nodes := flag.Int("nodes", 262144, "with -exp serve: road-map size for the in-process server")
 	inflight := flag.Int("max-inflight", 0, "with -exp serve: in-process server admission cap (0 = server default)")
+	traceSample := flag.Int("trace-sample", 0, "with -exp serve: send trace context + stats request on 1-in-N requests and report server-attributed breakdowns (0 = off)")
+	slowQuery := flag.Duration("slow-query", 0, "with -exp serve: managed server's slow-query log threshold (0 = off)")
 	flag.Parse()
 
 	opts := graph.MinneapolisLikeOpts()
@@ -93,6 +95,7 @@ func main() {
 	}, serveConfig{
 		Nodes: *nodes, Conns: *conns, Duration: *duration, Rate: *rate,
 		Addr: *addr, ServeBin: *serveBin, MaxInFlight: *inflight,
+		TraceSample: *traceSample, SlowQuery: *slowQuery,
 		JSONPath: *jsonPath, Check: *check, Seed: *seed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-bench:", err)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"os"
@@ -51,6 +52,14 @@ type serveConfig struct {
 	MaxInFlight int
 	// JSONPath, when set, also writes the result as JSON there.
 	JSONPath string
+	// TraceSample, when positive, sends trace context and a stats
+	// request on 1-in-N requests; the server-attributed resource
+	// accounts come back in the response trailer and are reported as
+	// p50/p99 breakdowns.
+	TraceSample int
+	// SlowQuery, when positive, is the managed server's slow-query log
+	// threshold (passed through to a child ccam-serve).
+	SlowQuery time.Duration
 	// Check enforces the acceptance gates (non-zero throughput, zero
 	// protocol errors, clean drain).
 	Check bool
@@ -81,6 +90,18 @@ type serveResult struct {
 	ServerP50Ms float64 `json:"server_p50_ms,omitempty"`
 	ServerP95Ms float64 `json:"server_p95_ms,omitempty"`
 	ServerP99Ms float64 `json:"server_p99_ms,omitempty"`
+
+	// Server-attributed per-request breakdowns from sampled requests
+	// (-trace-sample): index pages descended, buffer misses and WAL
+	// commit wait as the server's ReqStats trailer reported them. These
+	// work against a child or external server too — the account rides
+	// the response, not a shared registry.
+	Sampled             int64   `json:"sampled,omitempty"`
+	SampledIdxPagesP50  float64 `json:"sampled_index_pages_p50,omitempty"`
+	SampledIdxPagesP99  float64 `json:"sampled_index_pages_p99,omitempty"`
+	SampledBufMissP50   float64 `json:"sampled_buffer_misses_p50,omitempty"`
+	SampledBufMissP99   float64 `json:"sampled_buffer_misses_p99,omitempty"`
+	SampledWALWaitP99Ms float64 `json:"sampled_wal_wait_p99_ms,omitempty"`
 
 	DrainClean      bool `json:"drain_clean"`
 	ReplayedBatches int  `json:"replayed_batches"`
@@ -232,7 +253,10 @@ func runServe(w io.Writer, cfg serveConfig) error {
 
 	reg := metrics.NewRegistry()
 	lat := reg.Histogram("client_request_ns")
-	var requests, sheds, protoErrs atomic.Int64
+	sampledIdx := reg.Histogram("sampled_index_pages")
+	sampledMiss := reg.Histogram("sampled_buffer_misses")
+	sampledWait := reg.Histogram("sampled_wal_wait_ns")
+	var requests, sheds, protoErrs, sampled atomic.Int64
 	deadlineAt := time.Now().Add(cfg.Duration)
 	perConnInterval := time.Duration(0)
 	if cfg.Rate > 0 {
@@ -258,12 +282,26 @@ func runServe(w io.Writer, cfg serveConfig) error {
 				if !time.Now().Before(deadlineAt) {
 					return
 				}
+				// 1-in-N requests carry trace context and ask for the
+				// server's resource account in the response trailer.
+				rctx := ctx
+				var rs *ccam.ReqStats
+				if cfg.TraceSample > 0 && rng.Intn(cfg.TraceSample) == 0 {
+					rs = new(ccam.ReqStats)
+					rctx = ccam.WithReqStats(ccam.WithTraceID(ctx, rng.Uint64()|1), rs)
+				}
 				start := time.Now()
-				err := oneRequest(ctx, c, tgt, rng)
+				err := oneRequest(rctx, c, tgt, rng)
 				switch {
 				case err == nil:
 					requests.Add(1)
 					lat.ObserveSince(start)
+					if rs != nil && rs.Ops > 0 {
+						sampled.Add(1)
+						sampledIdx.Observe(rs.IndexPages)
+						sampledMiss.Observe(rs.BufferMisses)
+						sampledWait.Observe(rs.WALWaitNs)
+					}
 				case errors.Is(err, ccam.ErrOverloaded):
 					sheds.Add(1)
 					// Back off briefly so shed retries don't spin.
@@ -292,6 +330,14 @@ func runServe(w io.Writer, cfg serveConfig) error {
 		res.ServerP50Ms = float64(stats.Latency.P50()) / 1e6
 		res.ServerP95Ms = float64(stats.Latency.P95()) / 1e6
 		res.ServerP99Ms = float64(stats.Latency.P99()) / 1e6
+	}
+	if res.Sampled = sampled.Load(); res.Sampled > 0 {
+		idx, miss, wait := sampledIdx.Snapshot(), sampledMiss.Snapshot(), sampledWait.Snapshot()
+		res.SampledIdxPagesP50 = float64(idx.P50())
+		res.SampledIdxPagesP99 = float64(idx.P99())
+		res.SampledBufMissP50 = float64(miss.P50())
+		res.SampledBufMissP99 = float64(miss.P99())
+		res.SampledWALWaitP99Ms = float64(wait.P99()) / 1e6
 	}
 
 	if tgt.drain != nil {
@@ -455,7 +501,11 @@ func startInProcess(w io.Writer, cfg serveConfig) (*serveTarget, error) {
 	}
 	fmt.Fprintf(w, "serve: built in %.1fs (%d pages)\n", time.Since(buildStart).Seconds(), st.NumPages())
 
-	srv := server.New(server.Options{Store: st, MaxInFlight: cfg.MaxInFlight})
+	srvOpts := server.Options{Store: st, MaxInFlight: cfg.MaxInFlight, SlowQuery: cfg.SlowQuery}
+	if cfg.SlowQuery > 0 {
+		srvOpts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := server.New(srvOpts)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fail(err)
@@ -507,11 +557,15 @@ func startChild(w io.Writer, cfg serveConfig) (*serveTarget, error) {
 		os.RemoveAll(dir)
 		return nil, err
 	}
-	cmd := exec.Command(cfg.ServeBin,
+	args := []string{
 		"-path", path, "-create",
 		"-nodes", fmt.Sprint(cfg.Nodes), "-seed", fmt.Sprint(cfg.Seed),
 		"-pool", "8192", "-max-inflight", fmt.Sprint(cfg.MaxInFlight),
-		"-http", "", "-tcp", tcpAddr)
+		"-http", "", "-tcp", tcpAddr}
+	if cfg.SlowQuery > 0 {
+		args = append(args, "-slow-query", cfg.SlowQuery.String())
+	}
+	cmd := exec.Command(cfg.ServeBin, args...)
 	cmd.Stdout = w
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -624,6 +678,14 @@ func printServeResult(w io.Writer, cfg serveConfig, res *serveResult, tgt *serve
 		fmt.Fprintf(w, "%-12s %9.2f ms\n", "server p50", res.ServerP50Ms)
 		fmt.Fprintf(w, "%-12s %9.2f ms\n", "server p95", res.ServerP95Ms)
 		fmt.Fprintf(w, "%-12s %9.2f ms\n", "server p99", res.ServerP99Ms)
+	}
+	if res.Sampled > 0 {
+		fmt.Fprintf(w, "%-12s %12d\n", "sampled", res.Sampled)
+		fmt.Fprintf(w, "%-12s %6.0f / %.0f\n", "idx pg 50/99", res.SampledIdxPagesP50, res.SampledIdxPagesP99)
+		fmt.Fprintf(w, "%-12s %6.0f / %.0f\n", "miss 50/99", res.SampledBufMissP50, res.SampledBufMissP99)
+		if res.SampledWALWaitP99Ms > 0 {
+			fmt.Fprintf(w, "%-12s %9.2f ms\n", "wal p99", res.SampledWALWaitP99Ms)
+		}
 	}
 	if tgt.drain != nil {
 		fmt.Fprintf(w, "%-12s %12v\n", "drain clean", res.DrainClean)

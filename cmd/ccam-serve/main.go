@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,9 @@ func main() {
 		pageSize    = flag.Int("pagesize", 2048, "with -create: page size in bytes")
 		poolPages   = flag.Int("pool", 256, "buffer pool capacity in pages")
 		noWAL       = flag.Bool("no-wal", false, "with -create: disable the write-ahead log")
+		logLevel    = flag.String("log", "info", "structured-log level on stderr: debug, info, warn, error, or off")
+		slowQuery   = flag.Duration("slow-query", 0, "log any request slower than this with its span breakdown and resource account (0 = off)")
+		traceCap    = flag.Int("trace", 256, "operation-trace ring capacity for /traces (0 disables tracing)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
@@ -54,6 +58,7 @@ func main() {
 		maxInFlight: *maxInFlight, deadline: *deadline, drain: *drain,
 		create: *create, nodes: *nodes, seed: *seed,
 		pageSize: *pageSize, poolPages: *poolPages, wal: !*noWAL,
+		logLevel: *logLevel, slowQuery: *slowQuery, traceCap: *traceCap,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-serve:", err)
 		os.Exit(1)
@@ -69,11 +74,30 @@ type runConfig struct {
 	seed                    int64
 	pageSize, poolPages     int
 	wal                     bool
+	logLevel                string
+	slowQuery               time.Duration
+	traceCap                int
+}
+
+// newLogger builds the stderr slog logger, or nil for -log off.
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "off" {
+		return nil, nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func run(cfg runConfig) error {
 	if cfg.path == "" {
 		return errors.New("-path is required")
+	}
+	logger, err := newLogger(cfg.logLevel)
+	if err != nil {
+		return err
 	}
 	st, err := openStore(cfg)
 	if err != nil {
@@ -81,15 +105,24 @@ func run(cfg runConfig) error {
 	}
 	defer st.Close()
 	fmt.Printf("store: %s (%s, %d nodes, %d pages)\n", cfg.path, st.Name(), st.Len(), st.NumPages())
-	if ws := st.WALStats(); ws.Enabled && ws.ReplayedBatches > 0 {
-		fmt.Printf("wal: replayed %d batches (%d mutations) — previous shutdown was not clean\n",
-			ws.ReplayedBatches, ws.ReplayedMutations)
+	if logger != nil {
+		// Recovery summary: what the open just did to get consistent.
+		ws := st.WALStats()
+		if ws.Enabled && ws.ReplayedBatches > 0 {
+			logger.Warn("wal recovery: previous shutdown was not clean",
+				"replayed_batches", ws.ReplayedBatches, "replayed_mutations", ws.ReplayedMutations)
+		} else {
+			logger.Info("store open", "name", st.Name(), "nodes", st.Len(),
+				"pages", st.NumPages(), "wal", ws.Enabled)
+		}
 	}
 
 	srv := server.New(server.Options{
 		Store:           st,
 		MaxInFlight:     cfg.maxInFlight,
 		DefaultDeadline: cfg.deadline,
+		Logger:          logger,
+		SlowQuery:       cfg.slowQuery,
 	})
 
 	errc := make(chan error, 2)
@@ -154,10 +187,11 @@ func run(cfg runConfig) error {
 // synthetic road map when -create is set and the file is missing.
 func openStore(cfg runConfig) (*ccam.Store, error) {
 	opts := ccam.Options{
-		PoolPages: cfg.poolPages,
-		Seed:      cfg.seed,
-		Metrics:   true,
-		WAL:       cfg.wal,
+		PoolPages:     cfg.poolPages,
+		Seed:          cfg.seed,
+		Metrics:       true,
+		WAL:           cfg.wal,
+		TraceCapacity: cfg.traceCap,
 	}
 	if _, err := os.Stat(cfg.path); err == nil {
 		return ccam.OpenPath(cfg.path, opts)

@@ -1,11 +1,32 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 )
+
+// traceIDKey carries a request's trace id through a context.Context,
+// so operations deep in the store can tag the traces they record with
+// the network request that caused them.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the given trace id. A zero id
+// returns ctx unchanged (zero means "untraced" on the wire).
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace id carried by ctx (0 when none).
+func TraceIDFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceIDKey{}).(uint64)
+	return id
+}
 
 // maxSpans bounds the spans recorded per trace; operations that touch
 // more sub-steps (a long route evaluation, a broad range query) keep
@@ -26,6 +47,7 @@ type Span struct {
 type Trace struct {
 	Seq     uint64 // monotonically increasing per tracer
 	Op      string
+	TraceID uint64 // wire trace id when the op ran on behalf of a traced request; 0 otherwise
 	Start   time.Time
 	Dur     time.Duration
 	Spans   []Span
@@ -63,6 +85,17 @@ func (t *Tracer) Start(op string) *ActiveTrace {
 	return &ActiveTrace{tracer: t, op: op, start: time.Now()}
 }
 
+// StartCtx is Start tagging the trace with the trace id carried by ctx
+// (see WithTraceID), so /traces can answer "what did request X do". On
+// a nil tracer it returns nil without touching the context, keeping
+// the disabled path free of ctx.Value lookups.
+func (t *Tracer) StartCtx(ctx context.Context, op string) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	return &ActiveTrace{tracer: t, op: op, start: time.Now(), traceID: TraceIDFrom(ctx)}
+}
+
 // record appends a finished trace to the ring.
 func (t *Tracer) record(tr Trace) {
 	t.mu.Lock()
@@ -81,38 +114,84 @@ func (t *Tracer) record(tr Trace) {
 // Recent returns up to n of the most recent traces, newest first. It
 // returns nil on a nil tracer.
 func (t *Tracer) Recent(n int) []Trace {
+	return t.Select(n, TraceFilter{})
+}
+
+// TraceFilter narrows a Select: zero fields match everything.
+type TraceFilter struct {
+	// TraceID, when non-zero, keeps only traces tagged with this wire
+	// trace id.
+	TraceID uint64
+	// Op, when non-empty, keeps only traces of this operation.
+	Op string
+}
+
+func (f TraceFilter) match(tr *Trace) bool {
+	if f.TraceID != 0 && tr.TraceID != f.TraceID {
+		return false
+	}
+	if f.Op != "" && tr.Op != f.Op {
+		return false
+	}
+	return true
+}
+
+// Select returns up to n of the most recent traces matching the
+// filter, newest first. It returns nil on a nil tracer.
+func (t *Tracer) Select(n int, f TraceFilter) []Trace {
 	if t == nil || n <= 0 {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if n > len(t.ring) {
-		n = len(t.ring)
-	}
-	out := make([]Trace, 0, n)
 	// Newest element sits just before next (mod length) once the ring
 	// is full; before that, at the end of the slice.
 	idx := t.next - 1
 	if len(t.ring) < cap(t.ring) {
 		idx = len(t.ring) - 1
 	}
-	for i := 0; i < n; i++ {
+	var out []Trace
+	for i := 0; i < len(t.ring) && len(out) < n; i++ {
 		j := (idx - i + len(t.ring)) % len(t.ring)
 		tr := t.ring[j]
+		if !f.match(&tr) {
+			continue
+		}
 		tr.Spans = append([]Span(nil), tr.Spans...)
 		out = append(out, tr)
 	}
 	return out
 }
 
+// Capacity returns the ring size (0 on a nil tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
+}
+
 // WriteTo dumps the recent traces newest-first in a human-readable
 // form, implementing io.WriterTo.
 func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	return WriteTraces(w, t.Recent(t.Capacity()))
+}
+
+// WriteTraces renders traces (one line each) in the /traces dump
+// format: sequence number, op, duration, the wire trace id when the op
+// ran on behalf of a traced request, the error if any, and every span.
+func WriteTraces(w io.Writer, traces []Trace) (int64, error) {
 	var n int64
-	for _, tr := range t.Recent(cap(t.ring)) {
+	for _, tr := range traces {
 		line := fmt.Sprintf("#%d %s %v", tr.Seq, tr.Op, tr.Dur)
+		if tr.TraceID != 0 {
+			line += fmt.Sprintf(" trace=%016x", tr.TraceID)
+		}
 		if tr.Err != "" {
 			line += " err=" + tr.Err
+		}
+		if tr.Dropped > 0 {
+			line += fmt.Sprintf(" dropped=%d", tr.Dropped)
 		}
 		for _, sp := range tr.Spans {
 			line += fmt.Sprintf(" [%s +%v %v]", sp.Name, sp.Offset, sp.Dur)
@@ -132,9 +211,18 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 type ActiveTrace struct {
 	tracer  *Tracer
 	op      string
+	traceID uint64
 	start   time.Time
 	spans   []Span
 	dropped int
+}
+
+// SetTraceID tags the trace with a wire trace id. No-op on a nil
+// trace.
+func (a *ActiveTrace) SetTraceID(id uint64) {
+	if a != nil {
+		a.traceID = id
+	}
 }
 
 // SpanToken marks an open span; close it with End. The zero token
@@ -175,6 +263,7 @@ func (a *ActiveTrace) Finish(err error) {
 	}
 	tr := Trace{
 		Op:      a.op,
+		TraceID: a.traceID,
 		Start:   a.start,
 		Dur:     time.Since(a.start),
 		Spans:   a.spans,

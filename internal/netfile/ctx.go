@@ -16,7 +16,7 @@ import (
 
 // FindCtx is Find with cooperative cancellation.
 func (f *File) FindCtx(ctx context.Context, id graph.NodeID) (*Record, error) {
-	at := f.tracer.Start("find")
+	at := f.tracer.StartCtx(ctx, "find")
 	rec, err := f.findCtx(ctx, id, at)
 	at.Finish(err)
 	return rec, err
@@ -33,7 +33,7 @@ func (f *File) findCtx(ctx context.Context, id graph.NodeID, at *metrics.ActiveT
 // the context is checked before the node's own fetch and before each
 // successor fetch.
 func (f *File) GetSuccessorsCtx(ctx context.Context, id graph.NodeID) ([]*Record, error) {
-	at := f.tracer.Start("get-successors")
+	at := f.tracer.StartCtx(ctx, "get-successors")
 	out, err := f.getSuccessorsCtx(ctx, id, at)
 	at.Finish(err)
 	return out, err
@@ -58,7 +58,7 @@ func (f *File) getSuccessorsCtx(ctx context.Context, id graph.NodeID, at *metric
 // EvaluateRouteCtx is EvaluateRoute with cooperative cancellation: the
 // context is checked before each hop's record fetch.
 func (f *File) EvaluateRouteCtx(ctx context.Context, route graph.Route) (RouteAggregate, error) {
-	at := f.tracer.Start("evaluate-route")
+	at := f.tracer.StartCtx(ctx, "evaluate-route")
 	agg, err := f.evaluateRouteCtx(ctx, route, at)
 	at.Finish(err)
 	return agg, err

@@ -73,7 +73,7 @@ func (f *File) RangeQuery(rect geom.Rect) ([]*Record, error) {
 // checked before each candidate record fetch, so a canceled context
 // stops the index scan without paying for the remaining page reads.
 func (f *File) RangeQueryCtx(ctx context.Context, rect geom.Rect) ([]*Record, error) {
-	at := f.tracer.Start("range-query")
+	at := f.tracer.StartCtx(ctx, "range-query")
 	out, err := f.rangeQueryCtx(ctx, rect, at)
 	at.Finish(err)
 	return out, err

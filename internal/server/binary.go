@@ -41,6 +41,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	if s.log != nil {
+		s.log.Debug("connection open", "remote", conn.RemoteAddr())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var (
 		writeMu sync.Mutex
@@ -55,54 +58,78 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}
 
+	var served int64
 	br := bufio.NewReaderSize(conn, 16<<10)
 	for {
 		frame, err := wire.ReadFrame(br)
 		if err != nil {
 			break
 		}
-		id, op, deadlineMS, body, err := wire.DecodeRequest(frame)
+		h, body, err := wire.DecodeRequestHeader(frame)
 		if err != nil {
-			respond(wire.EncodeErrResponse(id, err))
+			respond(wire.EncodeErrResponse(h.ID, err))
 			break
 		}
+		served++
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
-			s.handleBinary(ctx, id, op, deadlineMS, body, respond)
+			s.handleBinary(ctx, h, body, respond)
 		}()
 	}
 	cancel()
 	pending.Wait()
 	s.untrack(conn)
 	conn.Close()
+	if s.log != nil {
+		s.log.Debug("connection closed", "remote", conn.RemoteAddr(), "requests", served)
+	}
 }
 
 // handleBinary dispatches one binary request through the shared
 // admission/deadline path. The response is written while the request
 // still holds its admission slot, so a drain that begins during the
 // request cannot close the connection before the reply is out.
-func (s *Server) handleBinary(connCtx context.Context, id uint32, op wire.Op, deadlineMS uint32, body []byte, respond func([]byte)) {
+//
+// A sampled request (extended header) tags the store-side traces with
+// its trace id; a want-stats request gets its resource account echoed
+// in the response stats block — on errors too, so a shed request
+// reports Shed.
+func (s *Server) handleBinary(connCtx context.Context, h wire.ReqHeader, body []byte, respond func([]byte)) {
+	var rs *ccam.ReqStats
+	reqCtx := connCtx
+	if h.Sampled || h.WantStats {
+		rs = new(ccam.ReqStats)
+		reqCtx = ccam.WithReqStats(reqCtx, rs)
+	}
+	if h.Sampled && h.TraceID != 0 {
+		reqCtx = ccam.WithTraceID(reqCtx, h.TraceID)
+	}
+	var echo *ccam.ReqStats
+	if h.WantStats {
+		echo = rs
+	}
+	meta := reqMeta{op: h.Op.String(), traceID: h.TraceID, rs: rs}
 	responded := false
-	err := s.do(connCtx, func(ctx context.Context) error {
-		if deadlineMS > 0 {
+	err := s.do(reqCtx, meta, func(ctx context.Context) error {
+		if h.DeadlineMS > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(h.DeadlineMS)*time.Millisecond)
 			defer cancel()
 		}
-		out, ferr := s.dispatchBinary(ctx, op, body)
+		out, ferr := s.dispatchBinary(ctx, h.Op, body)
 		responded = true
 		if ferr != nil {
-			respond(wire.EncodeErrResponse(id, ferr))
+			respond(wire.EncodeErrResponseStats(h.ID, ferr, echo))
 			return ferr
 		}
-		respond(wire.EncodeOKResponse(id, out))
+		respond(wire.EncodeOKResponseStats(h.ID, out, echo))
 		return nil
 	})
 	// err without a response means admission refused the request
 	// (shed or draining) before fn ran.
 	if err != nil && !responded {
-		respond(wire.EncodeErrResponse(id, err))
+		respond(wire.EncodeErrResponseStats(h.ID, err, echo))
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
@@ -38,11 +39,26 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 
-	handle := func(path string, fn func(ctx context.Context, body []byte) (any, error)) {
+	handle := func(path, op string, fn func(ctx context.Context, body []byte) (any, error)) {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
 				writeError(w, wire.RemoteError(wire.CodeBadRequest, "POST required"))
 				return
+			}
+			// TraceHeader marks the request sampled and asks for the
+			// stats field; the server echoes the id on the response.
+			var (
+				traceID uint64
+				rs      *ccam.ReqStats
+			)
+			if th := r.Header.Get(wire.TraceHeader); th != "" {
+				n, perr := strconv.ParseUint(th, 16, 64)
+				if perr != nil || n == 0 {
+					writeError(w, wire.RemoteError(wire.CodeBadRequest, "bad "+wire.TraceHeader))
+					return
+				}
+				traceID = n
+				w.Header().Set(wire.TraceHeader, fmt.Sprintf("%016x", traceID))
 			}
 			body, err := io.ReadAll(io.LimitReader(r.Body, wire.MaxFrame+1))
 			if err != nil {
@@ -53,8 +69,13 @@ func (s *Server) Handler() http.Handler {
 				writeError(w, wire.RemoteError(wire.CodeBadRequest, "request body too large"))
 				return
 			}
+			reqCtx := r.Context()
+			if traceID != 0 {
+				rs = new(ccam.ReqStats)
+				reqCtx = ccam.WithReqStats(ccam.WithTraceID(reqCtx, traceID), rs)
+			}
 			var out any
-			err = s.do(r.Context(), func(ctx context.Context) error {
+			err = s.do(reqCtx, reqMeta{op: op, traceID: traceID, rs: rs}, func(ctx context.Context) error {
 				if ms := r.Header.Get(DeadlineHeader); ms != "" {
 					n, perr := strconv.ParseUint(ms, 10, 32)
 					if perr != nil {
@@ -74,11 +95,16 @@ func (s *Server) Handler() http.Handler {
 				writeError(w, err)
 				return
 			}
+			if rs != nil {
+				if as, ok := out.(interface{ AttachStats(*ccam.ReqStats) }); ok {
+					as.AttachStats(rs)
+				}
+			}
 			writeJSON(w, http.StatusOK, out)
 		})
 	}
 
-	handle("/v1/find", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/find", "find", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.FindRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -87,9 +113,9 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
-		return wire.FindResponse{Record: wire.RecordToJSON(rec)}, nil
+		return &wire.FindResponse{Record: wire.RecordToJSON(rec)}, nil
 	})
-	handle("/v1/has", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/has", "has", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.HasRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -98,9 +124,9 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
-		return wire.HasResponse{Has: ok}, nil
+		return &wire.HasResponse{Has: ok}, nil
 	})
-	handle("/v1/successors", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/successors", "get-successors", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.SuccessorsRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -109,9 +135,9 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
-		return wire.RecordsResponse{Records: wire.RecordsToJSON(recs)}, nil
+		return &wire.RecordsResponse{Records: wire.RecordsToJSON(recs)}, nil
 	})
-	handle("/v1/route", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/route", "evaluate-route", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.RouteRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -120,9 +146,9 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
-		return wire.RouteResponse{Aggregate: wire.AggregateToJSON(agg)}, nil
+		return &wire.RouteResponse{Aggregate: wire.AggregateToJSON(agg)}, nil
 	})
-	handle("/v1/range", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/range", "range-query", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.RangeRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -131,9 +157,9 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
-		return wire.RecordsResponse{Records: wire.RecordsToJSON(recs)}, nil
+		return &wire.RecordsResponse{Records: wire.RecordsToJSON(recs)}, nil
 	})
-	handle("/v1/find-batch", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/find-batch", "find-batch", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.FindBatchRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -142,9 +168,9 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
-		return wire.RecordsResponse{Records: wire.RecordsToJSON(recs)}, nil
+		return &wire.RecordsResponse{Records: wire.RecordsToJSON(recs)}, nil
 	})
-	handle("/v1/routes", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/routes", "evaluate-routes", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.RoutesRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -157,9 +183,9 @@ func (s *Server) Handler() http.Handler {
 		for i, a := range aggs {
 			out[i] = wire.AggregateToJSON(a)
 		}
-		return wire.RoutesResponse{Aggregates: out}, nil
+		return &wire.RoutesResponse{Aggregates: out}, nil
 	})
-	handle("/v1/apply", func(ctx context.Context, body []byte) (any, error) {
+	handle("/v1/apply", "apply", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.ApplyRequest
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
@@ -171,7 +197,7 @@ func (s *Server) Handler() http.Handler {
 		if err := s.st.Apply(ctx, b); err != nil {
 			return nil, err
 		}
-		return wire.ApplyResponse{Applied: b.Len()}, nil
+		return &wire.ApplyResponse{Applied: b.Len()}, nil
 	})
 	return mux
 }

@@ -11,7 +11,9 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +33,17 @@ type Options struct {
 	// DefaultDeadline bounds requests that carry no deadline of their
 	// own. Zero means unbounded.
 	DefaultDeadline time.Duration
+	// Logger receives structured server events: connection lifecycle
+	// (debug), shed requests and slow queries (warn), drain progress
+	// (info). Nil disables logging entirely — the serving path then
+	// pays one nil check per event and allocates nothing.
+	Logger *slog.Logger
+	// SlowQuery, when positive, is the latency budget of the slow-query
+	// log: any request running at least this long is counted in
+	// ccam_server_slow_total and logged (via Logger) with its op,
+	// latency, trace id, per-request resource account and — for sampled
+	// requests — the span breakdown of its store-side traces.
+	SlowQuery time.Duration
 }
 
 // DefaultMaxInFlight is the admission cap when Options.MaxInFlight is
@@ -43,6 +56,8 @@ type Server struct {
 	st          *ccam.Store
 	maxInFlight int
 	defDeadline time.Duration
+	log         *slog.Logger
+	slowQuery   time.Duration
 
 	// gate is the admission state: inflight running requests, the
 	// draining flag, and a cond broadcast when inflight drops so
@@ -67,7 +82,65 @@ type Server struct {
 	requests *metrics.Counter
 	errs     *metrics.Counter
 	sheds    *metrics.Counter
+	slow     *metrics.Counter
 	latency  *metrics.Histogram
+
+	// ops holds the per-operation RED instruments, keyed by wire op
+	// name. Built once in New and read-only afterwards, so request
+	// paths look up without locking.
+	ops map[string]*opInstruments
+
+	// slowLim rate-limits slow-query and shed log lines so an overload
+	// storm cannot flood the log.
+	slowLim logLimiter
+	shedLim logLimiter
+}
+
+// opInstruments is one operation's server-side RED set: request rate,
+// errors, duration.
+type opInstruments struct {
+	reqs    *metrics.Counter
+	errs    *metrics.Counter
+	latency *metrics.Histogram
+}
+
+// opNames are the operations instrumented per-op — the binary protocol
+// ops, which the JSON endpoints map onto one-to-one.
+var opNames = []string{
+	"ping", "find", "has", "get-successors", "evaluate-route",
+	"range-query", "find-batch", "evaluate-routes", "apply",
+}
+
+// logLimiter is a crude token bucket: at most burst events per second,
+// counting what it suppressed.
+type logLimiter struct {
+	mu          sync.Mutex
+	windowStart time.Time
+	n           int
+	suppressed  int64
+}
+
+const logLimiterBurst = 10
+
+// allow reports whether an event may be logged now, returning the
+// number of events suppressed since the last allowed one (reported so
+// log volume stays an honest signal).
+func (l *logLimiter) allow() (ok bool, suppressed int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if now.Sub(l.windowStart) >= time.Second {
+		l.windowStart = now
+		l.n = 0
+	}
+	if l.n >= logLimiterBurst {
+		l.suppressed++
+		return false, 0
+	}
+	l.n++
+	suppressed = l.suppressed
+	l.suppressed = 0
+	return true, suppressed
 }
 
 // New builds a server over st. Server instruments (request count,
@@ -83,6 +156,8 @@ func New(opts Options) *Server {
 		st:          opts.Store,
 		maxInFlight: opts.MaxInFlight,
 		defDeadline: opts.DefaultDeadline,
+		log:         opts.Logger,
+		slowQuery:   opts.SlowQuery,
 		conns:       make(map[net.Conn]struct{}),
 	}
 	if s.maxInFlight <= 0 {
@@ -96,7 +171,17 @@ func New(opts Options) *Server {
 	s.requests = s.reg.Counter("ccam_server_requests_total")
 	s.errs = s.reg.Counter("ccam_server_errors_total")
 	s.sheds = s.reg.Counter("ccam_server_shed_total")
+	s.slow = s.reg.Counter("ccam_server_slow_total")
 	s.latency = s.reg.Histogram("ccam_server_request_ns")
+	s.ops = make(map[string]*opInstruments, len(opNames))
+	for _, name := range opNames {
+		p := "ccam_server_op_" + strings.ReplaceAll(name, "-", "_") + "_"
+		s.ops[name] = &opInstruments{
+			reqs:    s.reg.Counter(p + "total"),
+			errs:    s.reg.Counter(p + "errors_total"),
+			latency: s.reg.Histogram(p + "ns"),
+		}
+	}
 	s.reg.GaugeFunc("ccam_server_inflight", func() float64 {
 		s.gate.Lock()
 		defer s.gate.Unlock()
@@ -140,11 +225,26 @@ func (s *Server) admit() (release func(), err error) {
 // hold requests in flight and observe context cancellation.
 var requestHook func(ctx context.Context)
 
+// reqMeta is the per-request observability context threaded through
+// do: which op runs, the wire trace id (0 = untraced) and the resource
+// account being filled for the client (nil = not requested).
+type reqMeta struct {
+	op      string
+	traceID uint64
+	rs      *ccam.ReqStats
+}
+
 // do runs one admitted request: claim a slot, bound the context,
-// execute, record instruments.
-func (s *Server) do(ctx context.Context, fn func(ctx context.Context) error) error {
+// execute, record global + per-op instruments, and feed the slow-query
+// log. A shed request is marked in meta.rs (when the client asked for
+// stats) so the refusal explains itself on the wire.
+func (s *Server) do(ctx context.Context, meta reqMeta, fn func(ctx context.Context) error) error {
 	release, err := s.admit()
 	if err != nil {
+		if meta.rs != nil {
+			meta.rs.Shed = true
+		}
+		s.logShed(meta, err)
 		return err
 	}
 	defer release()
@@ -155,15 +255,109 @@ func (s *Server) do(ctx context.Context, fn func(ctx context.Context) error) err
 	}
 	start := time.Now()
 	s.requests.Inc()
+	oi := s.ops[meta.op]
+	if oi != nil {
+		oi.reqs.Inc()
+	}
 	if requestHook != nil {
 		requestHook(ctx)
 	}
 	err = fn(ctx)
-	s.latency.ObserveSince(start)
+	dur := time.Since(start)
+	s.latency.Observe(dur.Nanoseconds())
+	if oi != nil {
+		oi.latency.Observe(dur.Nanoseconds())
+	}
 	if err != nil {
 		s.errs.Inc()
+		if oi != nil {
+			oi.errs.Inc()
+		}
+	}
+	if s.slowQuery > 0 && dur >= s.slowQuery {
+		s.slow.Inc()
+		s.logSlow(meta, dur, err)
 	}
 	return err
+}
+
+// logShed records an admission refusal (rate-limited: overload storms
+// shed thousands per second).
+func (s *Server) logShed(meta reqMeta, err error) {
+	if s.log == nil {
+		return
+	}
+	ok, suppressed := s.shedLim.allow()
+	if !ok {
+		return
+	}
+	s.log.Warn("request shed", "op", meta.op, "err", err, "suppressed", suppressed)
+}
+
+// logSlow emits one slow-query log line: op, latency, trace id, the
+// request's resource account, and — when the request was sampled — the
+// span breakdown of its store-side traces, pulled from the tracer ring
+// by trace id. Rate-limited like shed logging.
+func (s *Server) logSlow(meta reqMeta, dur time.Duration, err error) {
+	if s.log == nil {
+		return
+	}
+	ok, suppressed := s.slowLim.allow()
+	if !ok {
+		return
+	}
+	attrs := []any{"op", meta.op, "dur", dur, "suppressed", suppressed}
+	if meta.traceID != 0 {
+		attrs = append(attrs, "trace", fmt.Sprintf("%016x", meta.traceID))
+	}
+	if rs := meta.rs; rs != nil {
+		attrs = append(attrs,
+			"data_reads", rs.DataReads, "index_pages", rs.IndexPages,
+			"buffer_hits", rs.BufferHits, "buffer_misses", rs.BufferMisses)
+		if rs.DataWrites > 0 {
+			attrs = append(attrs, "data_writes", rs.DataWrites)
+		}
+		if rs.WALWaitNs > 0 {
+			attrs = append(attrs, "wal_wait", time.Duration(rs.WALWaitNs))
+		}
+	}
+	if meta.traceID != 0 {
+		if spans := s.spanBreakdown(meta.traceID); spans != "" {
+			attrs = append(attrs, "spans", spans)
+		}
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err)
+	}
+	s.log.Warn("slow query", attrs...)
+}
+
+// spanBreakdown renders the store-side traces tagged with the trace id
+// as one compact string: "op dur [span +off dur] ...; op dur ...".
+func (s *Server) spanBreakdown(traceID uint64) string {
+	tr := s.st.Tracer()
+	if tr == nil {
+		return ""
+	}
+	traces := tr.Select(8, metrics.TraceFilter{TraceID: traceID})
+	if len(traces) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := len(traces) - 1; i >= 0; i-- { // oldest first reads chronologically
+		t := &traces[i]
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s %v", t.Op, t.Dur)
+		for _, sp := range t.Spans {
+			fmt.Fprintf(&b, " [%s +%v %v]", sp.Name, sp.Offset, sp.Dur)
+		}
+		if t.Dropped > 0 {
+			fmt.Fprintf(&b, " dropped=%d", t.Dropped)
+		}
+	}
+	return b.String()
 }
 
 // Stats is a point-in-time view of the server instruments.
@@ -209,7 +403,11 @@ func (s *Server) untrack(c net.Conn) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.gate.Lock()
 	s.gate.draining = true
+	inflight := s.gate.inflight
 	s.gate.Unlock()
+	if s.log != nil {
+		s.log.Info("drain started", "inflight", inflight)
+	}
 
 	s.listenMu.Lock()
 	for _, l := range s.listeners {
@@ -220,6 +418,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	// Wait for the in-flight tail, but give up when ctx expires (the
 	// cond has no timeout; poke it from a watcher goroutine).
+	drainStart := time.Now()
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -232,8 +431,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var drainErr error
 	select {
 	case <-drained:
+		if s.log != nil {
+			s.log.Info("drain complete", "dur", time.Since(drainStart))
+		}
 	case <-ctx.Done():
 		drainErr = ctx.Err()
+		if s.log != nil {
+			s.gate.Lock()
+			stuck := s.gate.inflight
+			s.gate.Unlock()
+			s.log.Warn("drain abandoned", "dur", time.Since(drainStart), "inflight", stuck, "err", drainErr)
+		}
 	}
 
 	s.connMu.Lock()

@@ -20,17 +20,34 @@ import (
 //	[0:4)  request id (echoed verbatim in the response, so a
 //	       connection may pipeline requests and match replies
 //	       out of order)
-//	[4]    op code
+//	[4]    op code; the high bit (0x80) marks an extended header
 //	[5:9)  deadline in milliseconds (uint32 LE; 0 = none) — the server
 //	       bounds the query's context by it
 //	[9:)   op-specific body
 //
-// and a response payload is
+// When the op byte's high bit is set the header continues past the
+// deadline (op codes never use the high bit, so a v6 peer's frames
+// are decoded unchanged):
+//
+//	[9]     request flags (bit 0: sampled — trace the request
+//	        server-side; bit 1: want-stats — return a stats block)
+//	[10:18) trace id (uint64 LE; 0 = untraced)
+//	[18:)   op-specific body
+//
+// A response payload is
 //
 //	[0:4)  request id
-//	[4]    status code (Code)
+//	[4]    status code (Code); the high bit (0x80) marks a stats
+//	       extension block inserted before the normal remainder
 //	[5:)   op-specific body when the code is CodeOK, otherwise
 //	       uint16 LE message length + message bytes
+//
+// The stats extension block (sent only when the request asked for it)
+// is uint16 LE length + that many bytes of packed ReqStats; decoders
+// must skip unknown trailing bytes inside the block, so fields can be
+// appended without a version bump. It precedes the normal body or
+// error message, and travels on error responses too (a shed request
+// reports its Shed flag this way).
 //
 // All integers are little endian, matching the store's record format
 // (records travel as their stored netfile image, no re-encoding).
@@ -93,6 +110,50 @@ const MaxFrame = 16 << 20
 // reqHeaderSize is the fixed request-payload prefix: id + op + deadline.
 const reqHeaderSize = 9
 
+// opExtFlag on the op byte marks an extended (v7) request header. Op
+// codes are small (0–8 today, appended slowly), so the high bit is
+// free to carry framing.
+const opExtFlag = 0x80
+
+// extReqHeaderSize is the extended prefix: the v6 prefix plus a flags
+// byte and a trace id.
+const extReqHeaderSize = reqHeaderSize + 1 + 8
+
+// Request flag bits (extended header byte 9).
+const (
+	// reqFlagSampled asks the server to trace the request: store
+	// operations it runs are tagged with the trace id in the tracer
+	// ring, retrievable via /traces?trace=<id>.
+	reqFlagSampled = 1 << 0
+	// reqFlagWantStats asks the server to return the request's
+	// ReqStats in a response stats block.
+	reqFlagWantStats = 1 << 1
+)
+
+// respStatsFlag on the status byte marks a stats extension block
+// before the normal response remainder.
+const respStatsFlag = 0x80
+
+// ReqHeader is the decoded request prefix, v6 and v7 alike. A v6
+// frame decodes with TraceID 0 and both flags false.
+type ReqHeader struct {
+	ID         uint32
+	Op         Op
+	DeadlineMS uint32
+	// TraceID identifies the request across client, server and the
+	// store's tracer ring (0 = untraced).
+	TraceID uint64
+	// Sampled asks the server to tag store-side traces with TraceID.
+	Sampled bool
+	// WantStats asks the server to echo the request's ReqStats.
+	WantStats bool
+}
+
+// extended reports whether the header needs the v7 encoding.
+func (h ReqHeader) extended() bool {
+	return h.TraceID != 0 || h.Sampled || h.WantStats
+}
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
@@ -129,7 +190,8 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// EncodeRequest builds a request payload.
+// EncodeRequest builds a v6 request payload (no trace context). Peers
+// that never sample stay on the short header.
 func EncodeRequest(id uint32, op Op, deadlineMS uint32, body []byte) []byte {
 	buf := make([]byte, reqHeaderSize+len(body))
 	binary.LittleEndian.PutUint32(buf[0:4], id)
@@ -139,15 +201,59 @@ func EncodeRequest(id uint32, op Op, deadlineMS uint32, body []byte) []byte {
 	return buf
 }
 
-// DecodeRequest splits a request payload into its header and body.
-func DecodeRequest(payload []byte) (id uint32, op Op, deadlineMS uint32, body []byte, err error) {
-	if len(payload) < reqHeaderSize {
-		return 0, 0, 0, nil, fmt.Errorf("%w: request payload of %d bytes", ErrBadRequest, len(payload))
+// EncodeRequestHeader builds a request payload, choosing the v6 or
+// extended encoding by whether the header carries trace context.
+func EncodeRequestHeader(h ReqHeader, body []byte) []byte {
+	if !h.extended() {
+		return EncodeRequest(h.ID, h.Op, h.DeadlineMS, body)
 	}
-	id = binary.LittleEndian.Uint32(payload[0:4])
-	op = Op(payload[4])
-	deadlineMS = binary.LittleEndian.Uint32(payload[5:9])
-	return id, op, deadlineMS, payload[reqHeaderSize:], nil
+	buf := make([]byte, extReqHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], h.ID)
+	buf[4] = byte(h.Op) | opExtFlag
+	binary.LittleEndian.PutUint32(buf[5:9], h.DeadlineMS)
+	var fl byte
+	if h.Sampled {
+		fl |= reqFlagSampled
+	}
+	if h.WantStats {
+		fl |= reqFlagWantStats
+	}
+	buf[9] = fl
+	binary.LittleEndian.PutUint64(buf[10:18], h.TraceID)
+	copy(buf[extReqHeaderSize:], body)
+	return buf
+}
+
+// DecodeRequestHeader splits a request payload into its header and
+// body, accepting both the v6 and the extended prefix.
+func DecodeRequestHeader(payload []byte) (ReqHeader, []byte, error) {
+	if len(payload) < reqHeaderSize {
+		return ReqHeader{}, nil, fmt.Errorf("%w: request payload of %d bytes", ErrBadRequest, len(payload))
+	}
+	h := ReqHeader{
+		ID:         binary.LittleEndian.Uint32(payload[0:4]),
+		Op:         Op(payload[4] &^ opExtFlag),
+		DeadlineMS: binary.LittleEndian.Uint32(payload[5:9]),
+	}
+	if payload[4]&opExtFlag == 0 {
+		return h, payload[reqHeaderSize:], nil
+	}
+	if len(payload) < extReqHeaderSize {
+		return ReqHeader{}, nil, fmt.Errorf("%w: extended request payload of %d bytes", ErrBadRequest, len(payload))
+	}
+	fl := payload[9]
+	h.Sampled = fl&reqFlagSampled != 0
+	h.WantStats = fl&reqFlagWantStats != 0
+	h.TraceID = binary.LittleEndian.Uint64(payload[10:18])
+	return h, payload[extReqHeaderSize:], nil
+}
+
+// DecodeRequest splits a request payload into its header fields and
+// body (the pre-trace-context accessor; extended headers decode too,
+// dropping the trace fields).
+func DecodeRequest(payload []byte) (id uint32, op Op, deadlineMS uint32, body []byte, err error) {
+	h, body, err := DecodeRequestHeader(payload)
+	return h.ID, h.Op, h.DeadlineMS, body, err
 }
 
 // EncodeOKResponse builds a success response payload.
@@ -174,27 +280,151 @@ func EncodeErrResponse(id uint32, err error) []byte {
 	return buf
 }
 
+// statsBlockSize is the packed ReqStats encoding (v1): five uint32
+// counters, the WAL wait, an op count and a flags byte. Decoders
+// accept longer blocks (unknown trailing fields are skipped), so
+// fields can be appended without a version bump.
+const statsBlockSize = 5*4 + 8 + 2 + 1
+
+// statsFlagShed marks a request refused by admission control.
+const statsFlagShed = 1 << 0
+
+// clamp32 saturates a counter into the wire's uint32 field.
+func clamp32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// EncodeStatsBlock packs a per-request resource account.
+func EncodeStatsBlock(rs *ccam.ReqStats) []byte {
+	buf := make([]byte, statsBlockSize)
+	binary.LittleEndian.PutUint32(buf[0:4], clamp32(rs.DataReads))
+	binary.LittleEndian.PutUint32(buf[4:8], clamp32(rs.DataWrites))
+	binary.LittleEndian.PutUint32(buf[8:12], clamp32(rs.IndexPages))
+	binary.LittleEndian.PutUint32(buf[12:16], clamp32(rs.BufferHits))
+	binary.LittleEndian.PutUint32(buf[16:20], clamp32(rs.BufferMisses))
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(max(rs.WALWaitNs, 0)))
+	binary.LittleEndian.PutUint16(buf[28:30], uint16(min(max(rs.Ops, 0), math.MaxUint16)))
+	if rs.Shed {
+		buf[30] |= statsFlagShed
+	}
+	return buf
+}
+
+// DecodeStatsBlock unpacks a stats block; longer (newer) blocks decode
+// their known prefix.
+func DecodeStatsBlock(b []byte) (*ccam.ReqStats, error) {
+	if len(b) < statsBlockSize {
+		return nil, fmt.Errorf("%w: stats block of %d bytes", ErrBadRequest, len(b))
+	}
+	rs := &ccam.ReqStats{
+		DataReads:    int64(binary.LittleEndian.Uint32(b[0:4])),
+		DataWrites:   int64(binary.LittleEndian.Uint32(b[4:8])),
+		IndexPages:   int64(binary.LittleEndian.Uint32(b[8:12])),
+		BufferHits:   int64(binary.LittleEndian.Uint32(b[12:16])),
+		BufferMisses: int64(binary.LittleEndian.Uint32(b[16:20])),
+		WALWaitNs:    int64(binary.LittleEndian.Uint64(b[20:28])),
+		Ops:          int64(binary.LittleEndian.Uint16(b[28:30])),
+		Shed:         b[30]&statsFlagShed != 0,
+	}
+	return rs, nil
+}
+
+// appendStatsPrefix writes the shared response prefix [id][code] with
+// the stats block inserted when rs is non-nil, returning the buffer to
+// append the normal remainder to.
+func appendStatsPrefix(id uint32, code Code, rs *ccam.ReqStats) []byte {
+	cb := byte(code)
+	sz := 5
+	var block []byte
+	if rs != nil {
+		block = EncodeStatsBlock(rs)
+		cb |= respStatsFlag
+		sz += 2 + len(block)
+	}
+	buf := make([]byte, 5, sz)
+	binary.LittleEndian.PutUint32(buf[0:4], id)
+	buf[4] = cb
+	if rs != nil {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(block)))
+		buf = append(buf, block...)
+	}
+	return buf
+}
+
+// EncodeOKResponseStats builds a success response with the request's
+// resource account attached (rs nil falls back to the plain form).
+func EncodeOKResponseStats(id uint32, body []byte, rs *ccam.ReqStats) []byte {
+	if rs == nil {
+		return EncodeOKResponse(id, body)
+	}
+	return append(appendStatsPrefix(id, CodeOK, rs), body...)
+}
+
+// EncodeErrResponseStats builds an error response with the request's
+// resource account attached — a shed request reports Shed this way.
+func EncodeErrResponseStats(id uint32, err error, rs *ccam.ReqStats) []byte {
+	if rs == nil {
+		return EncodeErrResponse(id, err)
+	}
+	msg := err.Error()
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	buf := appendStatsPrefix(id, CodeOf(err), rs)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
+	return append(buf, msg...)
+}
+
 // DecodeResponse splits a response payload. For a non-OK code the
 // returned error wraps the code's sentinel (errors.Is survives the
-// round trip); body is nil then.
+// round trip); body is nil then. A stats block, if present, is
+// discarded — use DecodeResponseStats to keep it.
 func DecodeResponse(payload []byte) (id uint32, body []byte, err error) {
+	id, body, _, err = DecodeResponseStats(payload)
+	return id, body, err
+}
+
+// DecodeResponseStats is DecodeResponse returning the stats extension
+// block too (nil when the response carries none). Stats are returned
+// alongside the decoded error for non-OK responses.
+func DecodeResponseStats(payload []byte) (id uint32, body []byte, stats *ccam.ReqStats, err error) {
 	if len(payload) < 5 {
-		return 0, nil, fmt.Errorf("%w: response payload of %d bytes", ErrBadRequest, len(payload))
+		return 0, nil, nil, fmt.Errorf("%w: response payload of %d bytes", ErrBadRequest, len(payload))
 	}
 	id = binary.LittleEndian.Uint32(payload[0:4])
-	code := Code(payload[4])
-	if code == CodeOK {
-		return id, payload[5:], nil
-	}
+	cb := payload[4]
 	rest := payload[5:]
+	if cb&respStatsFlag != 0 {
+		if len(rest) < 2 {
+			return id, nil, nil, fmt.Errorf("%w: truncated stats block", ErrBadRequest)
+		}
+		n := int(binary.LittleEndian.Uint16(rest[0:2]))
+		if len(rest) < 2+n {
+			return id, nil, nil, fmt.Errorf("%w: truncated stats block", ErrBadRequest)
+		}
+		if stats, err = DecodeStatsBlock(rest[2 : 2+n]); err != nil {
+			return id, nil, nil, err
+		}
+		rest = rest[2+n:]
+	}
+	code := Code(cb &^ respStatsFlag)
+	if code == CodeOK {
+		return id, rest, stats, nil
+	}
 	if len(rest) < 2 {
-		return id, nil, fmt.Errorf("%w: truncated error response", ErrBadRequest)
+		return id, nil, stats, fmt.Errorf("%w: truncated error response", ErrBadRequest)
 	}
 	n := int(binary.LittleEndian.Uint16(rest[0:2]))
 	if len(rest) < 2+n {
-		return id, nil, fmt.Errorf("%w: truncated error message", ErrBadRequest)
+		return id, nil, stats, fmt.Errorf("%w: truncated error message", ErrBadRequest)
 	}
-	return id, nil, RemoteError(code, string(rest[2:2+n]))
+	return id, nil, stats, RemoteError(code, string(rest[2:2+n]))
 }
 
 // --- op bodies -------------------------------------------------------

@@ -88,11 +88,17 @@ func deadlineMS(ctx context.Context) uint32 {
 	return uint32(ms)
 }
 
-// call performs one request/response exchange.
+// call performs one request/response exchange. Trace context rides
+// the request: a ctx trace id (ccam.WithTraceID) marks the request
+// sampled, and a ctx ReqStats sink (ccam.WithReqStats) asks the
+// server for the request's resource account, decoded into the sink on
+// return — on errors too, so a shed request still reports Shed.
 func (c *Client) call(ctx context.Context, op Op, body []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	statsSink := ccam.ReqStatsFrom(ctx)
+	traceID := ccam.TraceIDFrom(ctx)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed.Load() {
@@ -126,7 +132,11 @@ func (c *Client) call(ctx context.Context, op Op, body []byte) ([]byte, error) {
 		return b, err
 	}
 
-	if err := WriteFrame(c.bw, EncodeRequest(id, op, deadlineMS(ctx), body)); err != nil {
+	h := ReqHeader{
+		ID: id, Op: op, DeadlineMS: deadlineMS(ctx),
+		TraceID: traceID, Sampled: traceID != 0, WantStats: statsSink != nil,
+	}
+	if err := WriteFrame(c.bw, EncodeRequestHeader(h, body)); err != nil {
 		return finish(nil, err)
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -136,7 +146,10 @@ func (c *Client) call(ctx context.Context, op Op, body []byte) ([]byte, error) {
 	if err != nil {
 		return finish(nil, err)
 	}
-	gotID, respBody, err := DecodeResponse(payload)
+	gotID, respBody, stats, err := DecodeResponseStats(payload)
+	if stats != nil && statsSink != nil {
+		*statsSink = *stats
+	}
 	if err == nil && gotID != id {
 		return finish(nil, fmt.Errorf("%w: response id %d for request %d", ErrBadRequest, gotID, id))
 	}
@@ -258,6 +271,12 @@ func (c *HTTPClient) do(ctx context.Context, path string, in, out any) error {
 	if ms := deadlineMS(ctx); ms > 0 {
 		req.Header.Set("X-Ccam-Deadline-Ms", fmt.Sprint(ms))
 	}
+	// Mirror the binary extended header: a ctx trace id travels as
+	// X-Ccam-Trace (16 hex digits) and marks the request sampled; its
+	// presence also asks for the stats field in the response.
+	if tid := ccam.TraceIDFrom(ctx); tid != 0 {
+		req.Header.Set(TraceHeader, fmt.Sprintf("%016x", tid))
+	}
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
@@ -280,7 +299,19 @@ func (c *HTTPClient) do(ctx context.Context, path string, in, out any) error {
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(raw, out)
+	if err := json.Unmarshal(raw, out); err != nil {
+		return err
+	}
+	// A response struct embedding StatsField may carry the server's
+	// per-request account; copy it into the ctx sink, if any.
+	if sink := ccam.ReqStatsFrom(ctx); sink != nil {
+		if sp, ok := out.(interface{ WireStats() *ccam.ReqStats }); ok {
+			if st := sp.WireStats(); st != nil {
+				*sink = *st
+			}
+		}
+	}
+	return nil
 }
 
 // Find fetches one record.

@@ -226,32 +226,59 @@ func (r *ApplyRequest) Batch() (*ccam.Batch, error) {
 	return b, nil
 }
 
+// TraceHeader is the HTTP request header carrying a 16-hex-digit
+// trace id, the JSON protocol's form of the binary extended header:
+// its presence marks the request sampled (store-side traces are
+// tagged with the id) and asks for the per-request stats field in the
+// response. The server echoes it on the response.
+const TraceHeader = "X-Ccam-Trace"
+
+// StatsField is embedded by the JSON response bodies to carry the
+// optional per-request resource account (the JSON protocol's form of
+// the binary stats extension block). It is populated only when the
+// request carried TraceHeader.
+type StatsField struct {
+	Stats *ccam.ReqStats `json:"stats,omitempty"`
+}
+
+// AttachStats sets the account echoed to the client.
+func (s *StatsField) AttachStats(rs *ccam.ReqStats) { s.Stats = rs }
+
+// WireStats returns the attached account (nil when absent).
+func (s *StatsField) WireStats() *ccam.ReqStats { return s.Stats }
+
 // Response bodies.
 type (
 	// FindResponse carries one record.
 	FindResponse struct {
 		Record RecordJSON `json:"record"`
+		StatsField
 	}
 	// HasResponse carries a stored/absent verdict.
 	HasResponse struct {
 		Has bool `json:"has"`
+		StatsField
 	}
 	// RecordsResponse carries a record list (successors, range and
 	// batch results).
 	RecordsResponse struct {
 		Records []RecordJSON `json:"records"`
+		StatsField
 	}
 	// RouteResponse carries one aggregate.
 	RouteResponse struct {
 		Aggregate AggregateJSON `json:"aggregate"`
+		StatsField
 	}
 	// RoutesResponse carries positional aggregates.
 	RoutesResponse struct {
 		Aggregates []AggregateJSON `json:"aggregates"`
+		StatsField
 	}
 	// ApplyResponse acknowledges a committed batch.
 	ApplyResponse struct {
 		Applied int `json:"applied"`
+		StatsField
 	}
 	// InfoResponse describes the served store.
 	InfoResponse struct {

@@ -1,8 +1,10 @@
 package ccam
 
 import (
+	"context"
 	"expvar"
 	"net/http"
+	"strconv"
 	"time"
 
 	"ccam/internal/buffer"
@@ -27,6 +29,19 @@ type (
 	// HistSnapshot is a point-in-time view of a latency histogram.
 	HistSnapshot = metrics.HistSnapshot
 )
+
+// WithTraceID returns a context carrying a wire trace id: store
+// operations run with it tag their recorded traces, so
+// /traces?trace=<id> can answer "what did that request do". A zero id
+// returns ctx unchanged.
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return metrics.WithTraceID(ctx, id)
+}
+
+// TraceIDFrom extracts the trace id carried by ctx (0 when none).
+func TraceIDFrom(ctx context.Context) uint64 {
+	return metrics.TraceIDFrom(ctx)
+}
 
 // opMetrics holds the pre-created instruments of one facade operation,
 // so the instrumented path performs no name lookups.
@@ -78,6 +93,11 @@ type observability struct {
 
 	crr, wcrr *metrics.Gauge
 
+	// walCommitWait observes, per committed batch, the time the
+	// committing request waited for its WAL commit record to become
+	// durable (group-formation wait included).
+	walCommitWait *metrics.Histogram
+
 	find, getASuccessor, getSuccessors    *opMetrics
 	evaluateRoute, rangeQuery, nearest    *opMetrics
 	insert, delete_, insertEdge           *opMetrics
@@ -96,6 +116,8 @@ func newObservability(reg *metrics.Registry, tr *metrics.Tracer) *observability 
 		preds:  make(map[NodeID][]NodeID),
 		crr:    reg.Gauge("ccam_crr"),
 		wcrr:   reg.Gauge("ccam_wcrr"),
+
+		walCommitWait: reg.Histogram("ccam_wal_commit_wait_ns"),
 
 		find:               newOpMetrics(reg, "find"),
 		getASuccessor:      newOpMetrics(reg, "get_a_successor"),
@@ -159,6 +181,7 @@ func (o *observability) walInstrumentation() storage.WALInstrumentation {
 type opSnap struct {
 	om    *opMetrics
 	f     *netfile.File
+	rs    *ReqStats
 	start time.Time
 	io    storage.Stats
 	pool  buffer.Stats
@@ -176,6 +199,16 @@ func (o *observability) beginOp(om *opMetrics, f *netfile.File) opSnap {
 	}
 }
 
+// beginOpCtx is beginOp plus per-request attribution: when ctx carries
+// a *ReqStats (a request served by ccam-serve), end() charges the same
+// deltas to it. Only the instrumented path (obs != nil) calls this, so
+// the disabled path never pays the ctx.Value lookup.
+func (o *observability) beginOpCtx(ctx context.Context, om *opMetrics, f *netfile.File) opSnap {
+	sn := o.beginOp(om, f)
+	sn.rs = ReqStatsFrom(ctx)
+	return sn
+}
+
 func (sn opSnap) end(err error) {
 	om := sn.om
 	om.count.Inc()
@@ -189,7 +222,18 @@ func (sn opSnap) end(err error) {
 	ps := sn.f.Pool().Stats().Sub(sn.pool)
 	om.hits.Add(ps.Hits)
 	om.misses.Add(ps.Misses)
-	om.idxPages.Add(sn.f.IndexVisits() - sn.idx)
+	idx := sn.f.IndexVisits() - sn.idx
+	om.idxPages.Add(idx)
+	if sn.rs != nil {
+		sn.rs.Add(ReqStats{
+			DataReads:    io.Reads,
+			DataWrites:   io.Writes,
+			IndexPages:   idx,
+			BufferHits:   ps.Hits,
+			BufferMisses: ps.Misses,
+			Ops:          1,
+		})
+	}
 }
 
 // --- topology mirror maintenance (write lock held) ---
@@ -369,7 +413,11 @@ func (s *Store) MetricsHandler() http.Handler {
 // ServeMetrics registers the store's observability endpoints on mux
 // (nil selects http.DefaultServeMux): /metrics serves the Prometheus
 // text format, /metrics.json the expvar-compatible JSON view, and
-// /traces a human-readable dump of recent operation traces.
+// /traces a human-readable dump of recent operation traces. /traces
+// accepts ?limit=N (cap the dump), ?trace=<hex id> (only the traces
+// tagged with that wire trace id) and ?op=<name> (only that
+// operation), so a full 128-entry ring is never dumped unconditionally
+// and "what did request 0xABCD do" is one GET.
 func ServeMetrics(mux *http.ServeMux, s *Store) {
 	if mux == nil {
 		mux = http.DefaultServeMux
@@ -385,8 +433,32 @@ func ServeMetrics(mux *http.ServeMux, s *Store) {
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if tr := s.Tracer(); tr != nil {
-			tr.WriteTo(w)
+		tr := s.Tracer()
+		if tr == nil {
+			return
 		}
+		q := r.URL.Query()
+		n := tr.Capacity()
+		if v := q.Get("limit"); v != "" {
+			lim, err := strconv.Atoi(v)
+			if err != nil || lim < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			if lim < n {
+				n = lim
+			}
+		}
+		var f metrics.TraceFilter
+		if v := q.Get("trace"); v != "" {
+			id, err := strconv.ParseUint(v, 16, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			f.TraceID = id
+		}
+		f.Op = q.Get("op")
+		metrics.WriteTraces(w, tr.Select(n, f))
 	})
 }

@@ -1,0 +1,74 @@
+package ccam
+
+import "context"
+
+// ReqStats is the per-request resource account: what one network
+// request cost in the units of the paper's cost model (data-page and
+// index-page accesses, CCAM §4) plus the modern overheads layered on
+// top of it (buffer pool hits/misses, WAL group-commit wait). The
+// server allocates one per request, carries it through the store via
+// the context, and echoes it back to the client in the response
+// trailer, so a slow request explains itself without a server-side
+// log dive.
+//
+// A ReqStats is owned by a single request goroutine; the facade's
+// operation instrumentation adds the per-op deltas synchronously, so
+// no locking is needed.
+type ReqStats struct {
+	// DataReads / DataWrites count data-page accesses — the quantity
+	// the paper's evaluation minimizes by connectivity clustering.
+	DataReads  int64 `json:"data_reads"`
+	DataWrites int64 `json:"data_writes,omitempty"`
+	// IndexPages counts B+-tree index node visits (paper §4 charges
+	// these separately from data pages).
+	IndexPages int64 `json:"index_pages"`
+	// BufferHits / BufferMisses split DataReads by whether the buffer
+	// pool absorbed them; only misses reach the disk.
+	BufferHits   int64 `json:"buffer_hits"`
+	BufferMisses int64 `json:"buffer_misses"`
+	// WALWaitNs is the time this request spent waiting for its batch's
+	// WAL commit record to become durable, including group-formation
+	// wait (attributed to the request, not the fsync leader — see
+	// DESIGN.md).
+	WALWaitNs int64 `json:"wal_wait_ns,omitempty"`
+	// Shed marks a request refused by admission control; all other
+	// fields are zero on a shed request.
+	Shed bool `json:"shed,omitempty"`
+	// Ops counts the facade operations that contributed to this
+	// account (batch endpoints contribute one per request, not one per
+	// element).
+	Ops int64 `json:"ops,omitempty"`
+}
+
+// Add accumulates other into s.
+func (s *ReqStats) Add(other ReqStats) {
+	s.DataReads += other.DataReads
+	s.DataWrites += other.DataWrites
+	s.IndexPages += other.IndexPages
+	s.BufferHits += other.BufferHits
+	s.BufferMisses += other.BufferMisses
+	s.WALWaitNs += other.WALWaitNs
+	s.Shed = s.Shed || other.Shed
+	s.Ops += other.Ops
+}
+
+// reqStatsKey carries a *ReqStats through a context.Context.
+type reqStatsKey struct{}
+
+// WithReqStats returns a context carrying rs, so store operations run
+// with that context charge their page/buffer/WAL costs to it. A nil
+// rs returns ctx unchanged.
+func WithReqStats(ctx context.Context, rs *ReqStats) context.Context {
+	if rs == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, reqStatsKey{}, rs)
+}
+
+// ReqStatsFrom extracts the per-request account carried by ctx (nil
+// when none). The instrumented facade path calls this once per
+// operation; the disabled path (metrics off) never does.
+func ReqStatsFrom(ctx context.Context) *ReqStats {
+	rs, _ := ctx.Value(reqStatsKey{}).(*ReqStats)
+	return rs
+}
