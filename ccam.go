@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"ccam/internal/buffer"
 	iccam "ccam/internal/ccam"
 	"ccam/internal/geom"
 	"ccam/internal/graph"
@@ -170,6 +171,23 @@ type Options struct {
 	PageSize int
 	// PoolPages is the buffer pool capacity in pages (default 32).
 	PoolPages int
+	// PoolShards splits the buffer pool into independently latched
+	// shards, so concurrent queries on different pages stop contending
+	// on one pool latch. Zero or one keeps the single-latch pool (the
+	// paper's serial cost model); AutoPoolShards() picks a value from
+	// the machine's parallelism. Per-operation page-access counts are
+	// identical at every shard count.
+	PoolShards int
+	// Prefetch enables connectivity-aware prefetching: on a data-page
+	// miss during route or successor evaluation the store
+	// asynchronously faults in the PAG-adjacent pages recorded at
+	// build time, so the traversal's next hop is usually buffered.
+	// Speculative reads are metered separately and never alter the
+	// demand hit/miss counters.
+	Prefetch bool
+	// PrefetchWorkers sizes the prefetcher's worker pool (0 selects
+	// the default). Ignored unless Prefetch is set.
+	PrefetchWorkers int
 	// Dynamic selects the incremental create (CCAM-D): Build loads the
 	// network as a sequence of Add-node operations with incremental
 	// reclustering, which handles networks too large to partition in
@@ -232,6 +250,14 @@ type Options struct {
 	// returns an error. Test-only: it simulates a mid-batch failure.
 	applyFaultHook func(opIndex int) error
 }
+
+// AutoPoolShards returns a buffer-pool shard count sized to the
+// machine's parallelism for a pool of poolPages pages: roughly one
+// shard per available CPU, but never so many that a shard drops below a
+// useful handful of frames. Use it as Options.PoolShards for serving
+// workloads; experiments reproducing the paper's serial cost model
+// should keep the default single shard.
+func AutoPoolShards(poolPages int) int { return buffer.AutoShards(poolPages) }
 
 // SyncPolicy selects when WAL commits are forced to stable storage.
 type SyncPolicy = storage.SyncPolicy
@@ -315,13 +341,16 @@ func Open(opts Options) (*Store, error) {
 		return nil, errors.New("ccam: Options.WAL requires Options.Path")
 	}
 	cfg := iccam.Config{
-		PageSize:     opts.PageSize,
-		PoolPages:    opts.PoolPages,
-		Seed:         opts.Seed,
-		BuildWorkers: opts.BuildWorkers,
-		Dynamic:      opts.Dynamic,
-		Spatial:      opts.Spatial,
-		ReadLatency:  opts.ReadLatency,
+		PageSize:        opts.PageSize,
+		PoolPages:       opts.PoolPages,
+		PoolShards:      opts.PoolShards,
+		Prefetch:        opts.Prefetch,
+		PrefetchWorkers: opts.PrefetchWorkers,
+		Seed:            opts.Seed,
+		BuildWorkers:    opts.BuildWorkers,
+		Dynamic:         opts.Dynamic,
+		Spatial:         opts.Spatial,
+		ReadLatency:     opts.ReadLatency,
 	}
 	var fs *storage.FileStore
 	if opts.Path != "" {
@@ -971,18 +1000,27 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	wantWAL := opts.WAL || haveWALDir || fs.Flags()&storage.FlagWAL != 0
-	f, err := netfile.OpenFromStore(st, opts.PoolPages)
+	f, err := netfile.OpenFromStoreOpts(st, netfile.Options{
+		PoolPages:       opts.PoolPages,
+		PoolShards:      opts.PoolShards,
+		Prefetch:        opts.Prefetch,
+		PrefetchWorkers: opts.PrefetchWorkers,
+		Spatial:         opts.Spatial,
+	})
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
 	m, err := iccam.New(iccam.Config{
-		PageSize:     st.PageSize(),
-		PoolPages:    opts.PoolPages,
-		Seed:         opts.Seed,
-		BuildWorkers: opts.BuildWorkers,
-		Dynamic:      opts.Dynamic,
-		Store:        st,
+		PageSize:        st.PageSize(),
+		PoolPages:       opts.PoolPages,
+		PoolShards:      opts.PoolShards,
+		Prefetch:        opts.Prefetch,
+		PrefetchWorkers: opts.PrefetchWorkers,
+		Seed:            opts.Seed,
+		BuildWorkers:    opts.BuildWorkers,
+		Dynamic:         opts.Dynamic,
+		Store:           st,
 	})
 	if err != nil {
 		fs.Close()

@@ -58,23 +58,24 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, build-scale, serve (the last five are not part of all: they measure wall-clock, not page counts)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, build-scale, pool-scale, serve (the last six are not part of all: they measure wall-clock, not page counts)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
 	cols := flag.Int("cols", 0, "override road map lattice cols")
 	parallel := flag.Int("parallel", 8, "largest worker-pool size the throughput experiment sweeps")
 	httpAddr := flag.String("http", "", "with -exp metrics: keep serving /metrics, /metrics.json, /traces and /debug/pprof on this address after the run")
-	sizes := flag.String("sizes", "", "with -exp build-scale: comma-separated node counts to sweep (default 4096,16384,65536,262144)")
-	jsonPath := flag.String("json", "", "with -exp build-scale or serve: also write the result as JSON to this path")
-	check := flag.Bool("check", false, "with -exp build-scale or serve: fail unless the experiment's regression gates hold")
+	sizes := flag.String("sizes", "", "with -exp build-scale: comma-separated node counts to sweep (default 4096,16384,65536,262144); with -exp pool-scale: worker counts (default 1,2,4,8,16)")
+	jsonPath := flag.String("json", "", "with -exp build-scale, pool-scale or serve: also write the result as JSON to this path")
+	check := flag.Bool("check", false, "with -exp build-scale, pool-scale or serve: fail unless the experiment's regression gates hold")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "with -exp pool-scale -check: required sharded-prefetch over single-latch throughput ratio at peak workers")
 	workers := flag.Int("workers", 0, "with -exp build-scale: clustering worker pool for the parallel variants (0 = GOMAXPROCS)")
 	conns := flag.Int("conns", 10000, "with -exp serve: concurrent binary-protocol connections")
-	duration := flag.Duration("duration", 10e9, "with -exp serve: measured load window")
+	duration := flag.Duration("duration", 10e9, "with -exp serve: measured load window; with -exp pool-scale: window per (variant, workers) point")
 	rate := flag.Int("rate", 0, "with -exp serve: open-loop target req/s across all connections (0 = closed loop)")
 	addr := flag.String("addr", "", "with -exp serve: load an external ccam-serve binary port instead of an in-process server")
 	serveBin := flag.String("serve-bin", "", "with -exp serve: run this ccam-serve binary as a child process instead of serving in-process (doubles the per-process fd budget and exercises the real SIGTERM drain)")
-	nodes := flag.Int("nodes", 262144, "with -exp serve: road-map size for the in-process server")
+	nodes := flag.Int("nodes", 262144, "with -exp serve or pool-scale: road-map size")
 	inflight := flag.Int("max-inflight", 0, "with -exp serve: in-process server admission cap (0 = server default)")
 	traceSample := flag.Int("trace-sample", 0, "with -exp serve: send trace context + stats request on 1-in-N requests and report server-attributed breakdowns (0 = off)")
 	slowQuery := flag.Duration("slow-query", 0, "with -exp serve: managed server's slow-query log threshold (0 = off)")
@@ -92,6 +93,9 @@ func main() {
 
 	if err := run(os.Stdout, *exp, setup, *parallel, *httpAddr, buildScaleOpts{
 		sizes: *sizes, jsonPath: *jsonPath, workers: *workers, check: *check,
+	}, poolScaleOpts{
+		nodes: *nodes, workers: *sizes, duration: *duration,
+		jsonPath: *jsonPath, check: *check, minSpeedup: *minSpeedup,
 	}, serveConfig{
 		Nodes: *nodes, Conns: *conns, Duration: *duration, Rate: *rate,
 		Addr: *addr, ServeBin: *serveBin, MaxInFlight: *inflight,
@@ -111,11 +115,14 @@ type buildScaleOpts struct {
 	check    bool
 }
 
-func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts, sc serveConfig) error {
-	// The build-scale and serve experiments generate their own (much
-	// larger) networks, so skip building the default map.
+func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts, ps poolScaleOpts, sc serveConfig) error {
+	// The build-scale, pool-scale and serve experiments generate their
+	// own (much larger) networks, so skip building the default map.
 	if exp == "build-scale" {
 		return runBuildScale(w, setup, bs.sizes, bs.jsonPath, bs.workers, bs.check)
+	}
+	if exp == "pool-scale" {
+		return runPoolScale(w, setup, ps)
 	}
 	if exp == "serve" {
 		return runServe(w, sc)

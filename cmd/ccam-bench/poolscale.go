@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ccam/internal/bench"
+)
+
+// poolScaleOpts carries the pool-scale-only flags into run.
+type poolScaleOpts struct {
+	nodes      int
+	workers    string // -sizes reused as the worker sweep, e.g. "1,2,4,8,16"
+	duration   time.Duration
+	jsonPath   string
+	check      bool
+	minSpeedup float64
+}
+
+// runPoolScale runs the buffer-pool concurrency sweep, prints the
+// table, and optionally writes the machine-readable JSON (-json) and
+// enforces the regression gate (-check): at the largest worker count
+// the sharded pool with PAG prefetch must reach -min-speedup times the
+// single-latch pool's read throughput.
+func runPoolScale(w io.Writer, setup bench.Setup, ps poolScaleOpts) error {
+	workers, err := parseSizes(ps.workers)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunPoolScale(bench.PoolScaleConfig{
+		Setup:    setup,
+		Nodes:    ps.nodes,
+		Workers:  workers,
+		Duration: ps.duration,
+	})
+	if err != nil {
+		return err
+	}
+	res.Print(w)
+	if ps.jsonPath != "" {
+		f, err := os.Create(ps.jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", ps.jsonPath)
+	}
+	if ps.check {
+		if err := res.Check(ps.minSpeedup); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "check passed: sharded-prefetch >= %.1fx single-latch throughput at peak workers\n", ps.minSpeedup)
+	}
+	return nil
+}

@@ -47,6 +47,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "with -create: map generator and partitioner seed")
 		pageSize    = flag.Int("pagesize", 2048, "with -create: page size in bytes")
 		poolPages   = flag.Int("pool", 256, "buffer pool capacity in pages")
+		poolShards  = flag.Int("pool-shards", 0, "buffer pool shard count (0 = auto-size to the machine, 1 = single latch)")
+		prefetch    = flag.Bool("prefetch", true, "prefetch PAG-adjacent data pages on buffer misses")
 		noWAL       = flag.Bool("no-wal", false, "with -create: disable the write-ahead log")
 		logLevel    = flag.String("log", "info", "structured-log level on stderr: debug, info, warn, error, or off")
 		slowQuery   = flag.Duration("slow-query", 0, "log any request slower than this with its span breakdown and resource account (0 = off)")
@@ -57,7 +59,8 @@ func main() {
 		path: *path, httpAddr: *httpAddr, tcpAddr: *tcpAddr,
 		maxInFlight: *maxInFlight, deadline: *deadline, drain: *drain,
 		create: *create, nodes: *nodes, seed: *seed,
-		pageSize: *pageSize, poolPages: *poolPages, wal: !*noWAL,
+		pageSize: *pageSize, poolPages: *poolPages,
+		poolShards: *poolShards, prefetch: *prefetch, wal: !*noWAL,
 		logLevel: *logLevel, slowQuery: *slowQuery, traceCap: *traceCap,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-serve:", err)
@@ -73,6 +76,8 @@ type runConfig struct {
 	nodes                   int
 	seed                    int64
 	pageSize, poolPages     int
+	poolShards              int
+	prefetch                bool
 	wal                     bool
 	logLevel                string
 	slowQuery               time.Duration
@@ -186,8 +191,14 @@ func run(cfg runConfig) error {
 // openStore opens the store at cfg.path, or builds it from a
 // synthetic road map when -create is set and the file is missing.
 func openStore(cfg runConfig) (*ccam.Store, error) {
+	shards := cfg.poolShards
+	if shards == 0 {
+		shards = ccam.AutoPoolShards(cfg.poolPages)
+	}
 	opts := ccam.Options{
 		PoolPages:     cfg.poolPages,
+		PoolShards:    shards,
+		Prefetch:      cfg.prefetch,
 		Seed:          cfg.seed,
 		Metrics:       true,
 		WAL:           cfg.wal,

@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccam/internal/buffer"
+	"ccam/internal/graph"
+	"ccam/internal/netfile"
+	"ccam/internal/partition"
+	"ccam/internal/storage"
+)
+
+// PoolScaleConfig configures the pool-scale experiment: how does
+// concurrent route-evaluation read throughput scale with workers under
+// the single-latch pool, the sharded pool, and the sharded pool with
+// connectivity-aware PAG prefetch, on a disk-latency-simulated store?
+type PoolScaleConfig struct {
+	Setup Setup
+	// Nodes is the network size floor (rounded up to a full lattice;
+	// default 262144, the scale of the serve experiment).
+	Nodes int
+	// PageSize is the data block size (default 2048).
+	PageSize int
+	// PoolPages is the buffer pool capacity (default 256) — a small
+	// fraction of the data pages, so the workload misses constantly and
+	// the pool's concurrency actually matters.
+	PoolPages int
+	// Shards is the shard count of the sharded variants (0 sizes
+	// automatically from the machine and the pool).
+	Shards int
+	// Workers are the concurrency levels swept (default 1, 2, 4, 8, 16).
+	Workers []int
+	// Duration is the measured window per (variant, workers) point
+	// (default 2s).
+	Duration time.Duration
+	// ReadLatency is the simulated disk latency charged per physical
+	// page read (default 4ms, a mid-90s disk access — the paper's
+	// disk-resident regime; it also dwarfs OS timer granularity, so the
+	// sleep is honest at every concurrency level).
+	ReadLatency time.Duration
+	// RouteCount and RouteLen shape the random-walk workload (defaults
+	// 4096 routes of 64 nodes — long enough that a route's unavoidable
+	// first-page miss does not dominate its prefetchable crossings).
+	RouteCount, RouteLen int
+}
+
+// PoolScaleRow is one (variant, workers) measurement.
+type PoolScaleRow struct {
+	Variant    string  `json:"variant"`
+	Workers    int     `json:"workers"`
+	Shards     int     `json:"shards"`
+	Routes     int64   `json:"routes"`
+	RoutesPerS float64 `json:"routes_per_s"`
+	HopsPerS   float64 `json:"hops_per_s"`
+	HitRate    float64 `json:"hit_rate"`
+	Prefetched int64   `json:"prefetched,omitempty"`
+	PfUseful   int64   `json:"prefetch_useful,omitempty"`
+	// Speedup is this row's hop throughput over the single-latch pool's
+	// at the same worker count.
+	Speedup float64 `json:"speedup_vs_single"`
+}
+
+// PoolScaleResult holds the sweep. Rows are grouped by variant in
+// worker order: single-latch, sharded, sharded-prefetch.
+type PoolScaleResult struct {
+	Nodes       int            `json:"nodes"`
+	Pages       int            `json:"pages"`
+	PageSize    int            `json:"page_size"`
+	PoolPages   int            `json:"pool_pages"`
+	ReadLatency string         `json:"read_latency"`
+	Seed        int64          `json:"seed"`
+	Rows        []PoolScaleRow `json:"rows"`
+}
+
+// poolScaleVariants is the fixed comparison: the seed repo's
+// single-latch pool, page-hash sharding alone, and sharding plus PAG
+// prefetch.
+type poolScaleVariant struct {
+	name     string
+	shards   int
+	prefetch bool
+}
+
+// RunPoolScale measures concurrent route-evaluation throughput over one
+// bulk-loaded CCAM file per (variant, workers) point. Every point
+// reopens the file over the same page store, so all variants read
+// identical bytes and differ only in buffer-pool configuration; the
+// store charges ReadLatency per physical read, putting the run in the
+// paper's disk-resident regime where a buffered page is worth
+// something.
+func RunPoolScale(cfg PoolScaleConfig) (*PoolScaleResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 262144
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 2048
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 256
+	}
+	if cfg.Shards <= 0 {
+		// Floor the auto-sizing at 8: the comparison should exercise the
+		// sharded code path even on single-core CI machines, where
+		// AutoShards would collapse it back to one latch.
+		cfg.Shards = buffer.AutoShards(cfg.PoolPages)
+		if cfg.Shards < 8 {
+			cfg.Shards = 8
+		}
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8, 16}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.ReadLatency <= 0 {
+		cfg.ReadLatency = 4 * time.Millisecond
+	}
+	if cfg.RouteCount <= 0 {
+		cfg.RouteCount = 4096
+	}
+	if cfg.RouteLen <= 0 {
+		cfg.RouteLen = 64
+	}
+
+	// Build the network and cluster it once; the multilevel partitioner
+	// over the full worker pool keeps the setup fast at 262k nodes.
+	opts := cfg.Setup.MapOpts
+	side := 1
+	for side*side < cfg.Nodes {
+		side++
+	}
+	opts.Rows, opts.Cols = side, side
+	g, err := graph.RoadMap(opts)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := partition.ClusterNodesIntoPagesOpts(g, netfile.StoredSizer(g), netfile.PageBudget(cfg.PageSize),
+		&partition.Multilevel{}, partition.ClusterOptions{Seed: cfg.Setup.Seed})
+	if err != nil {
+		return nil, err
+	}
+	st := storage.NewMemStore(cfg.PageSize)
+	f, err := netfile.Create(netfile.Options{PageSize: cfg.PageSize, PoolPages: cfg.PoolPages, Bounds: g.Bounds(), Store: st})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.BulkLoad(g, groups); err != nil {
+		return nil, err
+	}
+	if err := f.Flush(); err != nil {
+		return nil, err
+	}
+	res := &PoolScaleResult{
+		Nodes:       g.NumNodes(),
+		Pages:       f.NumPages(),
+		PageSize:    cfg.PageSize,
+		PoolPages:   cfg.PoolPages,
+		ReadLatency: cfg.ReadLatency.String(),
+		Seed:        cfg.Setup.Seed,
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Setup.Seed))
+	routes, err := graph.RandomWalkRoutes(g, cfg.RouteCount, cfg.RouteLen, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []poolScaleVariant{
+		{"single-latch", 1, false},
+		{"sharded", cfg.Shards, false},
+		{"sharded-prefetch", cfg.Shards, true},
+	}
+	singleHops := map[int]float64{}
+	for _, v := range variants {
+		for _, w := range cfg.Workers {
+			row, err := runPoolScalePoint(st, cfg, v, w, routes)
+			if err != nil {
+				return nil, fmt.Errorf("bench: pool-scale %s at %d workers: %w", v.name, w, err)
+			}
+			if v.name == "single-latch" {
+				singleHops[w] = row.HopsPerS
+			}
+			if base := singleHops[w]; base > 0 {
+				row.Speedup = row.HopsPerS / base
+			}
+			res.Rows = append(res.Rows, *row)
+		}
+	}
+	return res, nil
+}
+
+// runPoolScalePoint reopens the store under one pool configuration and
+// drives it with workers closed-loop route evaluators for the window.
+func runPoolScalePoint(st *storage.MemStore, cfg PoolScaleConfig, v poolScaleVariant, workers int, routes []graph.Route) (*PoolScaleRow, error) {
+	// The open scans every page to rebuild the indexes and hints; that
+	// setup reads with the latency off so points stay cheap.
+	st.SetReadLatency(0)
+	f, err := netfile.OpenFromStoreOpts(st, netfile.Options{
+		PoolPages:  cfg.PoolPages,
+		PoolShards: v.shards,
+		Prefetch:   v.prefetch,
+		// Prefetch reads sleep the simulated latency too, so covering
+		// the demand workers' miss streams takes real read concurrency:
+		// a speculative read only hides latency if it starts the moment
+		// it is suggested, which needs an idle worker at every miss.
+		PrefetchWorkers: 8 * workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Pool().Close()
+	st.SetReadLatency(cfg.ReadLatency)
+	defer st.SetReadLatency(0)
+
+	// Each worker walks its own shuffled order over the shared route set.
+	// Independent permutations keep the workload honest: with a shared
+	// or strided order, fast workers trail slow ones through still-warm
+	// pages and the sweep measures cache-riding, not pool concurrency.
+	orders := make([][]int, workers)
+	for wi := range orders {
+		r := rand.New(rand.NewSource(cfg.Setup.Seed + int64(wi)*7919))
+		orders[wi] = r.Perm(len(routes))
+	}
+
+	s0 := f.Pool().Stats()
+	pf0 := f.Pool().PrefetchStats()
+	var done, hops atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ctx := context.Background()
+			order := orders[wi]
+			for i := 0; time.Since(start) < cfg.Duration; i++ {
+				r := routes[order[i%len(order)]]
+				if _, err := f.EvaluateRouteCtx(ctx, r); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				done.Add(1)
+				hops.Add(int64(len(r)))
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	ps := f.Pool().Stats().Sub(s0)
+	hitRate, _ := ps.HitRate()
+	pf := f.Pool().PrefetchStats()
+	return &PoolScaleRow{
+		Variant:    v.name,
+		Workers:    workers,
+		Shards:     v.shards,
+		Routes:     done.Load(),
+		RoutesPerS: float64(done.Load()) / elapsed,
+		HopsPerS:   float64(hops.Load()) / elapsed,
+		HitRate:    hitRate,
+		Prefetched: pf.Loaded - pf0.Loaded,
+		PfUseful:   pf.Useful - pf0.Useful,
+	}, nil
+}
+
+// Print writes the sweep as a plain-text table.
+func (r *PoolScaleResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Pool scale: route-evaluation throughput vs workers (%d nodes on %d pages, pool = %d pages, read latency = %s)\n",
+		r.Nodes, r.Pages, r.PoolPages, r.ReadLatency)
+	fmt.Fprintf(w, "%-18s %8s %7s %12s %12s %8s %11s %10s %8s\n",
+		"variant", "workers", "shards", "routes/s", "hops/s", "hitrate", "prefetched", "pf-useful", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %8d %7d %12.0f %12.0f %8.3f %11d %10d %7.2fx\n",
+			row.Variant, row.Workers, row.Shards, row.RoutesPerS, row.HopsPerS,
+			row.HitRate, row.Prefetched, row.PfUseful, row.Speedup)
+	}
+}
+
+// WriteJSON emits the machine-readable form consumed by CI.
+func (r *PoolScaleResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Check enforces the experiment's regression gate: at the largest
+// worker count, the sharded pool with prefetch must reach at least
+// minSpeedup times the single-latch pool's read throughput, and no
+// point may have failed to produce work.
+func (r *PoolScaleResult) Check(minSpeedup float64) error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("bench: pool-scale check: no rows")
+	}
+	maxW := 0
+	byKey := map[string]PoolScaleRow{}
+	for _, row := range r.Rows {
+		if row.Routes == 0 {
+			return fmt.Errorf("bench: pool-scale check: %s at %d workers evaluated no routes", row.Variant, row.Workers)
+		}
+		if row.Workers > maxW {
+			maxW = row.Workers
+		}
+		byKey[fmt.Sprintf("%s/%d", row.Variant, row.Workers)] = row
+	}
+	single, okS := byKey[fmt.Sprintf("single-latch/%d", maxW)]
+	pf, okP := byKey[fmt.Sprintf("sharded-prefetch/%d", maxW)]
+	if !okS || !okP {
+		return fmt.Errorf("bench: pool-scale check: incomplete variant set at %d workers", maxW)
+	}
+	if speedup := pf.HopsPerS / single.HopsPerS; speedup < minSpeedup {
+		return fmt.Errorf("bench: pool-scale check: sharded-prefetch speedup %.2fx below %.2fx at %d workers (%.0f vs %.0f hops/s)",
+			speedup, minSpeedup, maxW, pf.HopsPerS, single.HopsPerS)
+	}
+	return nil
+}

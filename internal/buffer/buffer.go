@@ -1,4 +1,5 @@
-// Package buffer implements an LRU buffer pool over a storage.Store.
+// Package buffer implements a sharded, scan-resistant buffer pool over
+// a storage.Store.
 //
 // The paper's route-evaluation experiments assume "one buffer with the
 // size of one data page"; the operation-cost experiments assume index
@@ -6,13 +7,21 @@
 // reproduces both regimes: physical I/O is whatever reaches the
 // underlying Store, and the pool reports hits and misses so experiments
 // can report "number of data pages accessed" exactly as the paper does.
+//
+// For the paper's single-buffer experiments a one-shard pool behaves
+// like the classic pool (NewPool builds one). For serving, NewPoolShards
+// hashes pages across independently latched shards so that hits, misses
+// and evictions on different shards never contend, replacement is
+// clock-sweep second chance (O(1) amortized victim selection, scan
+// resistant: a page fetched once and never again is first in line),
+// and dirty eviction victims are written back outside the shard latch
+// so a slow store write or WAL fsync cannot stall concurrent hits.
 package buffer
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sync"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -27,7 +36,10 @@ var (
 	ErrPoolClosed = errors.New("buffer: pool is closed")
 )
 
-// Stats describes buffer pool traffic.
+// Stats describes buffer pool traffic. Under read failures Fetches can
+// exceed Hits+Misses: a request that waited on another goroutine's
+// failed read counts as a fetch but neither as a hit (it got no page)
+// nor as a miss (it issued no physical read).
 type Stats struct {
 	Fetches   int64 // logical page requests
 	Hits      int64 // requests satisfied from the pool
@@ -68,6 +80,17 @@ func (s Stats) Sub(earlier Stats) Stats {
 	}
 }
 
+// add accumulates another snapshot (used to sum per-shard counters).
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		Fetches:   s.Fetches + o.Fetches,
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		Flushes:   s.Flushes + o.Flushes,
+	}
+}
+
 // poolCounters is the mutable form of Stats: atomics, so Stats() can
 // snapshot without tearing while parallel readers drive the pool.
 type poolCounters struct {
@@ -92,70 +115,81 @@ func (c *poolCounters) reset() {
 	c.flushes.Store(0)
 }
 
-// frame is one buffered page. pins, lastUsed and dirty are atomics so
-// that hits — the hot path — can pin and touch a frame while holding
-// only the shared latch. loading is non-nil while the frame's physical
+// frame is one buffered page. pins, ref and dirty are atomics so that
+// hits — the hot path — can pin and touch a frame while holding only
+// the shared shard latch. loading is non-nil while the frame's physical
 // read is still in flight; it is closed (under the exclusive latch)
-// when the read completes, and loadErr is valid from then on.
+// when the read completes, and loadErr is valid from then on. flushing
+// is guarded by the shard latch: it marks a frame whose dirty image is
+// being written back with the latch released, so the sweep must not
+// recycle it meanwhile.
 type frame struct {
-	id       storage.PageID
-	data     []byte
-	dirty    atomic.Bool
-	pins     atomic.Int64
-	lastUsed atomic.Int64
-	loading  chan struct{}
-	loadErr  error
+	id         storage.PageID
+	data       []byte
+	dirty      atomic.Bool
+	pins       atomic.Int64
+	ref        atomic.Bool // clock-sweep second-chance bit: set on hit, cleared by the sweep
+	prefetched atomic.Bool // loaded speculatively; first demand hit counts it useful
+	flushing   bool        // write-back in flight with the latch released
+	loading    chan struct{}
+	loadErr    error
 }
 
-// Pool is an LRU buffer pool, safe for concurrent use. A reader-writer
-// latch guards the frame table: hits take it shared (pin count and
-// recency are atomics), so parallel readers stream through buffered
-// pages without serializing. A miss takes the latch exclusively only
-// long enough to claim a victim frame and publish it as
-// loading-in-progress, then releases it for the physical read — so
-// concurrent misses on distinct pages overlap their I/O, which is where
-// the throughput of a disk-resident file comes from. Concurrent
-// requests for a page being read wait on the in-flight read instead of
-// issuing their own (and count as hits: only one physical read
-// happens).
+// Pool is a sharded clock-sweep buffer pool, safe for concurrent use.
+// Pages hash to shards; each shard's reader-writer latch guards its
+// frame table: hits take it shared (pin count and the reference bit are
+// atomics), so parallel readers stream through buffered pages without
+// serializing, and misses on different shards do not contend at all. A
+// miss takes its shard latch exclusively only long enough to claim a
+// victim frame and publish it as loading-in-progress, then releases it
+// for the physical read — so concurrent misses overlap their I/O.
+// Concurrent requests for a page being read wait on the in-flight read
+// instead of issuing their own (only one physical read happens; the
+// waiters count as hits when that read succeeds).
 //
-// Frame images are protected by the pin protocol: a pinned or loading
-// frame is never recycled, and writers are excluded from overlapping
-// readers by the access-method level lock above. Eviction is exact
-// LRU: recency is a global logical clock sampled per fetch, and the
-// victim is the unpinned frame with the smallest stamp.
+// Replacement is clock-sweep second chance: a hit sets the frame's
+// reference bit, the sweep clears it, and a frame whose bit is already
+// clear is the victim. New frames enter with the bit clear, so a scan
+// that touches each page once cannot displace the re-referenced working
+// set (scan resistance), and victim selection is O(1) amortized instead
+// of the previous exact-LRU full scan. A dirty victim's image is
+// snapshotted under the latch but written back with the latch released
+// (batched with other dirty unpinned frames of the shard, one flush
+// gate call per batch), so a slow device write or WAL fsync never
+// blocks concurrent hits.
+//
+// Frame images are protected by the pin protocol: a pinned, loading or
+// flushing frame is never recycled, and writers are excluded from
+// overlapping readers by the access-method level lock above.
 //
 // Sizing note for parallel readers: every in-flight Fetch holds a pin,
 // so capacity should comfortably exceed the worker count times the
 // pages a single operation keeps pinned (Get-A-successor pins two);
-// otherwise bursts can exhaust the pool and fail with ErrAllPinned.
+// otherwise bursts can exhaust a shard and fail with ErrAllPinned.
 type Pool struct {
-	mu    sync.RWMutex
-	store storage.Store
-	// frames holds pointers so overflow frames can be appended under
-	// no-steal without invalidating frame references held across latch
-	// releases.
-	frames   []*frame
-	capacity int                    // configured frame count; len(frames) may exceed it under no-steal
-	table    map[storage.PageID]int // page -> frame index
-	clock    atomic.Int64           // logical time for LRU stamps
-	stats    poolCounters
-	closed   bool
+	store    storage.Store
+	shards   []*shard
+	capacity int // configured total frame count across shards
 	// noSteal forbids evicting dirty frames: a dirty page may only
 	// reach the store through an explicit flush (checkpoint), never as
 	// a side effect of eviction. Overflow frames absorb the pressure
 	// until the next FlushAll shrinks the pool back to capacity.
-	noSteal bool
-	// flushGate, when set, runs before any dirty page is written to
-	// the store — the WAL-before-data hook (it syncs the log).
-	flushGate func() error
+	noSteal atomic.Bool
+	// gate, when set, runs before any dirty page is written to the
+	// store — the WAL-before-data hook (it syncs the log).
+	gate atomic.Pointer[func() error]
+	// adj, when set, maps a page to the PAG-adjacent pages worth
+	// prefetching on a demand miss (see SetAdjacency).
+	adj atomic.Pointer[func(storage.PageID) []storage.PageID]
+	// pf is the optional asynchronous prefetcher (see EnablePrefetch).
+	pf atomic.Pointer[prefetcher]
 	// inst holds the optional latency instrumentation; an atomic
 	// pointer so enabling it never races with in-flight fetches.
 	inst atomic.Pointer[PoolInstrumentation]
 }
 
-// PoolInstrumentation carries the optional latency histograms of a
-// pool. Nil histograms are skipped.
+// PoolInstrumentation carries the optional instrumentation of a pool.
+// Nil histograms and counters are skipped.
 type PoolInstrumentation struct {
 	// HitNanos observes the duration of fetches served from the pool
 	// (including waits on another goroutine's in-flight read).
@@ -163,29 +197,86 @@ type PoolInstrumentation struct {
 	// MissNanos observes the duration of fetches that performed a
 	// physical read.
 	MissNanos *metrics.Histogram
+	// Prefetch counters mirror PrefetchStats into a metrics registry.
+	PrefetchIssued  *metrics.Counter
+	PrefetchLoaded  *metrics.Counter
+	PrefetchUseful  *metrics.Counter
+	PrefetchDropped *metrics.Counter
+	PrefetchErrors  *metrics.Counter
 }
 
-// NewPool returns a pool with capacity frames over store. Capacity must
-// be at least 1.
+// NewPool returns a single-shard pool with capacity frames over store.
+// Capacity must be at least 1. One shard reproduces the paper's
+// single-buffer page-access counts exactly; use NewPoolShards for
+// serving workloads.
 func NewPool(store storage.Store, capacity int) *Pool {
+	return NewPoolShards(store, capacity, 1)
+}
+
+// NewPoolShards returns a pool with capacity frames spread across
+// shards page-id-hash shards, each with its own latch, frame table and
+// clock hand. shards is clamped to [1, capacity] so every shard owns at
+// least one frame.
+func NewPoolShards(store storage.Store, capacity, shards int) *Pool {
 	if capacity < 1 {
 		panic(fmt.Sprintf("buffer: invalid pool capacity %d", capacity))
 	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
 	p := &Pool{
 		store:    store,
-		table:    make(map[storage.PageID]int, capacity),
-		frames:   make([]*frame, capacity),
 		capacity: capacity,
+		shards:   make([]*shard, shards),
 	}
-	for i := range p.frames {
-		p.frames[i] = &frame{id: storage.InvalidPageID}
+	base, extra := capacity/shards, capacity%shards
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		p.shards[i] = newShard(p, c)
 	}
 	return p
 }
 
-// Capacity returns the configured number of frames. Under no-steal the
-// pool may temporarily hold more (see SetNoSteal).
+// AutoShards picks a shard count for a serving pool of the given
+// capacity: the number of usable CPUs, clamped so each shard keeps a
+// useful number of frames and bounded to keep per-shard bookkeeping
+// cheap.
+func AutoShards(capacity int) int {
+	n := runtime.GOMAXPROCS(0)
+	if max := capacity / 8; n > max {
+		n = max
+	}
+	if n > 64 {
+		n = 64
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardOf maps a page to its shard. The multiplicative hash spreads the
+// sequential page ids a bulk load produces evenly across shards.
+func (p *Pool) shardOf(id storage.PageID) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[(h>>32)%uint64(len(p.shards))]
+}
+
+// Capacity returns the configured total number of frames. Under
+// no-steal the pool may temporarily hold more (see SetNoSteal).
 func (p *Pool) Capacity() int { return p.capacity }
+
+// Shards returns the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // SetNoSteal switches the eviction policy: when on, dirty frames are
 // never evicted — the pool grows overflow frames instead — so the only
@@ -193,20 +284,30 @@ func (p *Pool) Capacity() int { return p.capacity }
 // protocol depends on this: every store write between checkpoints is
 // then allocator noise recovery can discard. Call during setup, before
 // concurrent use.
-func (p *Pool) SetNoSteal(on bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.noSteal = on
-}
+func (p *Pool) SetNoSteal(on bool) { p.noSteal.Store(on) }
 
 // SetFlushGate installs a hook that runs before any dirty page is
 // written to the store — the WAL-before-data rule (the hook syncs the
 // log up to the page's latest mutation). Call during setup, before
 // concurrent use.
-func (p *Pool) SetFlushGate(gate func() error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.flushGate = gate
+func (p *Pool) SetFlushGate(gate func() error) { p.gate.Store(&gate) }
+
+// flushGate returns the installed WAL-before-data hook, or nil.
+func (p *Pool) flushGate() func() error {
+	if g := p.gate.Load(); g != nil {
+		return *g
+	}
+	return nil
+}
+
+// SetAdjacency installs the connectivity hint source for prefetching:
+// fn maps a page to the pages its records' successors and predecessors
+// live on (the page's PAG neighbors), best first. The pool consults it
+// on demand misses; fn runs on the fetching goroutine, so it must be
+// safe under the same locking regime as Fetch itself. Call during
+// setup or from the same exclusive context as mutations.
+func (p *Pool) SetAdjacency(fn func(storage.PageID) []storage.PageID) {
+	p.adj.Store(&fn)
 }
 
 // DirtyPage is a checkpoint copy of one dirty buffered page.
@@ -219,29 +320,33 @@ type DirtyPage struct {
 // ensure no mutator is concurrently writing frames (the access-method
 // exclusive lock above the pool does this during checkpoints).
 func (p *Pool) DirtySnapshot() []DirtyPage {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []DirtyPage
-	for _, f := range p.frames {
-		if f.id == storage.InvalidPageID || !f.dirty.Load() {
-			continue
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.id == storage.InvalidPageID || !f.dirty.Load() {
+				continue
+			}
+			data := make([]byte, len(f.data))
+			copy(data, f.data)
+			out = append(out, DirtyPage{ID: f.id, Data: data})
 		}
-		data := make([]byte, len(f.data))
-		copy(data, f.data)
-		out = append(out, DirtyPage{ID: f.id, Data: data})
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // DirtyCount returns the number of dirty buffered pages.
 func (p *Pool) DirtyCount() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.id != storage.InvalidPageID && f.dirty.Load() {
-			n++
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for _, f := range sh.frames {
+			if f.id != storage.InvalidPageID && f.dirty.Load() {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -249,47 +354,49 @@ func (p *Pool) DirtyCount() int {
 // Store returns the underlying page store.
 func (p *Pool) Store() storage.Store { return p.store }
 
-// Stats returns a snapshot of the pool counters. Counters are atomics,
-// so the snapshot is safe while parallel readers drive the pool.
-func (p *Pool) Stats() Stats { return p.stats.snapshot() }
-
-// ResetStats zeroes the pool counters (not the store's).
-func (p *Pool) ResetStats() { p.stats.reset() }
-
-// Contains reports whether the page is currently buffered, without
-// touching recency or counters. Get-A-successor uses this to probe the
-// buffer before paying for a Find.
-func (p *Pool) Contains(id storage.PageID) bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	_, ok := p.table[id]
-	return ok
+// Stats returns a snapshot of the pool counters summed across shards.
+// Counters are atomics, so the snapshot is safe while parallel readers
+// drive the pool.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, sh := range p.shards {
+		s = s.add(sh.stats.snapshot())
+	}
+	return s
 }
 
-// pinResident pins the table-resident frame fi and returns its image,
-// waiting out an in-flight read if there is one. Called with the latch
-// held (shared or exclusive); releases it.
-func (p *Pool) pinResident(fi int, unlock func()) ([]byte, error) {
-	f := p.frames[fi]
-	f.pins.Add(1)
-	f.lastUsed.Store(p.clock.Add(1))
-	ch := f.loading
-	data := f.data
-	unlock()
-	p.stats.fetches.Add(1)
-	p.stats.hits.Add(1)
-	if ch != nil {
-		<-ch
-		// loadErr was written before the channel close and the frame
-		// cannot be recycled while our pin is held, so this read is
-		// ordered. On failure the loader already unpublished the page;
-		// we only drop our pin.
-		if err := f.loadErr; err != nil {
-			f.pins.Add(-1)
-			return nil, err
-		}
+// ShardStats returns one counter snapshot per shard, in shard order —
+// the balance view the pool-scale experiment reports.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.stats.snapshot()
 	}
-	return data, nil
+	return out
+}
+
+// ResetStats zeroes the pool counters (not the store's), including the
+// prefetch counters.
+func (p *Pool) ResetStats() {
+	for _, sh := range p.shards {
+		sh.stats.reset()
+	}
+	if pf := p.pf.Load(); pf != nil {
+		pf.resetStats()
+	}
+}
+
+// Contains reports whether the page is currently buffered and readable,
+// without touching recency or counters. A page whose physical read is
+// still in flight — or just failed — is not "buffered": reporting it
+// resident would make the Get-A-successor probe treat an unreadable
+// page as a free hit.
+func (p *Pool) Contains(id storage.PageID) bool {
+	sh := p.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fi, ok := sh.table[id]
+	return ok && sh.frames[fi].loading == nil
 }
 
 // Instrument attaches latency instrumentation: subsequent fetches
@@ -331,93 +438,38 @@ func (p *Pool) FetchTraced(id storage.PageID, at *metrics.ActiveTrace) ([]byte, 
 // fetch reports, besides the pinned image, whether this call paid for
 // the physical read (a miss).
 func (p *Pool) fetch(id storage.PageID, at *metrics.ActiveTrace) ([]byte, bool, error) {
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
+	sh := p.shardOf(id)
+	sh.mu.RLock()
+	if sh.closed {
+		sh.mu.RUnlock()
 		return nil, false, ErrPoolClosed
 	}
-	if fi, ok := p.table[id]; ok {
-		b, err := p.pinResident(fi, p.mu.RUnlock)
+	if fi, ok := sh.table[id]; ok {
+		b, err := sh.pinResident(fi, sh.mu.RUnlock)
 		return b, false, err
 	}
-	p.mu.RUnlock()
-	return p.fetchMiss(id, at)
-}
-
-// fetchMiss claims a frame for the page and performs the physical read
-// with the latch released, so concurrent misses overlap their I/O.
-func (p *Pool) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, bool, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, false, ErrPoolClosed
-	}
-	// Another goroutine may have faulted the page in (or begun to)
-	// while we upgraded the latch.
-	if fi, ok := p.table[id]; ok {
-		b, err := p.pinResident(fi, func() { p.mu.Unlock() })
-		return b, false, err
-	}
-	p.stats.fetches.Add(1)
-	p.stats.misses.Add(1)
-	fi, err := p.victim()
-	if err != nil {
-		p.mu.Unlock()
-		return nil, false, err
-	}
-	f := p.frames[fi]
-	if f.data == nil {
-		f.data = make([]byte, p.store.PageSize())
-	}
-	f.id = id
-	f.dirty.Store(false)
-	f.pins.Store(1)
-	f.lastUsed.Store(p.clock.Add(1))
-	ch := make(chan struct{})
-	f.loading = ch
-	f.loadErr = nil
-	p.table[id] = fi
-	p.mu.Unlock()
-
-	tok := at.BeginSpan("storage.read")
-	readErr := p.store.ReadPage(id, f.data)
-	tok.End()
-
-	p.mu.Lock()
-	var result error
-	if readErr != nil {
-		result = fmt.Errorf("buffer: fetch page %d: %w", id, readErr)
-		f.loadErr = result
-		delete(p.table, id)
-		f.id = storage.InvalidPageID
-		f.pins.Add(-1) // waiters drop their own pins on wake-up
-	}
-	f.loading = nil
-	close(ch)
-	p.mu.Unlock()
-	if result != nil {
-		return nil, true, result
-	}
-	return f.data, true, nil
+	sh.mu.RUnlock()
+	return sh.fetchMiss(id, at)
 }
 
 // FetchNew pins a freshly allocated page, returning its ID and a zeroed
 // buffer image without a physical read.
 func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return storage.InvalidPageID, nil, ErrPoolClosed
-	}
 	id, err := p.store.Allocate()
 	if err != nil {
 		return storage.InvalidPageID, nil, err
 	}
-	fi, err := p.victim()
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return storage.InvalidPageID, nil, ErrPoolClosed
+	}
+	fi, err := sh.frameForNewPage()
 	if err != nil {
 		return storage.InvalidPageID, nil, err
 	}
-	f := p.frames[fi]
+	f := sh.frames[fi]
 	if f.data == nil {
 		f.data = make([]byte, p.store.PageSize())
 	} else {
@@ -428,23 +480,25 @@ func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
 	f.id = id
 	f.dirty.Store(true) // must be written out even if untouched
 	f.pins.Store(1)
-	f.lastUsed.Store(p.clock.Add(1))
-	p.table[id] = fi
-	p.stats.fetches.Add(1)
-	p.stats.hits.Add(1) // allocation does not cost a read
+	f.ref.Store(false)
+	f.prefetched.Store(false)
+	sh.table[id] = fi
+	sh.stats.fetches.Add(1)
+	sh.stats.hits.Add(1) // allocation does not cost a read
 	return id, f.data, nil
 }
 
 // Unpin releases one pin on the page, marking the frame dirty when the
 // caller modified it.
 func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	fi, ok := p.table[id]
+	sh := p.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fi, ok := sh.table[id]
 	if !ok {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
 	}
-	f := p.frames[fi]
+	f := sh.frames[fi]
 	if dirty {
 		f.dirty.Store(true)
 	}
@@ -458,163 +512,119 @@ func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
 // Discard drops the page from the pool without writing it back, even if
 // dirty. The page must be unpinned. Used when a page is freed.
 func (p *Pool) Discard(id storage.PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	fi, ok := p.table[id]
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fi, ok := sh.table[id]
 	if !ok {
 		return
 	}
-	f := p.frames[fi]
+	f := sh.frames[fi]
 	if f.pins.Load() > 0 {
 		panic(fmt.Sprintf("buffer: discard of pinned page %d", id))
 	}
-	delete(p.table, id)
+	delete(sh.table, id)
 	f.id = storage.InvalidPageID
 	f.dirty.Store(false)
+	f.ref.Store(false)
+	f.prefetched.Store(false)
 }
 
 // FlushAll writes every dirty frame back to the store. Pinned frames
-// are flushed too (they stay resident and pinned).
+// are flushed too (they stay resident and pinned). Each shard's dirty
+// frames are written as one batch behind a single flush-gate call.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushAllLocked()
-}
-
-func (p *Pool) flushAllLocked() error {
-	for fi := range p.frames {
-		if err := p.flushFrame(fi); err != nil {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.flushShardLocked()
+		if err == nil {
+			sh.shrinkLocked()
+		}
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	p.shrinkLocked()
 	return nil
-}
-
-// shrinkLocked drops overflow frames grown under no-steal, from the
-// tail, as long as they are clean, unpinned and not loading. Caller
-// holds the exclusive latch.
-func (p *Pool) shrinkLocked() {
-	for len(p.frames) > p.capacity {
-		f := p.frames[len(p.frames)-1]
-		if f.pins.Load() != 0 || f.loading != nil || f.dirty.Load() {
-			return
-		}
-		if f.id != storage.InvalidPageID {
-			delete(p.table, f.id)
-		}
-		p.frames = p.frames[:len(p.frames)-1]
-	}
 }
 
 // Flush writes the page back if buffered and dirty.
 func (p *Pool) Flush(id storage.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fi, ok := p.table[id]; ok {
-		return p.flushFrame(fi)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fi, ok := sh.table[id]; ok {
+		return sh.flushFrameLocked(fi)
 	}
-	return nil
-}
-
-// flushFrame writes frame fi back if live and dirty. Caller holds the
-// exclusive latch.
-func (p *Pool) flushFrame(fi int) error {
-	f := p.frames[fi]
-	if f.id == storage.InvalidPageID || !f.dirty.Load() {
-		return nil
-	}
-	// WAL-before-data: the log must be durable past this page's last
-	// mutation before the page image may reach the store.
-	if p.flushGate != nil {
-		if err := p.flushGate(); err != nil {
-			return fmt.Errorf("buffer: flush gate for page %d: %w", f.id, err)
-		}
-	}
-	if err := p.store.WritePage(f.id, f.data); err != nil {
-		return fmt.Errorf("buffer: flush page %d: %w", f.id, err)
-	}
-	f.dirty.Store(false)
-	p.stats.flushes.Add(1)
 	return nil
 }
 
 // Reset flushes every dirty frame and then empties the pool, so the
 // next fetches are cold. Experiments call this between operations to
 // reproduce the paper's per-operation page-access counts. It fails if
-// any frame is still pinned.
+// any frame is still pinned. In-flight prefetches are quiesced first
+// (they transiently pin frames).
 func (p *Pool) Reset() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for fi := range p.frames {
-		if p.frames[fi].pins.Load() > 0 {
-			return fmt.Errorf("buffer: reset with pinned page %d", p.frames[fi].id)
+	pf := p.pf.Load()
+	if pf != nil {
+		pf.quiesce()
+		defer pf.resume()
+	}
+	// Lock every shard (in order) so the pin check covers the whole
+	// pool before any shard is cleared.
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range p.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	for _, sh := range p.shards {
+		for _, f := range sh.frames {
+			if f.pins.Load() > 0 {
+				return fmt.Errorf("buffer: reset with pinned page %d", f.id)
+			}
 		}
 	}
-	if err := p.flushAllLocked(); err != nil {
-		return err
-	}
-	for fi := range p.frames {
-		f := p.frames[fi]
-		if f.id != storage.InvalidPageID {
-			delete(p.table, f.id)
-			f.id = storage.InvalidPageID
-			f.dirty.Store(false)
+	for _, sh := range p.shards {
+		if err := sh.flushShardLocked(); err != nil {
+			return err
+		}
+		sh.shrinkLocked()
+		for _, f := range sh.frames {
+			if f.id != storage.InvalidPageID {
+				delete(sh.table, f.id)
+				f.id = storage.InvalidPageID
+				f.dirty.Store(false)
+				f.ref.Store(false)
+				f.prefetched.Store(false)
+			}
 		}
 	}
 	return nil
 }
 
-// Close flushes all dirty pages and invalidates the pool.
+// Close flushes all dirty pages and invalidates the pool. The
+// prefetcher, if any, is stopped first.
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil
+	if pf := p.pf.Load(); pf != nil {
+		pf.close()
 	}
-	if err := p.flushAllLocked(); err != nil {
-		return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			continue
+		}
+		err := sh.flushShardLocked()
+		if err == nil {
+			sh.closed = true
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	p.closed = true
 	return nil
-}
-
-// victim returns a free frame index, evicting the least recently used
-// unpinned frame when necessary. Caller holds the exclusive latch, so
-// no new pins can appear on the chosen frame (pinning requires at
-// least the shared latch).
-func (p *Pool) victim() (int, error) {
-	best, bestUsed := -1, int64(math.MaxInt64)
-	for fi := range p.frames {
-		f := p.frames[fi]
-		if f.pins.Load() != 0 || f.loading != nil {
-			continue
-		}
-		if f.id == storage.InvalidPageID {
-			return fi, nil
-		}
-		if p.noSteal && f.dirty.Load() {
-			continue
-		}
-		if u := f.lastUsed.Load(); u < bestUsed {
-			best, bestUsed = fi, u
-		}
-	}
-	if best == -1 {
-		if p.noSteal {
-			// Every unpinned frame is dirty and dirty frames must not
-			// be stolen: grow an overflow frame. The next FlushAll
-			// (checkpoint) shrinks the pool back to capacity.
-			p.frames = append(p.frames, &frame{id: storage.InvalidPageID})
-			return len(p.frames) - 1, nil
-		}
-		return -1, ErrAllPinned
-	}
-	if err := p.flushFrame(best); err != nil {
-		return -1, err
-	}
-	delete(p.table, p.frames[best].id)
-	p.frames[best].id = storage.InvalidPageID
-	p.stats.evictions.Add(1)
-	return best, nil
 }

@@ -1,0 +1,282 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ccam/internal/storage"
+)
+
+// PrefetchStats describes the asynchronous prefetcher's traffic. None
+// of these pages count as Fetches, Hits or Misses: prefetch is
+// speculative I/O, and the pool's Stats must keep reporting the
+// paper's demand page-access counts unchanged.
+type PrefetchStats struct {
+	Issued  int64 // pages queued after a demand miss
+	Loaded  int64 // pages actually faulted in by a worker
+	Dropped int64 // suggestions discarded (queue full, paused, or no clean victim)
+	Useful  int64 // prefetched pages later claimed by a demand fetch
+	Errors  int64 // prefetch reads that failed
+}
+
+// prefetcher runs a bounded queue of speculative page loads on a small
+// worker pool. The queue is a latch-guarded slice rather than a
+// channel so quiesce can atomically drop pending work and wait out the
+// in-flight loads (each transiently pins a frame).
+type prefetcher struct {
+	pool     *Pool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []storage.PageID
+	qcap     int
+	inflight int
+	paused   bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	issued, loaded, dropped, useful, errs atomic.Int64
+}
+
+// EnablePrefetch starts the connectivity-aware prefetcher: on every
+// demand miss the pool asks the adjacency hook (SetAdjacency) for the
+// page's PAG neighbors and queues the non-resident ones; workers fault
+// them in asynchronously, evicting only clean, unreferenced frames —
+// a prefetch never writes back a dirty page, never grows the pool, and
+// never displaces the re-referenced working set. workers and queueLen
+// default to 2 and 256 when non-positive. Call during setup; calling
+// it again is a no-op. Close stops the workers.
+func (p *Pool) EnablePrefetch(workers, queueLen int) {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueLen <= 0 {
+		queueLen = 256
+	}
+	pf := &prefetcher{pool: p, qcap: queueLen}
+	pf.cond = sync.NewCond(&pf.mu)
+	if !p.pf.CompareAndSwap(nil, pf) {
+		return // already enabled
+	}
+	pf.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go pf.run()
+	}
+}
+
+// PrefetchStats returns a snapshot of the prefetcher's counters; zero
+// when prefetch is not enabled.
+func (p *Pool) PrefetchStats() PrefetchStats {
+	pf := p.pf.Load()
+	if pf == nil {
+		return PrefetchStats{}
+	}
+	return PrefetchStats{
+		Issued:  pf.issued.Load(),
+		Loaded:  pf.loaded.Load(),
+		Dropped: pf.dropped.Load(),
+		Useful:  pf.useful.Load(),
+		Errors:  pf.errs.Load(),
+	}
+}
+
+// suggestPrefetch queues the PAG neighbors of a demand-missed page.
+// Called without any latch, from the fetching goroutine.
+func (p *Pool) suggestPrefetch(id storage.PageID) {
+	pf := p.pf.Load()
+	if pf == nil {
+		return
+	}
+	fnp := p.adj.Load()
+	if fnp == nil || *fnp == nil {
+		return
+	}
+	for _, nbr := range (*fnp)(id) {
+		if nbr == id || nbr == storage.InvalidPageID {
+			continue
+		}
+		// Skip pages already resident or already being read — including
+		// by another prefetch (the in-flight check keys on the table).
+		sh := p.shardOf(nbr)
+		sh.mu.RLock()
+		_, resident := sh.table[nbr]
+		sh.mu.RUnlock()
+		if resident {
+			continue
+		}
+		pf.enqueue(nbr)
+	}
+}
+
+// prefetchUseful credits a demand hit on a prefetched frame.
+func (p *Pool) prefetchUseful() {
+	pf := p.pf.Load()
+	if pf == nil {
+		return
+	}
+	pf.useful.Add(1)
+	if in := p.inst.Load(); in != nil {
+		in.PrefetchUseful.Inc()
+	}
+}
+
+func (pf *prefetcher) enqueue(id storage.PageID) {
+	in := pf.pool.inst.Load()
+	pf.mu.Lock()
+	if pf.closed || pf.paused || len(pf.queue) >= pf.qcap {
+		pf.mu.Unlock()
+		pf.dropped.Add(1)
+		if in != nil {
+			in.PrefetchDropped.Inc()
+		}
+		return
+	}
+	pf.queue = append(pf.queue, id)
+	pf.mu.Unlock()
+	pf.cond.Signal()
+	pf.issued.Add(1)
+	if in != nil {
+		in.PrefetchIssued.Inc()
+	}
+}
+
+func (pf *prefetcher) run() {
+	defer pf.wg.Done()
+	for {
+		pf.mu.Lock()
+		for !pf.closed && (pf.paused || len(pf.queue) == 0) {
+			pf.cond.Wait()
+		}
+		if pf.closed {
+			pf.mu.Unlock()
+			return
+		}
+		id := pf.queue[0]
+		pf.queue = pf.queue[1:]
+		pf.inflight++
+		pf.mu.Unlock()
+
+		pf.load(id)
+
+		pf.mu.Lock()
+		pf.inflight--
+		if pf.inflight == 0 {
+			pf.cond.Broadcast() // wake a quiesce waiting for drain
+		}
+		pf.mu.Unlock()
+	}
+}
+
+// load faults one page into its shard. It follows the demand-miss
+// single-flight protocol (claim a frame, publish it loading, read with
+// the latch released) but touches none of the hit/miss counters, only
+// evicts clean unreferenced frames, and drops its pin once the read
+// settles so the frame is immediately evictable if the prediction was
+// wrong.
+func (pf *prefetcher) load(id storage.PageID) {
+	p := pf.pool
+	in := p.inst.Load()
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	if _, ok := sh.table[id]; ok {
+		sh.mu.Unlock()
+		return // landed while queued
+	}
+	fi, _, found := sh.sweepLocked(true) // noSteal semantics: clean victims only
+	if !found {
+		sh.mu.Unlock()
+		pf.dropped.Add(1)
+		if in != nil {
+			in.PrefetchDropped.Inc()
+		}
+		return
+	}
+	sh.evictLocked(fi)
+	f := sh.frames[fi]
+	if f.data == nil {
+		f.data = make([]byte, p.store.PageSize())
+	}
+	f.id = id
+	f.dirty.Store(false)
+	f.pins.Store(1) // loader pin, dropped below
+	f.ref.Store(false)
+	f.prefetched.Store(true)
+	ch := make(chan struct{})
+	f.loading = ch
+	f.loadErr = nil
+	sh.table[id] = fi
+	sh.mu.Unlock()
+
+	readErr := p.store.ReadPage(id, f.data)
+
+	sh.mu.Lock()
+	if readErr != nil {
+		f.loadErr = fmt.Errorf("buffer: fetch page %d: %w", id, readErr)
+		delete(sh.table, id)
+		f.id = storage.InvalidPageID
+		f.prefetched.Store(false)
+		pf.errs.Add(1)
+		if in != nil {
+			in.PrefetchErrors.Inc()
+		}
+	} else {
+		pf.loaded.Add(1)
+		if in != nil {
+			in.PrefetchLoaded.Inc()
+		}
+	}
+	f.pins.Add(-1)
+	f.loading = nil
+	close(ch)
+	sh.mu.Unlock()
+}
+
+// quiesce drops all queued work and waits until no load is in flight.
+// New suggestions are dropped until resume. Used by Reset, which must
+// not observe transient prefetch pins.
+func (pf *prefetcher) quiesce() {
+	pf.mu.Lock()
+	pf.paused = true
+	if n := len(pf.queue); n > 0 {
+		pf.queue = nil
+		pf.dropped.Add(int64(n))
+	}
+	for pf.inflight > 0 {
+		pf.cond.Wait()
+	}
+	pf.mu.Unlock()
+}
+
+func (pf *prefetcher) resume() {
+	pf.mu.Lock()
+	pf.paused = false
+	pf.mu.Unlock()
+	pf.cond.Broadcast()
+}
+
+// close stops the workers and waits for them to exit. Idempotent.
+func (pf *prefetcher) close() {
+	pf.mu.Lock()
+	if pf.closed {
+		pf.mu.Unlock()
+		pf.wg.Wait()
+		return
+	}
+	pf.closed = true
+	pf.queue = nil
+	pf.mu.Unlock()
+	pf.cond.Broadcast()
+	pf.wg.Wait()
+}
+
+func (pf *prefetcher) resetStats() {
+	pf.issued.Store(0)
+	pf.loaded.Store(0)
+	pf.dropped.Store(0)
+	pf.useful.Store(0)
+	pf.errs.Store(0)
+}

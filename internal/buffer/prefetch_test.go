@@ -1,0 +1,202 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ccam/internal/storage"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPrefetchLoadsAdjacentPages: a demand miss on a page queues its
+// PAG neighbors; the workers fault them in so the following demand
+// fetches are hits, without any of the speculative I/O leaking into
+// the demand hit/miss counters.
+func TestPrefetchLoadsAdjacentPages(t *testing.T) {
+	st := storage.NewMemStore(128)
+	ids := seedPages(t, st, 4)
+	p := NewPoolShards(st, 8, 2)
+	p.SetAdjacency(func(id storage.PageID) []storage.PageID {
+		if id == ids[0] {
+			return []storage.PageID{ids[1], ids[2]}
+		}
+		return nil
+	})
+	p.EnablePrefetch(2, 16)
+	defer p.Close()
+
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	waitFor(t, "prefetched neighbors", func() bool {
+		return p.Contains(ids[1]) && p.Contains(ids[2])
+	})
+
+	// Demand stats saw exactly one miss; the two speculative reads
+	// happened but are accounted separately.
+	s := p.Stats()
+	if s.Fetches != 1 || s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("demand stats polluted by prefetch: %+v", s)
+	}
+	ps := p.PrefetchStats()
+	if ps.Issued != 2 || ps.Loaded != 2 || ps.Errors != 0 {
+		t.Fatalf("prefetch stats = %+v, want issued=2 loaded=2", ps)
+	}
+	if r := st.Stats().Reads; r != 3 {
+		t.Fatalf("physical reads = %d, want 3 (1 demand + 2 prefetch)", r)
+	}
+
+	// The demand fetch of a prefetched page is a hit and counts the
+	// prediction useful.
+	if _, err := p.Fetch(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[1], false)
+	if s := p.Stats(); s.Hits != 1 {
+		t.Fatalf("prefetched page fetch was not a hit: %+v", s)
+	}
+	if ps := p.PrefetchStats(); ps.Useful != 1 {
+		t.Fatalf("useful = %d, want 1", ps.Useful)
+	}
+	if r := st.Stats().Reads; r != 3 {
+		t.Fatalf("prefetched page re-read: %d reads", r)
+	}
+}
+
+// TestPrefetchNeverStealsDirtyOrGrows: with every frame dirty under
+// no-steal, a prefetch finds no clean victim and is dropped — it must
+// not write back, not grow the pool, and not fail the demand path.
+func TestPrefetchNeverStealsDirtyOrGrows(t *testing.T) {
+	st := storage.NewMemStore(128)
+	ids := seedPages(t, st, 4)
+	p := NewPool(st, 2)
+	p.SetNoSteal(true)
+	p.SetAdjacency(func(id storage.PageID) []storage.PageID {
+		return []storage.PageID{ids[3]}
+	})
+	p.EnablePrefetch(1, 4)
+	defer p.Close()
+
+	for _, id := range ids[:2] {
+		b, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[1] = 0x22
+		p.Unpin(id, true)
+	}
+	// Demand-miss a third page: grows an overflow frame (no-steal) and
+	// suggests ids[3]; the prefetcher must drop it for lack of a clean
+	// victim rather than stealing or growing.
+	if _, err := p.Fetch(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Fetch(ids[2])
+	b[1] = 0x22
+	p.Unpin(ids[2], true)
+	p.Unpin(ids[2], true)
+
+	waitFor(t, "prefetch suggestion settled", func() bool {
+		ps := p.PrefetchStats()
+		return ps.Dropped+ps.Loaded+ps.Errors >= ps.Issued && ps.Issued > 0
+	})
+	if p.Contains(ids[3]) {
+		t.Fatal("prefetch stole a frame it should not have")
+	}
+	if w := st.Stats().Writes; w != 0 {
+		t.Fatalf("prefetch caused %d store writes", w)
+	}
+	if ps := p.PrefetchStats(); ps.Dropped == 0 {
+		t.Fatalf("prefetch not dropped: %+v", ps)
+	}
+}
+
+// TestPrefetchCancellation: closing the pool with a full prefetch
+// queue, and resetting it mid-flight, must quiesce cleanly — no leaked
+// workers, no transient pins left behind, and a Reset pool really is
+// cold. Run with -race.
+func TestPrefetchCancellation(t *testing.T) {
+	st := storage.NewMemStore(128)
+	st.SetReadLatency(200 * time.Microsecond)
+	ids := seedPages(t, st, 32)
+	p := NewPoolShards(st, 64, 4)
+	// Every page suggests the next four: plenty of queued work.
+	p.SetAdjacency(func(id storage.PageID) []storage.PageID {
+		var out []storage.PageID
+		for i, pid := range ids {
+			if pid == id {
+				for j := 1; j <= 4; j++ {
+					out = append(out, ids[(i+j)%len(ids)])
+				}
+				break
+			}
+		}
+		return out
+	})
+	p.EnablePrefetch(2, 8)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < 50; op++ {
+				id := ids[(op*7+w*13)%len(ids)]
+				if _, err := p.Fetch(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Unpin(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Reset while prefetches may still be in flight: it must quiesce
+	// them (they hold transient pins) and leave the pool cold.
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if p.Contains(id) {
+			t.Fatalf("page %d resident after Reset", id)
+		}
+	}
+	// The pool keeps working (and prefetching) after Reset.
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	waitFor(t, "prefetch after reset", func() bool {
+		return p.PrefetchStats().Loaded > 0 || p.PrefetchStats().Dropped > 0
+	})
+
+	// Close with whatever is still queued: workers must exit and the
+	// pool must refuse further fetches.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(ids[1]); err == nil {
+		t.Fatal("fetch succeeded on a closed pool")
+	}
+	// Idempotent close after close.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"ccam/internal/metrics"
+	"ccam/internal/storage"
+)
+
+// writebackBatch bounds how many dirty unpinned frames one eviction
+// writes back behind a single flush-gate call. Batching amortizes the
+// gate (a WAL fsync when attached) and leaves the shard with clean
+// victims for the next few evictions.
+const writebackBatch = 8
+
+// shard is one independently latched slice of the pool: its own frame
+// table, clock hand and counters. Pages are assigned to shards by
+// Pool.shardOf and never move.
+type shard struct {
+	pool *Pool
+	mu   sync.RWMutex
+	// frames holds pointers so overflow frames can be appended under
+	// no-steal without invalidating frame references held across latch
+	// releases.
+	frames   []*frame
+	capacity int // configured frame count; len(frames) may exceed it under no-steal
+	table    map[storage.PageID]int
+	hand     int // clock-sweep position
+	closed   bool
+	stats    poolCounters
+}
+
+func newShard(p *Pool, capacity int) *shard {
+	sh := &shard{
+		pool:     p,
+		capacity: capacity,
+		frames:   make([]*frame, capacity),
+		table:    make(map[storage.PageID]int, capacity),
+	}
+	for i := range sh.frames {
+		sh.frames[i] = &frame{id: storage.InvalidPageID}
+	}
+	return sh
+}
+
+// pinResident pins the table-resident frame fi and returns its image,
+// waiting out an in-flight read if there is one. Called with the shard
+// latch held (shared or exclusive); releases it via unlock. The hit is
+// counted only once the image is known good: a waiter whose loader
+// failed got no page and issued no read, so it counts as neither hit
+// nor miss (see Stats).
+func (sh *shard) pinResident(fi int, unlock func()) ([]byte, error) {
+	f := sh.frames[fi]
+	f.pins.Add(1)
+	f.ref.Store(true) // second chance for the sweep
+	ch := f.loading
+	data := f.data
+	unlock()
+	sh.stats.fetches.Add(1)
+	if ch != nil {
+		<-ch
+		// loadErr was written before the channel close and the frame
+		// cannot be recycled while our pin is held, so this read is
+		// ordered. On failure the loader already unpublished the page;
+		// we only drop our pin.
+		if err := f.loadErr; err != nil {
+			f.pins.Add(-1)
+			return nil, err
+		}
+	}
+	sh.stats.hits.Add(1)
+	if f.prefetched.Load() && f.prefetched.Swap(false) {
+		sh.pool.prefetchUseful()
+	}
+	return data, nil
+}
+
+// fetchMiss claims a frame for the page and performs the physical read
+// with the latch released, so concurrent misses overlap their I/O.
+func (sh *shard) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, bool, error) {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, false, ErrPoolClosed
+	}
+	// Another goroutine may have faulted the page in (or begun to)
+	// while we upgraded the latch.
+	if fi, ok := sh.table[id]; ok {
+		b, err := sh.pinResident(fi, sh.mu.Unlock)
+		return b, false, err
+	}
+	sh.stats.fetches.Add(1)
+	sh.stats.misses.Add(1)
+	fi, err := sh.frameForNewPage()
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, false, err
+	}
+	// frameForNewPage may have released the latch to write back a dirty
+	// victim; the page can have been faulted in meanwhile. The claimed
+	// frame just stays free.
+	if fj, ok := sh.table[id]; ok {
+		sh.stats.fetches.Add(-1)
+		sh.stats.misses.Add(-1)
+		b, err := sh.pinResident(fj, sh.mu.Unlock)
+		return b, false, err
+	}
+	f := sh.frames[fi]
+	if f.data == nil {
+		f.data = make([]byte, sh.pool.store.PageSize())
+	}
+	f.id = id
+	f.dirty.Store(false)
+	f.pins.Store(1)
+	f.ref.Store(false) // scan resistance: first reference earns no second chance
+	f.prefetched.Store(false)
+	ch := make(chan struct{})
+	f.loading = ch
+	f.loadErr = nil
+	sh.table[id] = fi
+	sh.mu.Unlock()
+
+	// Connectivity-aware prefetch: a demand miss predicts its PAG
+	// neighbors are next; queue them while we read this page.
+	sh.pool.suggestPrefetch(id)
+
+	tok := at.BeginSpan("storage.read")
+	readErr := sh.pool.store.ReadPage(id, f.data)
+	tok.End()
+
+	sh.mu.Lock()
+	var result error
+	if readErr != nil {
+		result = fmt.Errorf("buffer: fetch page %d: %w", id, readErr)
+		f.loadErr = result
+		delete(sh.table, id)
+		f.id = storage.InvalidPageID
+		f.pins.Add(-1) // waiters drop their own pins on wake-up
+	}
+	f.loading = nil
+	close(ch)
+	sh.mu.Unlock()
+	if result != nil {
+		return nil, true, result
+	}
+	return f.data, true, nil
+}
+
+// sweepLocked runs the clock hand to the next eviction candidate:
+// unpinned, not loading, not mid-writeback, and out of second chances.
+// It reports the frame index and whether the candidate is dirty; a free
+// frame is returned immediately. noSteal skips dirty frames entirely.
+// Caller holds the exclusive latch. Two full revolutions suffice: the
+// first clears reference bits, the second must find a candidate if one
+// exists.
+func (sh *shard) sweepLocked(noSteal bool) (fi int, dirty, found bool) {
+	n := len(sh.frames)
+	for scanned := 0; scanned < 2*n; scanned++ {
+		i := sh.hand
+		sh.hand++
+		if sh.hand >= n {
+			sh.hand = 0
+		}
+		f := sh.frames[i]
+		if f.pins.Load() != 0 || f.loading != nil || f.flushing {
+			continue
+		}
+		if f.id == storage.InvalidPageID {
+			return i, false, true
+		}
+		if f.ref.Swap(false) {
+			continue // second chance consumed
+		}
+		if f.dirty.Load() {
+			if noSteal {
+				continue
+			}
+			return i, true, true
+		}
+		return i, false, true
+	}
+	return 0, false, false
+}
+
+// evictLocked recycles frame fi, unpublishing its page. Caller holds
+// the exclusive latch and has verified the frame is unpinned, loaded
+// and clean.
+func (sh *shard) evictLocked(fi int) {
+	f := sh.frames[fi]
+	if f.id != storage.InvalidPageID {
+		delete(sh.table, f.id)
+		f.id = storage.InvalidPageID
+		sh.stats.evictions.Add(1)
+	}
+	f.dirty.Store(false)
+	f.ref.Store(false)
+	f.prefetched.Store(false)
+}
+
+// frameForNewPage returns a free frame index, evicting a victim when
+// necessary. A dirty victim is written back with the latch released —
+// batched with the shard's other dirty unpinned frames behind one
+// flush-gate call — so the WAL fsync and the device write never block
+// concurrent hits on this shard. Caller holds the exclusive latch; it
+// is held again on return, but may have been released in between, so
+// callers must revalidate any table lookups.
+func (sh *shard) frameForNewPage() (int, error) {
+	for {
+		noSteal := sh.pool.noSteal.Load()
+		fi, dirty, found := sh.sweepLocked(noSteal)
+		if !found {
+			if noSteal {
+				// Every unpinned frame is dirty and dirty frames must
+				// not be stolen: grow an overflow frame. The next
+				// FlushAll (checkpoint) shrinks the pool back to
+				// capacity.
+				sh.frames = append(sh.frames, &frame{id: storage.InvalidPageID})
+				return len(sh.frames) - 1, nil
+			}
+			return -1, ErrAllPinned
+		}
+		if !dirty {
+			sh.evictLocked(fi)
+			return fi, nil
+		}
+		f := sh.frames[fi]
+		batch := sh.collectWritebackLocked(fi)
+		sh.mu.Unlock()
+		written, err := sh.pool.writeBack(batch, &sh.stats)
+		sh.mu.Lock()
+		sh.finishWritebackLocked(batch, written)
+		if err != nil {
+			return -1, err
+		}
+		if f.pins.Load() == 0 && f.loading == nil && !f.dirty.Load() &&
+			f.id != storage.InvalidPageID {
+			sh.evictLocked(fi)
+			return fi, nil
+		}
+		// The victim was re-pinned (or re-dirtied, or discarded) while
+		// we wrote it back; sweep again.
+	}
+}
+
+// wbEntry is one page of an out-of-latch writeback batch: the frame and
+// a latch-held snapshot of its image, so the write proceeds latch-free
+// even if a concurrent fetch pins and mutates the frame meanwhile (the
+// frame is then dirty again and simply flushed later).
+type wbEntry struct {
+	f   *frame
+	id  storage.PageID
+	img []byte
+}
+
+// collectWritebackLocked snapshots frame first plus up to
+// writebackBatch-1 more dirty, unpinned, settled frames of the shard
+// for an out-of-latch writeback. Each collected frame has its dirty bit
+// cleared and its flushing flag set, so the sweep skips it and a
+// re-dirty during the write is preserved. Caller holds the exclusive
+// latch.
+func (sh *shard) collectWritebackLocked(first int) []wbEntry {
+	batch := make([]wbEntry, 0, writebackBatch)
+	add := func(f *frame) {
+		img := make([]byte, len(f.data))
+		copy(img, f.data)
+		f.dirty.Store(false)
+		f.flushing = true
+		batch = append(batch, wbEntry{f: f, id: f.id, img: img})
+	}
+	add(sh.frames[first])
+	for _, f := range sh.frames {
+		if len(batch) >= writebackBatch {
+			break
+		}
+		if f == sh.frames[first] || f.id == storage.InvalidPageID {
+			continue
+		}
+		if f.pins.Load() != 0 || f.loading != nil || f.flushing || !f.dirty.Load() {
+			continue
+		}
+		add(f)
+	}
+	return batch
+}
+
+// writeBack writes a snapshot batch to the store behind one flush-gate
+// call, without holding any latch. It returns how many pages were
+// durably written (for counter and dirty-bit restoration) alongside the
+// first error.
+func (p *Pool) writeBack(batch []wbEntry, c *poolCounters) (int, error) {
+	if gate := p.flushGate(); gate != nil {
+		// WAL-before-data: the log must be durable past these pages'
+		// last mutations before their images may reach the store.
+		if err := gate(); err != nil {
+			return 0, fmt.Errorf("buffer: flush gate for page %d: %w", batch[0].id, err)
+		}
+	}
+	for i, e := range batch {
+		if err := p.store.WritePage(e.id, e.img); err != nil {
+			return i, fmt.Errorf("buffer: flush page %d: %w", e.id, err)
+		}
+		c.flushes.Add(1)
+	}
+	return len(batch), nil
+}
+
+// finishWritebackLocked clears the flushing flags of a completed batch
+// and restores the dirty bit on every page that did not reach the
+// store. Caller holds the exclusive latch.
+func (sh *shard) finishWritebackLocked(batch []wbEntry, written int) {
+	for i, e := range batch {
+		e.f.flushing = false
+		if i >= written {
+			e.f.dirty.Store(true)
+		}
+	}
+}
+
+// flushFrameLocked writes frame fi back if live and dirty. Caller holds
+// the exclusive latch; the write happens under it (used by the explicit
+// Flush/FlushAll paths, which run from exclusive contexts — eviction
+// uses the out-of-latch writeback instead).
+func (sh *shard) flushFrameLocked(fi int) error {
+	f := sh.frames[fi]
+	if f.id == storage.InvalidPageID || !f.dirty.Load() {
+		return nil
+	}
+	if gate := sh.pool.flushGate(); gate != nil {
+		if err := gate(); err != nil {
+			return fmt.Errorf("buffer: flush gate for page %d: %w", f.id, err)
+		}
+	}
+	if err := sh.pool.store.WritePage(f.id, f.data); err != nil {
+		return fmt.Errorf("buffer: flush page %d: %w", f.id, err)
+	}
+	f.dirty.Store(false)
+	sh.stats.flushes.Add(1)
+	return nil
+}
+
+// flushShardLocked writes every dirty frame of the shard (pinned ones
+// too) behind a single flush-gate call. Caller holds the exclusive
+// latch.
+func (sh *shard) flushShardLocked() error {
+	gated := false
+	for _, f := range sh.frames {
+		if f.id == storage.InvalidPageID || !f.dirty.Load() {
+			continue
+		}
+		if !gated {
+			if gate := sh.pool.flushGate(); gate != nil {
+				if err := gate(); err != nil {
+					return fmt.Errorf("buffer: flush gate for page %d: %w", f.id, err)
+				}
+			}
+			gated = true
+		}
+		if err := sh.pool.store.WritePage(f.id, f.data); err != nil {
+			return fmt.Errorf("buffer: flush page %d: %w", f.id, err)
+		}
+		f.dirty.Store(false)
+		sh.stats.flushes.Add(1)
+	}
+	return nil
+}
+
+// shrinkLocked drops overflow frames grown under no-steal, from the
+// tail, as long as they are clean, unpinned and settled. Dropping a
+// frame that still holds a page unpublishes it, which counts as an
+// eviction — the page must be re-read on its next fetch. Caller holds
+// the exclusive latch.
+func (sh *shard) shrinkLocked() {
+	for len(sh.frames) > sh.capacity {
+		f := sh.frames[len(sh.frames)-1]
+		if f.pins.Load() != 0 || f.loading != nil || f.flushing || f.dirty.Load() {
+			break
+		}
+		if f.id != storage.InvalidPageID {
+			delete(sh.table, f.id)
+			sh.stats.evictions.Add(1)
+		}
+		sh.frames = sh.frames[:len(sh.frames)-1]
+	}
+	if sh.hand >= len(sh.frames) {
+		sh.hand = 0
+	}
+}

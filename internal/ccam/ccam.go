@@ -33,6 +33,14 @@ type Config struct {
 	PageSize int
 	// PoolPages is the data buffer pool capacity (default 32).
 	PoolPages int
+	// PoolShards splits the data buffer pool into independently latched
+	// shards (0 or 1 = single latch; see netfile.Options.PoolShards).
+	PoolShards int
+	// Prefetch enables connectivity-aware PAG prefetch (see
+	// netfile.Options.Prefetch).
+	Prefetch bool
+	// PrefetchWorkers sizes the prefetcher's worker pool (0 = default).
+	PrefetchWorkers int
 	// Partitioner is the two-way partitioning heuristic used for
 	// clustering and reclustering (default Cheng–Wei ratio cut).
 	Partitioner partition.Bipartitioner
@@ -133,14 +141,17 @@ func (m *Method) File() *netfile.File { return m.f }
 // Build implements netfile.AccessMethod: the paper's Create().
 func (m *Method) Build(g *graph.Network) error {
 	f, err := netfile.Create(netfile.Options{
-		PageSize:    m.cfg.PageSize,
-		PoolPages:   m.cfg.PoolPages,
-		Bounds:      g.Bounds(),
-		Store:       m.cfg.Store,
-		Spatial:     m.cfg.Spatial,
-		ReadLatency: m.cfg.ReadLatency,
-		Metrics:     m.cfg.Metrics,
-		Tracer:      m.cfg.Tracer,
+		PageSize:        m.cfg.PageSize,
+		PoolPages:       m.cfg.PoolPages,
+		PoolShards:      m.cfg.PoolShards,
+		Prefetch:        m.cfg.Prefetch,
+		PrefetchWorkers: m.cfg.PrefetchWorkers,
+		Bounds:          g.Bounds(),
+		Store:           m.cfg.Store,
+		Spatial:         m.cfg.Spatial,
+		ReadLatency:     m.cfg.ReadLatency,
+		Metrics:         m.cfg.Metrics,
+		Tracer:          m.cfg.Tracer,
 	})
 	if err != nil {
 		return err

@@ -25,6 +25,17 @@ type Options struct {
 	// PoolPages is the data buffer pool capacity in pages. Route
 	// evaluation experiments use 1, as in the paper.
 	PoolPages int
+	// PoolShards splits the data buffer pool into this many
+	// independently latched shards (0 or 1 keeps the single-latch
+	// pool); buffer.AutoShards picks a value from GOMAXPROCS.
+	PoolShards int
+	// Prefetch enables connectivity-aware prefetching: a demand miss on
+	// a data page asynchronously faults in the page's most-connected
+	// PAG neighbors, recorded at build/open time.
+	Prefetch bool
+	// PrefetchWorkers sizes the prefetcher's worker pool (0 selects the
+	// buffer package default). Ignored unless Prefetch is set.
+	PrefetchWorkers int
 	// Bounds is the geographic extent used for Z-order keys in the
 	// spatial index. Zero value disables spatial keys (they quantize to
 	// a single cell).
@@ -83,6 +94,10 @@ type File struct {
 	// treated as memory resident and consulting it costs no data-page
 	// I/O; every mutation keeps it exact.
 	free map[storage.PageID]int
+	// pagHints records, per data page, its most-connected PAG neighbor
+	// pages — computed by BulkLoad/OpenFromStoreOpts, dropped per page
+	// on mutation. It feeds the pool's prefetch adjacency callback.
+	pagHints map[storage.PageID][]storage.PageID
 	// reg and tracer are nil unless observability is enabled; every hot
 	// path branches on nil before paying anything.
 	reg    *metrics.Registry
@@ -134,13 +149,18 @@ func Create(opts Options) (*File, error) {
 	f := &File{
 		pageSize:  opts.PageSize,
 		dataStore: st,
-		pool:      buffer.NewPool(st, opts.PoolPages),
+		pool:      buffer.NewPoolShards(st, opts.PoolPages, opts.PoolShards),
 		index:     index,
 		spatial:   spatial,
 		quant:     quant,
 		pages:     make(map[storage.PageID]bool),
 		free:      make(map[storage.PageID]int),
+		pagHints:  make(map[storage.PageID][]storage.PageID),
 		idxStore:  idxStore,
+	}
+	if opts.Prefetch {
+		f.pool.SetAdjacency(f.PrefetchHints)
+		f.pool.EnablePrefetch(opts.PrefetchWorkers, 0)
 	}
 	f.EnableMetrics(opts.Metrics, opts.Tracer)
 	return f, nil
@@ -174,8 +194,13 @@ func (f *File) EnableMetrics(reg *metrics.Registry, tr *metrics.Tracer) {
 		fst.InstrumentFaults(reg.Counter("ccam_storage_faults_injected_total"))
 	}
 	f.pool.Instrument(buffer.PoolInstrumentation{
-		HitNanos:  reg.Histogram("ccam_buffer_hit_ns"),
-		MissNanos: reg.Histogram("ccam_buffer_miss_ns"),
+		HitNanos:        reg.Histogram("ccam_buffer_hit_ns"),
+		MissNanos:       reg.Histogram("ccam_buffer_miss_ns"),
+		PrefetchIssued:  reg.Counter("ccam_buffer_prefetch_issued_total"),
+		PrefetchLoaded:  reg.Counter("ccam_buffer_prefetch_loaded_total"),
+		PrefetchUseful:  reg.Counter("ccam_buffer_prefetch_useful_total"),
+		PrefetchDropped: reg.Counter("ccam_buffer_prefetch_dropped_total"),
+		PrefetchErrors:  reg.Counter("ccam_buffer_prefetch_errors_total"),
 	})
 	f.idxVisits = reg.Counter("ccam_index_page_visits_total")
 	f.index.Instrument(f.idxVisits)
@@ -294,6 +319,7 @@ func (f *File) FreePage(pid storage.PageID) error {
 	}
 	delete(f.pages, pid)
 	delete(f.free, pid)
+	f.invalidatePAGHints(pid)
 	f.pool.Discard(pid)
 	if f.wal != nil {
 		f.pendingFree = append(f.pendingFree, pid)
@@ -361,6 +387,7 @@ func (f *File) InsertRecordAt(rec *Record, pid storage.PageID) error {
 	if err != nil {
 		return err
 	}
+	f.invalidatePAGHints(pid)
 	if err := f.index.Insert(uint64(rec.ID), uint64(pid)); err != nil {
 		return fmt.Errorf("netfile: index insert %d: %w", rec.ID, err)
 	}
@@ -435,6 +462,7 @@ func (f *File) UpdateRecord(rec *Record) error {
 		return err
 	}
 	enc := EncodeRecord(rec)
+	f.invalidatePAGHints(pid)
 	return f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
 		for _, slot := range sp.Slots() {
 			raw, err := sp.Get(slot)
@@ -494,6 +522,7 @@ func (f *File) DeleteRecord(id graph.NodeID) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.invalidatePAGHints(pid)
 	if err := f.index.Delete(uint64(id)); err != nil {
 		return nil, fmt.Errorf("netfile: index delete %d: %w", id, err)
 	}
@@ -676,6 +705,14 @@ func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
 		total += len(img.recs)
 	}
 
+	// Record each page's PAG neighbors for connectivity-aware prefetch
+	// while the build-time placement is at hand.
+	recsByPage := make(map[storage.PageID][]*Record, len(images))
+	for gi, img := range images {
+		recsByPage[pids[gi]] = img.recs
+	}
+	f.rebuildPAGHints(recsByPage)
+
 	// Stage 3: bottom-up index builds from sorted runs.
 	entries := make([]btree.Entry, 0, total)
 	for gi, img := range images {
@@ -762,6 +799,7 @@ func (f *File) ReplacePageContents(pid storage.PageID, recs []*Record) error {
 		}
 	}
 	f.free[pid] = sp.FreeSpace()
+	f.invalidatePAGHints(pid)
 	if err := f.pool.Unpin(pid, true); err != nil {
 		return err
 	}
@@ -778,13 +816,21 @@ func (f *File) ReplacePageContents(pid storage.PageID, recs []*Record) error {
 
 // OpenFromStore reconstructs a File over an existing page store (e.g. a
 // reopened storage.FileStore). Data pages are scanned once to rebuild
-// the memory-resident structures — node index, spatial index and
-// free-space map — which matches the paper's assumption that index
-// structures live in main memory. The scan's I/O is excluded from the
-// returned file's counters.
+// the memory-resident structures — node index, spatial index, free-space
+// map and PAG prefetch hints — which matches the paper's assumption that
+// index structures live in main memory. The scan's I/O is excluded from
+// the returned file's counters.
 func OpenFromStore(st storage.Store, poolPages int) (*File, error) {
-	if poolPages <= 0 {
-		poolPages = 32
+	return OpenFromStoreOpts(st, Options{PoolPages: poolPages})
+}
+
+// OpenFromStoreOpts is OpenFromStore with the full option set — pool
+// sharding, prefetch, spatial kind, metrics and tracing are honored.
+// PageSize, Store and Bounds are derived from the store's contents; any
+// values supplied for them are ignored.
+func OpenFromStoreOpts(st storage.Store, opts Options) (*File, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 32
 	}
 	pageSize := st.PageSize()
 	pids := st.PageIDs()
@@ -839,7 +885,10 @@ func OpenFromStore(st storage.Store, poolPages int) (*File, error) {
 		pages = append(pages, pg)
 	}
 
-	f, err := Create(Options{PageSize: pageSize, PoolPages: poolPages, Bounds: bounds, Store: st})
+	opts.PageSize = pageSize
+	opts.Store = st
+	opts.Bounds = bounds
+	f, err := Create(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -856,6 +905,11 @@ func OpenFromStore(st storage.Store, poolPages int) (*File, error) {
 			}
 		}
 	}
+	recsByPage := make(map[storage.PageID][]*Record, len(pages))
+	for _, pg := range pages {
+		recsByPage[pg.pid] = pg.recs
+	}
+	f.rebuildPAGHints(recsByPage)
 	st.ResetStats()
 	return f, nil
 }

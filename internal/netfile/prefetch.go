@@ -1,0 +1,117 @@
+package netfile
+
+import (
+	"sort"
+
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// pagHintFanout bounds how many PAG-adjacent pages are recorded per
+// data page. CCAM's clustering keeps most successors on the same page,
+// so the handful of pages holding the rest of a page's neighborhood
+// covers almost all cross-page traversals; a short list also bounds
+// the speculative I/O a single demand miss can trigger.
+const pagHintFanout = 5
+
+// rebuildPAGHints computes, for every data page, its most-connected
+// PAG neighbors: the pages holding the successors and predecessors of
+// the page's records, ranked by cross-page edge count. The hints are
+// recorded at build/open time — the paper deliberately never
+// materializes the full PAG (§2.4); this keeps only a constant-fanout
+// digest of it for prefetching. Caller must hold the file's exclusive
+// context (build, open).
+func (f *File) rebuildPAGHints(recsByPage map[storage.PageID][]*Record) {
+	placement := make(map[graph.NodeID]storage.PageID)
+	for pid, recs := range recsByPage {
+		for _, r := range recs {
+			placement[r.ID] = pid
+		}
+	}
+	hints := make(map[storage.PageID][]storage.PageID, len(recsByPage))
+	counts := make(map[storage.PageID]int)
+	for pid, recs := range recsByPage {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, r := range recs {
+			for _, s := range r.Succs {
+				if q, ok := placement[s.To]; ok && q != pid {
+					counts[q]++
+				}
+			}
+			for _, p := range r.Preds {
+				if q, ok := placement[p]; ok && q != pid {
+					counts[q]++
+				}
+			}
+		}
+		if len(counts) == 0 {
+			continue
+		}
+		nbrs := make([]storage.PageID, 0, len(counts))
+		for q := range counts {
+			nbrs = append(nbrs, q)
+		}
+		sort.Slice(nbrs, func(i, j int) bool {
+			if counts[nbrs[i]] != counts[nbrs[j]] {
+				return counts[nbrs[i]] > counts[nbrs[j]]
+			}
+			return nbrs[i] < nbrs[j]
+		})
+		if len(nbrs) > pagHintFanout {
+			nbrs = nbrs[:pagHintFanout]
+		}
+		hints[pid] = nbrs
+	}
+	f.pagHints = hints
+}
+
+// PrefetchHints returns a two-level PAG frontier around pid, best
+// first, filtered down to pages still live: the pages recorded as
+// pid's most-connected neighbors, then each neighbor's own best
+// neighbor. The second level is what lets the prefetcher stay ahead of
+// a route: a traversal crosses one PAG edge per page run, so
+// distance-1 hints issued when a page is first used are always one
+// disk read behind the walker — the distance-2 ring overlaps that
+// read with the next one. It is the pool's adjacency callback: it
+// runs on the fetching goroutine, under the same shared lock as the
+// query that missed, so reading the hint and page maps is safe
+// against the exclusively locked mutations that rewrite them. Pages
+// mutated since the last build have no hints (mutations invalidate
+// them) — a cold answer, never a wrong one.
+func (f *File) PrefetchHints(pid storage.PageID) []storage.PageID {
+	hs := f.pagHints[pid]
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]storage.PageID, 0, 2*len(hs))
+	seen := map[storage.PageID]bool{pid: true}
+	add := func(q storage.PageID) {
+		if !seen[q] && f.pages[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	for _, q := range hs {
+		add(q)
+	}
+	for _, q := range hs {
+		for _, q2 := range f.pagHints[q] {
+			add(q2)
+			break // top-1 per neighbor keeps the frontier constant-fanout
+		}
+	}
+	return out
+}
+
+// invalidatePAGHints drops pid's recorded neighbors after a mutation
+// touched the page. Hints on other pages that mention pid stay: a
+// stale hint costs at most one wasted speculative read of a live page
+// (PrefetchHints filters freed ones), and mutations must stay O(1) in
+// the hint structure.
+func (f *File) invalidatePAGHints(pid storage.PageID) {
+	if f.pagHints != nil {
+		delete(f.pagHints, pid)
+	}
+}

@@ -1,0 +1,226 @@
+package netfile
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ccam/internal/graph"
+	"ccam/internal/storage"
+)
+
+// pollUntil waits for cond with a deadline, for the asynchronous
+// prefetch assertions.
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// crossPageCounts recomputes, from the file's own placement, how many
+// PAG edges page pid shares with every other page — the ground truth
+// the build-time hints must agree with.
+func crossPageCounts(t *testing.T, f *File, pid storage.PageID) map[storage.PageID]int {
+	t.Helper()
+	placement := f.Placement()
+	recs, err := f.RecordsOnPage(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[storage.PageID]int)
+	for _, r := range recs {
+		for _, s := range r.Succs {
+			if q, ok := placement[s.To]; ok && q != pid {
+				counts[q]++
+			}
+		}
+		for _, p := range r.Preds {
+			if q, ok := placement[p]; ok && q != pid {
+				counts[q]++
+			}
+		}
+	}
+	return counts
+}
+
+// TestPAGHintsMatchPlacement: BulkLoad records each page's
+// most-connected neighbor pages, ranked by cross-page edge count and
+// capped at the hint fanout, never including the page itself.
+func TestPAGHintsMatchPlacement(t *testing.T) {
+	g := testNetwork(t)
+	f := buildFile(t, g, 1024, 16)
+	if len(f.pagHints) == 0 {
+		t.Fatal("bulk load recorded no PAG hints")
+	}
+	checked := 0
+	for pid, hints := range f.pagHints {
+		if len(hints) == 0 || len(hints) > pagHintFanout {
+			t.Fatalf("page %d: %d hints, want 1..%d", pid, len(hints), pagHintFanout)
+		}
+		counts := crossPageCounts(t, f, pid)
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		for i, q := range hints {
+			if q == pid {
+				t.Fatalf("page %d hints itself", pid)
+			}
+			if counts[q] == 0 {
+				t.Fatalf("page %d hint %d shares no PAG edge", pid, q)
+			}
+			if i == 0 && counts[q] != best {
+				t.Fatalf("page %d first hint has %d edges, best is %d", pid, counts[q], best)
+			}
+			if i > 0 && counts[q] > counts[hints[i-1]] {
+				t.Fatalf("page %d hints not ranked: %d edges after %d", pid, counts[q], counts[hints[i-1]])
+			}
+		}
+		if checked++; checked >= 16 {
+			break
+		}
+	}
+}
+
+// TestPAGHintsInvalidatedByMutations: mutating a page drops its hints,
+// and freeing a page filters it out of every other page's answer.
+func TestPAGHintsInvalidatedByMutations(t *testing.T) {
+	g := testNetwork(t)
+	f := buildFile(t, g, 1024, 16)
+
+	// Pick a hinted page and one of its records.
+	var pid storage.PageID
+	for p := range f.pagHints {
+		pid = p
+		break
+	}
+	nodes, err := f.NodesOnPage(pid)
+	if err != nil || len(nodes) == 0 {
+		t.Fatalf("NodesOnPage(%d) = %v, %v", pid, nodes, err)
+	}
+	if got := f.PrefetchHints(pid); len(got) == 0 {
+		t.Fatal("hinted page answered cold before any mutation")
+	}
+	if _, err := f.DeleteRecord(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PrefetchHints(pid); got != nil {
+		t.Fatalf("hints survived a delete on the page: %v", got)
+	}
+
+	// Freeing a page another page hints at: the hint entry survives but
+	// the freed page must no longer be suggested.
+	var p2, victim storage.PageID
+	found := false
+	for p, hints := range f.pagHints {
+		if len(hints) > 0 {
+			p2, victim, found = p, hints[0], true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no hinted page left")
+	}
+	if err := f.FreePage(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range f.PrefetchHints(p2) {
+		if q == victim {
+			t.Fatalf("freed page %d still suggested by page %d", victim, p2)
+		}
+	}
+}
+
+// TestOpenFromStoreOptsRebuildsHints: reopening a store recomputes the
+// same hint table BulkLoad recorded, so prefetch survives restart.
+func TestOpenFromStoreOptsRebuildsHints(t *testing.T) {
+	g := testNetwork(t)
+	st := storage.NewMemStore(1024)
+	f, err := Create(Options{PageSize: 1024, PoolPages: 16, Bounds: g.Bounds(), Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.BulkLoad(g, clusterGroups(t, g, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenFromStoreOpts(st, Options{PoolPages: 16, PoolShards: 4, Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Pool().Close()
+	if !reflect.DeepEqual(f.pagHints, f2.pagHints) {
+		t.Fatalf("reopened hints differ:\nbuilt:    %v\nreopened: %v", f.pagHints, f2.pagHints)
+	}
+	if f2.Pool().Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", f2.Pool().Shards())
+	}
+}
+
+// TestPrefetchEndToEnd: with Options.Prefetch, a Find that misses pulls
+// the page's PAG neighbors into the pool so an immediately following
+// traversal step hits.
+func TestPrefetchEndToEnd(t *testing.T) {
+	g := testNetwork(t)
+	st := storage.NewMemStore(1024)
+	f, err := Create(Options{
+		PageSize: 1024, PoolPages: 16, PoolShards: 4,
+		Bounds: g.Bounds(), Store: st,
+		Prefetch: true, PrefetchWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Pool().Close()
+	if err := f.BulkLoad(g, clusterGroups(t, g, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find any node whose page has hints.
+	var id graph.NodeID
+	var pid storage.PageID
+	for p := range f.pagHints {
+		nodes, err := f.NodesOnPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, pid = nodes[0], p
+		break
+	}
+	if err := f.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	f.Pool().ResetStats()
+	if _, err := f.Find(id); err != nil {
+		t.Fatal(err)
+	}
+	want := f.PrefetchHints(pid)
+	pollUntil(t, "hinted pages resident", func() bool {
+		for _, q := range want {
+			if !f.Pool().Contains(q) {
+				return false
+			}
+		}
+		return true
+	})
+	ps := f.Pool().PrefetchStats()
+	if ps.Issued == 0 || ps.Loaded == 0 {
+		t.Fatalf("prefetch idle after a demand miss: %+v", ps)
+	}
+	// The demand counters saw only the Find's own miss.
+	if s := f.Pool().Stats(); s.Fetches != 1 || s.Misses != 1 {
+		t.Fatalf("demand stats polluted: %+v", s)
+	}
+}

@@ -186,6 +186,7 @@ type opSnap struct {
 	io    storage.Stats
 	pool  buffer.Stats
 	idx   int64
+	pf    int64
 }
 
 func (o *observability) beginOp(om *opMetrics, f *netfile.File) opSnap {
@@ -196,6 +197,7 @@ func (o *observability) beginOp(om *opMetrics, f *netfile.File) opSnap {
 		io:    f.DataIO(),
 		pool:  f.Pool().Stats(),
 		idx:   f.IndexVisits(),
+		pf:    f.Pool().PrefetchStats().Issued,
 	}
 }
 
@@ -231,6 +233,7 @@ func (sn opSnap) end(err error) {
 			IndexPages:   idx,
 			BufferHits:   ps.Hits,
 			BufferMisses: ps.Misses,
+			Prefetches:   sn.f.Pool().PrefetchStats().Issued - sn.pf,
 			Ops:          1,
 		})
 	}

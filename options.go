@@ -15,6 +15,20 @@ func WithPageSize(n int) Option { return func(o *Options) { o.PageSize = n } }
 // WithPoolPages sets the buffer pool capacity in pages (default 32).
 func WithPoolPages(n int) Option { return func(o *Options) { o.PoolPages = n } }
 
+// WithPoolShards splits the buffer pool into n independently latched
+// shards (0 or 1 keeps the single-latch pool). AutoPoolShards picks a
+// value from the machine's parallelism.
+func WithPoolShards(n int) Option { return func(o *Options) { o.PoolShards = n } }
+
+// WithPrefetch enables connectivity-aware prefetching of PAG-adjacent
+// data pages with the given worker count (0 selects the default).
+func WithPrefetch(workers int) Option {
+	return func(o *Options) {
+		o.Prefetch = true
+		o.PrefetchWorkers = workers
+	}
+}
+
 // WithDynamic selects the incremental create (CCAM-D).
 func WithDynamic() Option { return func(o *Options) { o.Dynamic = true } }
 

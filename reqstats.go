@@ -26,6 +26,10 @@ type ReqStats struct {
 	// pool absorbed them; only misses reach the disk.
 	BufferHits   int64 `json:"buffer_hits"`
 	BufferMisses int64 `json:"buffer_misses"`
+	// Prefetches counts PAG prefetch reads this request's misses
+	// triggered. Speculative I/O is accounted here, never in DataReads
+	// or BufferMisses, so the paper's demand counts stay comparable.
+	Prefetches int64 `json:"prefetches,omitempty"`
 	// WALWaitNs is the time this request spent waiting for its batch's
 	// WAL commit record to become durable, including group-formation
 	// wait (attributed to the request, not the fsync leader — see
@@ -47,6 +51,7 @@ func (s *ReqStats) Add(other ReqStats) {
 	s.IndexPages += other.IndexPages
 	s.BufferHits += other.BufferHits
 	s.BufferMisses += other.BufferMisses
+	s.Prefetches += other.Prefetches
 	s.WALWaitNs += other.WALWaitNs
 	s.Shed = s.Shed || other.Shed
 	s.Ops += other.Ops
