@@ -131,8 +131,12 @@ type frame struct {
 	ref        atomic.Bool // clock-sweep second-chance bit: set on hit, cleared by the sweep
 	prefetched atomic.Bool // loaded speculatively; first demand hit counts it useful
 	flushing   bool        // write-back in flight with the latch released
-	loading    chan struct{}
-	loadErr    error
+	// doomed (shard latch) marks a loading frame whose page was freed
+	// or re-allocated while its read was in flight: the loader must
+	// drop the bytes instead of publishing a dead page.
+	doomed  bool
+	loading chan struct{}
+	loadErr error
 }
 
 // Pool is a sharded clock-sweep buffer pool, safe for concurrent use.
@@ -469,6 +473,32 @@ func (p *Pool) FetchNew() (storage.PageID, []byte, error) {
 	if err != nil {
 		return storage.InvalidPageID, nil, err
 	}
+	// frameForNewPage may have released the latch for a dirty
+	// write-back. Re-check closed (a concurrent Close can complete its
+	// flush in that window; publishing a dirty frame after it would
+	// never be flushed) ...
+	if sh.closed {
+		return storage.InvalidPageID, nil, ErrPoolClosed
+	}
+	// ... and displace any frame already published under this ID: a
+	// freed-then-reallocated page can still be resident from a stale
+	// prefetch that read it after the free. Leaving it would orphan
+	// one of the two frames, and the orphan's eviction would unpublish
+	// the live page.
+	if fj, ok := sh.table[id]; ok && fj != fi {
+		old := sh.frames[fj]
+		switch {
+		case old.loading != nil:
+			old.doomed = true
+			delete(sh.table, id)
+		case old.pins.Load() == 0 && !old.flushing:
+			sh.evictLocked(fj)
+		default:
+			// A pinned or mid-writeback frame for a page storage just
+			// allocated means the page was freed while still in use.
+			panic(fmt.Sprintf("buffer: allocated page %d still in use in pool", id))
+		}
+	}
 	f := sh.frames[fi]
 	if f.data == nil {
 		f.data = make([]byte, p.store.PageSize())
@@ -510,8 +540,17 @@ func (p *Pool) Unpin(id storage.PageID, dirty bool) error {
 }
 
 // Discard drops the page from the pool without writing it back, even if
-// dirty. The page must be unpinned. Used when a page is freed.
+// dirty. Used when a page is freed. The page must not be demand-pinned,
+// but a frame whose physical read is still in flight is tolerated: the
+// prefetcher pins frames asynchronously, outside the access-method
+// lock, so a mutation can free a page the prefetcher just predicted.
+// Such a frame is unpublished immediately and doomed — the loader
+// discards the freed bytes when the read settles. Any queued (not yet
+// started) prefetch of the page is purged too.
 func (p *Pool) Discard(id storage.PageID) {
+	if pf := p.pf.Load(); pf != nil {
+		pf.purge(id)
+	}
 	sh := p.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -520,6 +559,11 @@ func (p *Pool) Discard(id storage.PageID) {
 		return
 	}
 	f := sh.frames[fi]
+	if f.loading != nil {
+		f.doomed = true
+		delete(sh.table, id)
+		return
+	}
 	if f.pins.Load() > 0 {
 		panic(fmt.Sprintf("buffer: discard of pinned page %d", id))
 	}

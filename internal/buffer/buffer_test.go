@@ -167,6 +167,135 @@ func TestFetchNewAndDiscard(t *testing.T) {
 	}
 }
 
+// TestFetchNewDisplacesStaleResidentPage: a page can still be resident
+// when its ID comes back from the allocator — a speculative prefetch
+// that read it after the free republishes it (the Discard purge cannot
+// close that race completely). FetchNew must displace the stale frame;
+// leaving it used to orphan one of the two frames, and the orphan's
+// eviction then unpublished the live page, so later fetches reread
+// stale disk bytes while the real (dirty) frame sat unreachable.
+func TestFetchNewDisplacesStaleResidentPage(t *testing.T) {
+	st := storage.NewMemStore(128)
+	x, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(st, 3)
+	if _, err := p.Fetch(x); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(x, false)
+	// Free x behind the pool's back: the frame stays published, exactly
+	// like a stale prefetch that settled after the free.
+	if err := st.Free(x); err != nil {
+		t.Fatal(err)
+	}
+	id, b, err := p.FetchNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != x {
+		t.Fatalf("allocator did not reuse the freed ID (got %d, want %d)", id, x)
+	}
+	b[0] = 0xEE
+	p.Unpin(x, true)
+	// Churn the clock over the remaining frames: evicting what used to
+	// be the orphan must not unpublish the live frame.
+	for _, fill := range []storage.PageID{y, z} {
+		if _, err := p.Fetch(fill); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fill, false)
+	}
+	if !p.Contains(x) {
+		t.Fatal("live page unpublished by the stale frame's eviction")
+	}
+	reads := st.Stats().Reads
+	b, err = p.Fetch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(x, false)
+	if b[0] != 0xEE {
+		t.Fatalf("page %d content = %#x, want 0xEE (stale frame shadowed the live one)", x, b[0])
+	}
+	if st.Stats().Reads != reads {
+		t.Fatal("fetch of the live page cost a physical read")
+	}
+}
+
+// closeDuringWriteback drives op while its dirty-victim write-back is
+// blocked inside the store, completes Close in that window, then
+// releases the write and returns op's error — which must be
+// ErrPoolClosed, not a silently published frame in a closed pool.
+func closeDuringWriteback(t *testing.T, op func(p *Pool, ids []storage.PageID) error) error {
+	t.Helper()
+	st := storage.NewMemStore(128)
+	ids := seedPages(t, st, 2)
+	bs := newBlockingStore(st)
+	p := NewPool(bs, 1)
+	b, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[2] = 0x31
+	p.Unpin(ids[0], true) // the only frame is dirty: the next claim writes it back
+	bs.blockWrites.Store(true)
+	errCh := make(chan error, 1)
+	go func() { errCh <- op(p, ids) }()
+	<-bs.entered // op is blocked inside the victim write-back, latch released
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bs.blockWrites.Store(false)
+	close(bs.release)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	return nil
+}
+
+// TestFetchNewFailsAfterCloseDuringWriteback: FetchNew releases the
+// shard latch while writing back a dirty victim; a Close completing in
+// that window used to go unnoticed, so FetchNew published a new dirty
+// frame into a closed (already flushed) shard and the page was never
+// written out.
+func TestFetchNewFailsAfterCloseDuringWriteback(t *testing.T) {
+	err := closeDuringWriteback(t, func(p *Pool, _ []storage.PageID) error {
+		id, _, err := p.FetchNew()
+		if err == nil {
+			p.Unpin(id, true)
+		}
+		return err
+	})
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("FetchNew after close-during-writeback = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestFetchMissFailsAfterCloseDuringWriteback is the demand-miss twin:
+// the post-writeback path of fetchMiss must re-check closed too.
+func TestFetchMissFailsAfterCloseDuringWriteback(t *testing.T) {
+	err := closeDuringWriteback(t, func(p *Pool, ids []storage.PageID) error {
+		_, err := p.Fetch(ids[1]) // not resident: a demand miss
+		if err == nil {
+			p.Unpin(ids[1], false)
+		}
+		return err
+	})
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Fetch after close-during-writeback = %v, want ErrPoolClosed", err)
+	}
+}
+
 func TestFlushAllAndClose(t *testing.T) {
 	p, ids := newPoolWithPages(t, 4, 3)
 	for _, id := range ids {

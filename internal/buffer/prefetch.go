@@ -15,7 +15,7 @@ import (
 type PrefetchStats struct {
 	Issued  int64 // pages queued after a demand miss
 	Loaded  int64 // pages actually faulted in by a worker
-	Dropped int64 // suggestions discarded (queue full, paused, or no clean victim)
+	Dropped int64 // suggestions discarded (queue full, paused, no clean victim, or page freed)
 	Useful  int64 // prefetched pages later claimed by a demand fetch
 	Errors  int64 // prefetch reads that failed
 }
@@ -140,6 +140,28 @@ func (pf *prefetcher) enqueue(id storage.PageID) {
 	}
 }
 
+// purge drops every queued occurrence of id: the page was freed, and a
+// later load would publish dead bytes under a reusable ID. A load
+// already in flight is handled by Discard's dooming instead.
+func (pf *prefetcher) purge(id storage.PageID) {
+	pf.mu.Lock()
+	kept := pf.queue[:0]
+	for _, q := range pf.queue {
+		if q != id {
+			kept = append(kept, q)
+		}
+	}
+	dropped := int64(len(pf.queue) - len(kept))
+	pf.queue = kept
+	pf.mu.Unlock()
+	if dropped > 0 {
+		pf.dropped.Add(dropped)
+		if in := pf.pool.inst.Load(); in != nil {
+			in.PrefetchDropped.Add(dropped)
+		}
+	}
+}
+
 func (pf *prefetcher) run() {
 	defer pf.wg.Done()
 	for {
@@ -214,21 +236,31 @@ func (pf *prefetcher) load(id storage.PageID) {
 	readErr := p.store.ReadPage(id, f.data)
 
 	sh.mu.Lock()
-	if readErr != nil {
+	switch {
+	case readErr != nil:
 		f.loadErr = fmt.Errorf("buffer: fetch page %d: %w", id, readErr)
-		delete(sh.table, id)
-		f.id = storage.InvalidPageID
-		f.prefetched.Store(false)
+		sh.unpublishLoadedLocked(fi, id)
 		pf.errs.Add(1)
 		if in != nil {
 			in.PrefetchErrors.Inc()
 		}
-	} else {
+	case f.doomed:
+		// The page was freed (or freed and re-allocated) while the
+		// speculative read was in flight: drop the dead bytes instead
+		// of publishing them.
+		f.loadErr = fmt.Errorf("buffer: page %d freed during prefetch", id)
+		sh.unpublishLoadedLocked(fi, id)
+		pf.dropped.Add(1)
+		if in != nil {
+			in.PrefetchDropped.Inc()
+		}
+	default:
 		pf.loaded.Add(1)
 		if in != nil {
 			in.PrefetchLoaded.Inc()
 		}
 	}
+	f.doomed = false
 	f.pins.Add(-1)
 	f.loading = nil
 	close(ch)

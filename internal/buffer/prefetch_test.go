@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -121,6 +122,141 @@ func TestPrefetchNeverStealsDirtyOrGrows(t *testing.T) {
 	}
 	if ps := p.PrefetchStats(); ps.Dropped == 0 {
 		t.Fatalf("prefetch not dropped: %+v", ps)
+	}
+}
+
+// pageGateStore blocks physical reads of one specific page: the read
+// signals entered and waits for release. Disarm by storing -1.
+type pageGateStore struct {
+	storage.Store
+	gated   atomic.Int64 // PageID being gated, -1 when disarmed
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newPageGateStore(inner storage.Store, id storage.PageID) *pageGateStore {
+	g := &pageGateStore{
+		Store:   inner,
+		entered: make(chan struct{}, 4),
+		release: make(chan struct{}),
+	}
+	g.gated.Store(int64(id))
+	return g
+}
+
+func (g *pageGateStore) ReadPage(id storage.PageID, buf []byte) error {
+	if int64(id) == g.gated.Load() {
+		g.entered <- struct{}{}
+		<-g.release
+	}
+	return g.Store.ReadPage(id, buf)
+}
+
+// TestDiscardDuringPrefetchLoad is the regression test for the
+// free-vs-prefetch crash: Discard of a page whose speculative read is
+// still in flight used to panic ("discard of pinned page") because the
+// prefetch worker holds a pin across the store read, outside the
+// access-method lock. Discard must instead doom the frame so the
+// loader drops the dead bytes when the read settles.
+func TestDiscardDuringPrefetchLoad(t *testing.T) {
+	st := storage.NewMemStore(128)
+	ids := seedPages(t, st, 2)
+	gs := newPageGateStore(st, ids[1])
+	p := NewPool(gs, 4)
+	p.SetAdjacency(func(id storage.PageID) []storage.PageID {
+		if id == ids[0] {
+			return []storage.PageID{ids[1]}
+		}
+		return nil
+	})
+	p.EnablePrefetch(1, 8)
+	defer p.Close()
+
+	// Demand-miss ids[0]: the worker starts prefetching ids[1] and
+	// blocks inside the physical read.
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	<-gs.entered
+
+	// The page is freed while its speculative read is in flight. This
+	// used to panic; it must doom the frame instead.
+	p.Discard(ids[1])
+	if p.Contains(ids[1]) {
+		t.Fatal("discarded page still reported resident")
+	}
+
+	gs.gated.Store(-1)
+	close(gs.release)
+	waitFor(t, "doomed prefetch settled", func() bool {
+		ps := p.PrefetchStats()
+		return ps.Dropped+ps.Loaded+ps.Errors >= ps.Issued
+	})
+	if p.Contains(ids[1]) {
+		t.Fatal("doomed prefetch published a freed page")
+	}
+	if ps := p.PrefetchStats(); ps.Loaded != 0 || ps.Dropped != 1 {
+		t.Fatalf("prefetch stats = %+v, want the doomed load counted dropped", ps)
+	}
+
+	// The pool stays fully usable, and a later demand fetch of the ID
+	// performs a fresh physical read rather than serving stale bytes.
+	before := st.Stats().Reads
+	b, err := p.Fetch(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 2 {
+		t.Fatalf("refetched page content = %d, want 2", b[0])
+	}
+	p.Unpin(ids[1], false)
+	if st.Stats().Reads != before+1 {
+		t.Fatal("demand fetch after discard did not re-read the store")
+	}
+}
+
+// TestDiscardPurgesQueuedPrefetch: freeing a page must also purge it
+// from the prefetch queue, or a worker loads it after the free and
+// publishes free-list bytes under a reusable page ID.
+func TestDiscardPurgesQueuedPrefetch(t *testing.T) {
+	st := storage.NewMemStore(128)
+	ids := seedPages(t, st, 3)
+	gs := newPageGateStore(st, ids[1])
+	p := NewPool(gs, 8)
+	p.SetAdjacency(func(id storage.PageID) []storage.PageID {
+		if id == ids[0] {
+			return []storage.PageID{ids[1], ids[2]}
+		}
+		return nil
+	})
+	p.EnablePrefetch(1, 8) // one worker: ids[2] stays queued behind ids[1]
+	defer p.Close()
+
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	<-gs.entered // the worker is inside the read of ids[1]
+
+	p.Discard(ids[2]) // frees the still-queued suggestion
+
+	gs.gated.Store(-1)
+	close(gs.release)
+	waitFor(t, "prefetch queue drained", func() bool {
+		ps := p.PrefetchStats()
+		return ps.Dropped+ps.Loaded+ps.Errors >= ps.Issued
+	})
+	if p.Contains(ids[2]) {
+		t.Fatal("purged prefetch was loaded anyway")
+	}
+	ps := p.PrefetchStats()
+	if ps.Issued != 2 || ps.Loaded != 1 || ps.Dropped != 1 {
+		t.Fatalf("prefetch stats = %+v, want issued=2 loaded=1 dropped=1", ps)
+	}
+	// 1 demand read + 1 prefetch read; the purged page was never read.
+	if r := st.Stats().Reads; r != 2 {
+		t.Fatalf("physical reads = %d, want 2", r)
 	}
 }
 

@@ -98,8 +98,15 @@ func (sh *shard) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, 
 		return nil, false, err
 	}
 	// frameForNewPage may have released the latch to write back a dirty
-	// victim; the page can have been faulted in meanwhile. The claimed
-	// frame just stays free.
+	// victim; a concurrent Close can have completed its flush in that
+	// window, and the page can have been faulted in meanwhile (the
+	// claimed frame then just stays free).
+	if sh.closed {
+		sh.stats.fetches.Add(-1)
+		sh.stats.misses.Add(-1)
+		sh.mu.Unlock()
+		return nil, false, ErrPoolClosed
+	}
 	if fj, ok := sh.table[id]; ok {
 		sh.stats.fetches.Add(-1)
 		sh.stats.misses.Add(-1)
@@ -131,13 +138,20 @@ func (sh *shard) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, 
 
 	sh.mu.Lock()
 	var result error
-	if readErr != nil {
+	switch {
+	case readErr != nil:
 		result = fmt.Errorf("buffer: fetch page %d: %w", id, readErr)
+	case f.doomed:
+		// The page was freed (Discard) while our read was in flight;
+		// the bytes are dead and must not be published.
+		result = fmt.Errorf("buffer: page %d freed during fetch", id)
+	}
+	if result != nil {
 		f.loadErr = result
-		delete(sh.table, id)
-		f.id = storage.InvalidPageID
+		sh.unpublishLoadedLocked(fi, id)
 		f.pins.Add(-1) // waiters drop their own pins on wake-up
 	}
+	f.doomed = false
 	f.loading = nil
 	close(ch)
 	sh.mu.Unlock()
@@ -145,6 +159,21 @@ func (sh *shard) fetchMiss(id storage.PageID, at *metrics.ActiveTrace) ([]byte, 
 		return nil, true, result
 	}
 	return f.data, true, nil
+}
+
+// unpublishLoadedLocked retracts frame fi after a failed or doomed
+// load. The table entry is removed only if it still points at this
+// frame: a doomed page's ID may have been re-allocated and published
+// to another frame meanwhile (FetchNew), and that live mapping must
+// survive. Caller holds the exclusive latch.
+func (sh *shard) unpublishLoadedLocked(fi int, id storage.PageID) {
+	if fj, ok := sh.table[id]; ok && fj == fi {
+		delete(sh.table, id)
+	}
+	f := sh.frames[fi]
+	f.id = storage.InvalidPageID
+	f.dirty.Store(false)
+	f.prefetched.Store(false)
 }
 
 // sweepLocked runs the clock hand to the next eviction candidate:

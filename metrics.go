@@ -175,9 +175,9 @@ func (o *observability) walInstrumentation() storage.WALInstrumentation {
 // opSnap captures the layer counters at operation start; end() charges
 // the operation with the deltas. The I/O attribution is exact while
 // operations run one at a time (the paper's cost model); under
-// concurrent readers a page fetched by an overlapping operation may be
-// charged to this one, but the global per-class counters and latency
-// histograms stay exact.
+// concurrent readers a page fetched — or a prefetch issued — by an
+// overlapping operation may be charged to this one, but the global
+// per-class counters and latency histograms stay exact.
 type opSnap struct {
 	om    *opMetrics
 	f     *netfile.File
