@@ -47,6 +47,10 @@ type Querier interface {
 	// EvaluateRoutes evaluates many routes through a bounded worker
 	// pool.
 	EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggregate, error)
+	// Query parses, plans and executes one CCAM-QL statement (FIND,
+	// WINDOW, NEIGHBORS, ROUTE, PATH, optionally EXPLAIN-prefixed),
+	// choosing the access path by predicted data-page accesses.
+	Query(ctx context.Context, src string) (*Result, error)
 }
 
 // Mutator is the write surface. Apply is the canonical mutation entry

@@ -338,6 +338,9 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 			}
 		}
 	}
+	// The batch changed contents (and possibly placement, through
+	// reorganization): the planner's catalog is stale.
+	s.invalidateCatalog()
 	if s.obs != nil {
 		applySnap.end(nil)
 		s.obs.refreshGauges(f)

@@ -53,6 +53,7 @@ import (
 	"ccam/internal/netfile"
 	"ccam/internal/partition"
 	"ccam/internal/query"
+	"ccam/internal/query/plan"
 	"ccam/internal/storage"
 	"ccam/internal/topo"
 )
@@ -326,6 +327,12 @@ type Store struct {
 	replayedBatches   int
 	replayedMutations int
 	applyFaultHook    func(int) error
+	// cat caches the CCAM-QL planner's catalog (statistics, placement
+	// and adjacency mirrors); it is built lazily by the first Query and
+	// dropped by any mutation. catMu guards it independently of mu so
+	// concurrent readers share one build.
+	catMu sync.Mutex
+	cat   *plan.Catalog
 }
 
 // Name identifies the underlying access method ("ccam-s", "ccam-d",
@@ -424,7 +431,11 @@ func (s *Store) Build(g *Network) error {
 		return s.failed
 	}
 	if s.obs == nil {
-		return s.buildLocked(g)
+		err := s.buildLocked(g)
+		if err == nil {
+			s.invalidateCatalog()
+		}
+		return err
 	}
 	start := time.Now()
 	err := s.buildLocked(g)
@@ -435,6 +446,7 @@ func (s *Store) Build(g *Network) error {
 		return err
 	}
 	om.latency.ObserveSince(start)
+	s.invalidateCatalog()
 	s.obs.mirrorFromNetwork(g)
 	s.obs.refreshGauges(s.m.File())
 	return nil

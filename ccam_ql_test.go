@@ -1,0 +1,258 @@
+package ccam
+
+// Acceptance tests for CCAM-QL: the planner must pick a different
+// access path for a point lookup, a window query and a deep
+// neighborhood, and its predicted data-page accesses must track the
+// ReqStats-measured actuals within 30% (they are exact by
+// construction: predictions are distinct-page counts resolved from the
+// memory-resident structures, and a cold pool reads each distinct page
+// once).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func qlStore(t *testing.T) (*Store, *Network) {
+	t.Helper()
+	g := testMap(t)
+	s, err := Open(Options{PageSize: 1024, PoolPages: 512, Seed: 3, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if err := s.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+// runCold explains the statement, then executes it against a cold
+// buffer pool with a ReqStats account attached, returning the explain
+// result, the execution result and the measured stats.
+func runCold(t *testing.T, s *Store, stmt string) (*Result, *Result, *ReqStats) {
+	t.Helper()
+	ctx := context.Background()
+	exp, err := s.Query(ctx, "EXPLAIN "+stmt)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", stmt, err)
+	}
+	if !exp.Explain || exp.Plan == nil || exp.Text == "" {
+		t.Fatalf("EXPLAIN %s: incomplete result %+v", stmt, exp)
+	}
+	if err := s.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	rs := &ReqStats{}
+	res, err := s.Query(WithReqStats(ctx, rs), stmt)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", stmt, err)
+	}
+	return exp, res, rs
+}
+
+func TestQueryPlannerPicksDistinctPathsAndPredictsIO(t *testing.T) {
+	s, g := qlStore(t)
+	id := g.NodeIDs()[len(g.NodeIDs())/2]
+	rec, err := s.Find(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stmts := []struct {
+		src      string
+		wantPath string
+	}{
+		{fmt.Sprintf("FIND %d", id), "btree-point"},
+		{fmt.Sprintf("WINDOW (%g, %g, %g, %g)",
+			rec.Pos.X-200, rec.Pos.Y-200, rec.Pos.X+200, rec.Pos.Y+200), "zrange"},
+		{fmt.Sprintf("NEIGHBORS %d DEPTH 2 AGG SUM(cost)", id), "successor-expansion"},
+	}
+	paths := map[string]bool{}
+	for _, tc := range stmts {
+		exp, res, rs := runCold(t, s, tc.src)
+		got := string(exp.Plan.Chosen.Path)
+		if got != tc.wantPath {
+			t.Errorf("%s: chose %s, want %s", tc.src, got, tc.wantPath)
+		}
+		paths[got] = true
+
+		predicted := float64(exp.Plan.Chosen.Pages)
+		actual := float64(rs.DataReads)
+		if actual == 0 {
+			t.Fatalf("%s: no data reads measured", tc.src)
+		}
+		if rel := math.Abs(predicted-actual) / actual; rel > 0.30 {
+			t.Errorf("%s: predicted %v data pages, measured %v (%.0f%% off)",
+				tc.src, predicted, actual, rel*100)
+		}
+		if res.Actual == nil || res.Actual.DataReads != rs.DataReads {
+			t.Errorf("%s: Result.Actual = %+v, ReqStats reads %d",
+				tc.src, res.Actual, rs.DataReads)
+		}
+		if res.Plan == nil || string(res.Plan.Chosen.Path) != got {
+			t.Errorf("%s: executed plan differs from explained plan", tc.src)
+		}
+	}
+	if len(paths) != 3 {
+		t.Errorf("expected 3 distinct access paths, got %v", paths)
+	}
+}
+
+func TestQueryHugeWindowFallsBackToScan(t *testing.T) {
+	s, _ := qlStore(t)
+	stmt := "WINDOW (-1e9, -1e9, 1e9, 1e9)"
+	exp, res, rs := runCold(t, s, stmt)
+	if got := string(exp.Plan.Chosen.Path); got != "pag-scan" {
+		t.Fatalf("huge window chose %s, want pag-scan", got)
+	}
+	if exp.Plan.Chosen.Pages != s.NumPages() {
+		t.Errorf("scan predicted %d pages, want %d", exp.Plan.Chosen.Pages, s.NumPages())
+	}
+	if rs.DataReads != int64(s.NumPages()) {
+		t.Errorf("scan measured %d reads, want %d", rs.DataReads, s.NumPages())
+	}
+	if res.Count != s.Len() {
+		t.Errorf("huge window matched %d nodes, want %d", res.Count, s.Len())
+	}
+}
+
+func TestQueryRouteAndPathPredictions(t *testing.T) {
+	s, g := qlStore(t)
+	// A genuine route: follow successor edges without backtracking.
+	start := g.NodeIDs()[0]
+	route := []NodeID{start}
+	cur := start
+	for len(route) < 6 {
+		rec, err := s.Find(context.Background(), cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		advanced := false
+		for _, sc := range rec.Succs {
+			seen := false
+			for _, r := range route {
+				if r == sc.To {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				route = append(route, sc.To)
+				cur = sc.To
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	if len(route) < 3 {
+		t.Fatal("could not build a test route")
+	}
+	parts := make([]string, len(route))
+	for i, r := range route {
+		parts[i] = fmt.Sprint(r)
+	}
+	routeStmt := "ROUTE " + strings.Join(parts, ", ") + " AGG SUM(cost)"
+	exp, res, rs := runCold(t, s, routeStmt)
+	if got := string(exp.Plan.Chosen.Path); got != "successor-chain" {
+		t.Errorf("route chose %s", got)
+	}
+	if int64(exp.Plan.Chosen.Pages) != rs.DataReads {
+		t.Errorf("route predicted %d pages, measured %d", exp.Plan.Chosen.Pages, rs.DataReads)
+	}
+	if res.Agg == nil || math.Abs(res.Agg.Value-res.Cost) > 1e-9 {
+		t.Errorf("SUM(cost) = %+v, route cost %v", res.Agg, res.Cost)
+	}
+
+	pathStmt := fmt.Sprintf("PATH %d TO %d", route[0], route[len(route)-1])
+	expP, resP, rsP := runCold(t, s, pathStmt)
+	if got := string(expP.Plan.Chosen.Path); got != "successor-expansion" {
+		t.Errorf("path chose %s", got)
+	}
+	if int64(expP.Plan.Chosen.Pages) != rsP.DataReads {
+		t.Errorf("path predicted %d pages, measured %d", expP.Plan.Chosen.Pages, rsP.DataReads)
+	}
+	if resP.Cost <= 0 || resP.Cost > res.Cost+1e-9 {
+		t.Errorf("shortest cost %v vs route cost %v", resP.Cost, res.Cost)
+	}
+}
+
+func TestQueryErrorsAndSentinels(t *testing.T) {
+	s, _ := qlStore(t)
+	ctx := context.Background()
+	if _, err := s.Query(ctx, "SELECT * FROM t"); !errors.Is(err, ErrQueryParse) {
+		t.Errorf("parse error = %v, want ErrQueryParse", err)
+	}
+	if _, err := s.Query(ctx, "NEIGHBORS 1 DEPTH 1 AGG SUM(nodes)"); !errors.Is(err, ErrQueryUnsupported) {
+		t.Errorf("unsupported agg = %v, want ErrQueryUnsupported", err)
+	}
+	if _, err := s.Query(ctx, "FIND 4000000000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing node = %v, want ErrNotFound", err)
+	}
+	for _, err := range []error{ErrQueryParse, ErrQueryUnsupported, ErrNoPath, ErrInvalidTour} {
+		if !IsQueryError(err) {
+			t.Errorf("IsQueryError(%v) = false", err)
+		}
+	}
+	if IsQueryError(ErrNotFound) {
+		t.Error("IsQueryError(ErrNotFound) = true")
+	}
+}
+
+func TestQueryPlainView(t *testing.T) {
+	s, g := qlStore(t)
+	res, err := s.Plain().Query(fmt.Sprintf("FIND %d", g.NodeIDs()[0]))
+	if err != nil || res.Count != 1 {
+		t.Fatalf("Plain().Query = %+v, %v", res, err)
+	}
+}
+
+func TestQueryCatalogInvalidation(t *testing.T) {
+	s, g := qlStore(t)
+	ctx := context.Background()
+	exp, err := s.Query(ctx, "EXPLAIN FIND 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := exp.Plan.Stats.Nodes
+	if before != g.NumNodes() {
+		t.Fatalf("catalog sees %d nodes, want %d", before, g.NumNodes())
+	}
+	// Delete a leaf-ish node; the next plan must be costed against the
+	// mutated file.
+	victim := g.NodeIDs()[len(g.NodeIDs())-1]
+	if err := s.Delete(victim, FirstOrder); err != nil {
+		t.Fatal(err)
+	}
+	exp, err = s.Query(ctx, "EXPLAIN FIND 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Plan.Stats.Nodes != before-1 {
+		t.Errorf("catalog not invalidated: sees %d nodes, want %d",
+			exp.Plan.Stats.Nodes, before-1)
+	}
+}
+
+func TestExplainStatementHelper(t *testing.T) {
+	cases := map[string]string{
+		"FIND 1":            "EXPLAIN FIND 1",
+		"explain FIND 1":    "explain FIND 1",
+		"  EXPLAIN FIND 1":  "  EXPLAIN FIND 1",
+		"EXPLAINFIND 1":     "EXPLAIN EXPLAINFIND 1",
+		"WINDOW (1,2,3,4)":  "EXPLAIN WINDOW (1,2,3,4)",
+		"Explain\tWINDOW x": "Explain\tWINDOW x",
+	}
+	for in, want := range cases {
+		if got := ExplainStatement(in); got != want {
+			t.Errorf("ExplainStatement(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

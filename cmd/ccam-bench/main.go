@@ -18,6 +18,7 @@
 //	ccam-bench -exp metrics -http :8080
 //	ccam-bench -exp build-scale -sizes 4096,65536 -workers 4 -json out.json -check
 //	ccam-bench -exp serve -conns 10000 -duration 10s -json out.json -check
+//	ccam-bench -exp query -check
 //
 // Flags -seed, -rows and -cols change the synthetic road map; the
 // defaults reproduce the paper-scale Minneapolis map (1079 nodes,
@@ -43,7 +44,12 @@
 // workload closed-loop (or open-loop with -rate), reports client and
 // server p50/p95/p99 with shed counts, then drains the server and
 // verifies the reopen replays no WAL; -addr points it at an external
-// server instead.
+// server instead. The query experiment (excluded from all) runs one
+// CCAM-QL statement per shape, printing the planner's chosen access
+// path and predicted data-page accesses next to the cold-pool
+// measurement; -check fails the run when any prediction misses by more
+// than 30% or the planner collapses onto fewer than three access
+// paths.
 package main
 
 import (
@@ -58,7 +64,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, build-scale, pool-scale, serve (the last six are not part of all: they measure wall-clock, not page counts)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, query, build-scale, pool-scale, serve (the last seven are not part of all)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
@@ -67,7 +73,7 @@ func main() {
 	httpAddr := flag.String("http", "", "with -exp metrics: keep serving /metrics, /metrics.json, /traces and /debug/pprof on this address after the run")
 	sizes := flag.String("sizes", "", "with -exp build-scale: comma-separated node counts to sweep (default 4096,16384,65536,262144); with -exp pool-scale: worker counts (default 1,2,4,8,16)")
 	jsonPath := flag.String("json", "", "with -exp build-scale, pool-scale or serve: also write the result as JSON to this path")
-	check := flag.Bool("check", false, "with -exp build-scale, pool-scale or serve: fail unless the experiment's regression gates hold")
+	check := flag.Bool("check", false, "with -exp build-scale, pool-scale, serve or query: fail unless the experiment's regression gates hold")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "with -exp pool-scale -check: required sharded-prefetch over single-latch throughput ratio at peak workers")
 	workers := flag.Int("workers", 0, "with -exp build-scale: clustering worker pool for the parallel variants (0 = GOMAXPROCS)")
 	conns := flag.Int("conns", 10000, "with -exp serve: concurrent binary-protocol connections")
@@ -271,6 +277,17 @@ func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr stri
 	// asked for by name.
 	if exp == "metrics" {
 		if err := runMetrics(w, g, setup.Seed, httpAddr); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ran = true
+	}
+	// The query experiment validates the CCAM-QL planner: predicted vs
+	// measured data-page accesses per statement shape. Excluded from all
+	// because it reports a prediction-accuracy gate, not the paper's
+	// comparison tables.
+	if exp == "query" {
+		if err := runQueryExp(w, g, setup.Seed, bs.check); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -129,3 +129,24 @@ func TestRunThroughputExperiment(t *testing.T) {
 		t.Fatalf("missing sweep table:\n%s", out)
 	}
 }
+
+func TestRunQueryExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	g, err := tinySetup().Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// check enforces the 30% prediction gate and the distinct-path
+	// floor, so a pass here is the acceptance assertion itself.
+	if err := runQueryExp(&buf, g, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"CCAM-QL planner", "btree-point", "pag-scan", "successor-chain", "check: ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,14 +7,22 @@
 //	ccam-inspect                       # paper-scale map, 2k pages
 //	ccam-inspect -block 1024 -pag      # show PAG degrees
 //	ccam-inspect -pages                # list nodes per page
+//	ccam-inspect -query "EXPLAIN FIND 7"
+//	ccam-inspect -query -              # CCAM-QL REPL on stdin
+//
+// With -query the file summary is skipped and the CCAM-QL statement
+// runs against the built store instead; "-" reads statements from
+// stdin one per line (an interactive EXPLAIN workbench).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"ccam"
 	"ccam/internal/graph"
@@ -28,15 +36,16 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "use the incremental create (CCAM-D)")
 	showPAG := flag.Bool("pag", false, "print page access graph degrees")
 	showPages := flag.Bool("pages", false, "list the nodes on each page")
+	query := flag.String("query", "", "run one CCAM-QL statement instead of the file summary; \"-\" reads statements from stdin")
 	flag.Parse()
 
-	if err := run(os.Stdout, *block, *seed, *dynamic, *showPAG, *showPages); err != nil {
+	if err := run(os.Stdout, *block, *seed, *dynamic, *showPAG, *showPages, *query); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool) error {
+func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool, query string) error {
 	g, err := ccam.RoadMap(ccam.MinneapolisLikeOpts())
 	if err != nil {
 		return err
@@ -48,6 +57,13 @@ func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool) e
 	defer store.Close()
 	if err := store.Build(g); err != nil {
 		return err
+	}
+
+	if query == "-" {
+		return runREPL(w, os.Stdin, store)
+	}
+	if query != "" {
+		return runQuery(w, store, query)
 	}
 
 	kind := "CCAM-S (static create)"
@@ -106,4 +122,83 @@ func run(w io.Writer, block int, seed int64, dynamic, showPAG, showPages bool) e
 		}
 	}
 	return nil
+}
+
+// runQuery executes one CCAM-QL statement and renders the result.
+func runQuery(w io.Writer, store *ccam.Store, stmt string) error {
+	res, err := store.Plain().Query(stmt)
+	if err != nil {
+		return err
+	}
+	printResult(w, res)
+	return nil
+}
+
+// runREPL reads statements from r one per line, printing each result;
+// a failed statement reports its error and the loop continues.
+func runREPL(w io.Writer, r io.Reader, store *ccam.Store) error {
+	fmt.Fprintln(w, "CCAM-QL: FIND, WINDOW, NEIGHBORS, ROUTE, PATH; prefix with EXPLAIN for the plan; exit to quit")
+	sc := bufio.NewScanner(r)
+	for {
+		fmt.Fprint(w, "ccam> ")
+		if !sc.Scan() {
+			fmt.Fprintln(w)
+			return sc.Err()
+		}
+		stmt := strings.TrimSpace(sc.Text())
+		switch stmt {
+		case "":
+			continue
+		case "exit", "quit":
+			return nil
+		}
+		if err := runQuery(w, store, stmt); err != nil {
+			fmt.Fprintln(w, "error:", err)
+		}
+	}
+}
+
+// maxREPLRows caps the node listing a single statement prints.
+const maxREPLRows = 20
+
+// printResult renders one query result: the plan rendering for
+// EXPLAIN, otherwise the rows/aggregate with the predicted vs
+// measured page accesses.
+func printResult(w io.Writer, res *ccam.Result) {
+	if res.Explain {
+		fmt.Fprint(w, res.Text)
+		return
+	}
+	if res.Plan != nil {
+		fmt.Fprintf(w, "access path %s, predicted %d data page(s)",
+			res.Plan.Chosen.Path, res.Plan.Chosen.Pages)
+		if res.Actual != nil {
+			fmt.Fprintf(w, ", measured %d read(s)", res.Actual.DataReads)
+		}
+		fmt.Fprintln(w)
+	}
+	for i, n := range res.Nodes {
+		if i == maxREPLRows {
+			fmt.Fprintf(w, "  ... %d more\n", len(res.Nodes)-maxREPLRows)
+			break
+		}
+		fmt.Fprintf(w, "  node %d at (%g, %g), %d successor(s)\n", n.ID, n.X, n.Y, n.Succs)
+	}
+	switch res.Kind {
+	case "window", "neighbors":
+		extra := ""
+		if res.Truncated {
+			extra = " (truncated)"
+		}
+		fmt.Fprintf(w, "%d node(s)%s\n", res.Count, extra)
+	case "route", "path":
+		fmt.Fprintf(w, "%d node(s), total cost %g\n", res.Count, res.Cost)
+		if len(res.Path) > 0 {
+			fmt.Fprintf(w, "path: %v\n", res.Path)
+		}
+	}
+	if res.Agg != nil {
+		fmt.Fprintf(w, "%s(%s) = %g over %d value(s)\n",
+			res.Agg.Fn, res.Agg.Attr, res.Agg.Value, res.Agg.Count)
+	}
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"ccam"
 )
 
 func TestRunStatic(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2048, 1, false, true, false); err != nil {
+	if err := run(&buf, 2048, 1, false, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +23,7 @@ func TestRunStatic(t *testing.T) {
 
 func TestRunDynamicWithPages(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 4096, 2, true, false, true); err != nil {
+	if err := run(&buf, 4096, 2, true, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,7 +36,63 @@ func TestRunDynamicWithPages(t *testing.T) {
 }
 
 func TestRunRejectsTinyBlock(t *testing.T) {
-	if err := run(&bytes.Buffer{}, 16, 1, false, false, false); err == nil {
+	if err := run(&bytes.Buffer{}, 16, 1, false, false, false, ""); err == nil {
 		t.Fatal("tiny block accepted")
+	}
+}
+
+func TestRunQueryOneShot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2048, 1, false, false, false, "EXPLAIN FIND 1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plan: FIND 1", "access path: btree-point", "predicted data pages:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// -query replaces the file summary entirely.
+	if strings.Contains(out, "page fill:") {
+		t.Fatalf("one-shot query printed the file summary:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := run(&buf, 2048, 1, false, false, false, "FIND 1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "measured") || !strings.Contains(buf.String(), "node 1 at") {
+		t.Fatalf("executed query output:\n%s", buf.String())
+	}
+
+	if err := run(&bytes.Buffer{}, 2048, 1, false, false, false, "SELECT 1"); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+}
+
+func TestRunQueryREPL(t *testing.T) {
+	g, err := ccam.RoadMap(ccam.MinneapolisLikeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ccam.Open(ccam.Options{PageSize: 2048, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Build(g); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	in := strings.NewReader("FIND 1\n\nbogus\nexit\n")
+	if err := runREPL(&buf, in, store); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node 1 at") {
+		t.Fatalf("REPL missing query output:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("REPL missing error report:\n%s", out)
 	}
 }

@@ -1,0 +1,35 @@
+package geom
+
+import "encoding/json"
+
+// The JSON form of a Rect is shared by every layer that names a query
+// window — the CCAM-QL WINDOW clause, RangeQuery over the wire, and
+// the inspect tooling — so a window serialized by one can be decoded
+// by any other without a parallel wire struct.
+
+// rectJSON is the wire shape of a Rect.
+type rectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// MarshalJSON encodes the rectangle as
+// {"min_x":…,"min_y":…,"max_x":…,"max_y":…}.
+func (r Rect) MarshalJSON() ([]byte, error) {
+	return json.Marshal(rectJSON{
+		MinX: r.Min.X, MinY: r.Min.Y, MaxX: r.Max.X, MaxY: r.Max.Y,
+	})
+}
+
+// UnmarshalJSON decodes the wire shape, accepting corners in any
+// orientation (they are normalized as by NewRect).
+func (r *Rect) UnmarshalJSON(data []byte) error {
+	var w rectJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = NewRect(Point{X: w.MinX, Y: w.MinY}, Point{X: w.MaxX, Y: w.MaxY})
+	return nil
+}

@@ -1,0 +1,35 @@
+package geom
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRectJSONRoundTrip(t *testing.T) {
+	r := NewRect(Point{X: -1.5, Y: 2}, Point{X: 3, Y: 4.25})
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"min_x":-1.5,"min_y":2,"max_x":3,"max_y":4.25}`
+	if string(b) != want {
+		t.Fatalf("Marshal = %s, want %s", b, want)
+	}
+	var back Rect
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip = %+v, want %+v", back, r)
+	}
+}
+
+func TestRectJSONNormalizesCorners(t *testing.T) {
+	var r Rect
+	if err := json.Unmarshal([]byte(`{"min_x":5,"min_y":6,"max_x":1,"max_y":2}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if want := NewRect(Point{X: 5, Y: 6}, Point{X: 1, Y: 2}); r != want {
+		t.Fatalf("decoded %+v, want normalized %+v", r, want)
+	}
+}

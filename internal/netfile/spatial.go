@@ -81,6 +81,28 @@ func newSpatialIndex(kind SpatialKind, quant geom.Quantizer) (spatialIndex, erro
 	}
 }
 
+// SpatialIndexKind reports which secondary spatial index structure the
+// file carries (SpatialZOrder or SpatialRTree). The query planner uses
+// it to name the window access path it is costing.
+func (f *File) SpatialIndexKind() SpatialKind {
+	if _, ok := f.spatial.(*rtreeIndex); ok {
+		return SpatialRTree
+	}
+	return SpatialZOrder
+}
+
+// SpatialCandidates visits the node ids the spatial index yields as
+// candidates for rect, exactly as RangeQuery would, but without
+// fetching any record — the probe touches only the memory-resident
+// index, so it costs no data-page I/O. Candidates can be false
+// positives (the Z-order index matches at quantized-cell granularity);
+// RangeQuery filters them after the record fetch, which is why a
+// window query's data-page cost is the page count of the candidates,
+// not of the true matches. fn returning false stops the probe early.
+func (f *File) SpatialCandidates(rect geom.Rect, fn func(id graph.NodeID) bool) error {
+	return f.spatial.search(rect, fn)
+}
+
 // --- Z-order implementation (the paper's secondary index) ---
 
 type zorderIndex struct {

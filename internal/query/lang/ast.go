@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+)
+
+// AggFn is an aggregate function of the AGG clause.
+type AggFn int
+
+// Aggregate functions.
+const (
+	AggSum AggFn = iota
+	AggMin
+	AggCount
+)
+
+// String implements fmt.Stringer (canonical upper-case spelling).
+func (f AggFn) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggCount:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("AGG(%d)", int(f))
+	}
+}
+
+// Agg is an AGG SUM|MIN|COUNT(<attr>) clause. The parser accepts any
+// identifier as the attribute; the planner validates it against the
+// attributes the statement kind supports ("cost" over the edges the
+// statement touches, "nodes" for COUNT of distinct result nodes).
+type Agg struct {
+	Fn   AggFn
+	Attr string
+}
+
+// String implements fmt.Stringer.
+func (a *Agg) String() string {
+	return fmt.Sprintf("AGG %s(%s)", a.Fn, a.Attr)
+}
+
+// Stmt is one CCAM-QL statement. The concrete types are Find, Window,
+// Neighbors, RouteEval and ShortestPath; String prints the canonical
+// form, which re-parses to an equal statement.
+type Stmt interface {
+	fmt.Stringer
+	isStmt()
+}
+
+// Find is FIND <id>: a point lookup of one node record.
+type Find struct {
+	ID graph.NodeID
+}
+
+func (*Find) isStmt() {}
+
+// String implements fmt.Stringer.
+func (s *Find) String() string {
+	return "FIND " + strconv.FormatUint(uint64(s.ID), 10)
+}
+
+// Window is WINDOW (x1, y1, x2, y2): all nodes whose position lies in
+// the axis-aligned rectangle spanned by the two corners (boundary
+// inclusive, corners in any orientation — the rect is normalized at
+// parse time).
+type Window struct {
+	Rect geom.Rect
+}
+
+func (*Window) isStmt() {}
+
+// String implements fmt.Stringer.
+func (s *Window) String() string {
+	return fmt.Sprintf("WINDOW (%s, %s, %s, %s)",
+		formatCoord(s.Rect.Min.X), formatCoord(s.Rect.Min.Y),
+		formatCoord(s.Rect.Max.X), formatCoord(s.Rect.Max.Y))
+}
+
+// Neighbors is NEIGHBORS <id> DEPTH <k> [AGG ...]: the nodes within k
+// directed hops of the start node, optionally aggregated.
+type Neighbors struct {
+	ID    graph.NodeID
+	Depth int
+	Agg   *Agg // nil without an AGG clause
+}
+
+func (*Neighbors) isStmt() {}
+
+// String implements fmt.Stringer.
+func (s *Neighbors) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NEIGHBORS %d DEPTH %d", s.ID, s.Depth)
+	if s.Agg != nil {
+		b.WriteByte(' ')
+		b.WriteString(s.Agg.String())
+	}
+	return b.String()
+}
+
+// RouteEval is ROUTE <id>, <id>, ... [AGG ...]: evaluate the route
+// following the listed nodes along directed edges.
+type RouteEval struct {
+	IDs []graph.NodeID
+	Agg *Agg // nil without an AGG clause
+}
+
+func (*RouteEval) isStmt() {}
+
+// String implements fmt.Stringer.
+func (s *RouteEval) String() string {
+	var b strings.Builder
+	b.WriteString("ROUTE ")
+	for i, id := range s.IDs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatUint(uint64(id), 10))
+	}
+	if s.Agg != nil {
+		b.WriteByte(' ')
+		b.WriteString(s.Agg.String())
+	}
+	return b.String()
+}
+
+// ShortestPath is PATH <src> TO <dst>: a cheapest path between two
+// stored nodes.
+type ShortestPath struct {
+	Src, Dst graph.NodeID
+}
+
+func (*ShortestPath) isStmt() {}
+
+// String implements fmt.Stringer.
+func (s *ShortestPath) String() string {
+	return fmt.Sprintf("PATH %d TO %d", s.Src, s.Dst)
+}
+
+// Query is one parsed input: a statement, optionally under EXPLAIN.
+type Query struct {
+	Explain bool
+	Stmt    Stmt
+}
+
+// String implements fmt.Stringer: the canonical source form.
+func (q *Query) String() string {
+	if q.Explain {
+		return "EXPLAIN " + q.Stmt.String()
+	}
+	return q.Stmt.String()
+}
+
+// formatCoord prints a coordinate in its shortest form that re-parses
+// to the same float64, keeping parse → print → parse a fixpoint.
+func formatCoord(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

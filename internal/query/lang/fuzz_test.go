@@ -1,0 +1,44 @@
+package lang
+
+import "testing"
+
+// FuzzParse asserts the two safety properties of the front end on
+// arbitrary input: the parser never panics, and on any accepted input
+// the canonical printed form is a fixpoint — it re-parses, and
+// printing the reparse reproduces it byte for byte.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"FIND 7",
+		"EXPLAIN FIND 0",
+		"WINDOW (0, 0, 10, 5)",
+		"WINDOW (-1.5e-3, 2E3, .25, -0)",
+		"NEIGHBORS 17 DEPTH 2 AGG SUM(cost)",
+		"NEIGHBORS 3 DEPTH 1 AGG COUNT(nodes)",
+		"ROUTE 1, 2, 3 AGG MIN(cost)",
+		"PATH 4 TO 40",
+		"explain neighbors 0 depth 999 agg count(COST)",
+		"FIND 4294967295",
+		"WINDOW(1,1,1,1)",
+		"ROUTE 1,2",
+		"FIND 1; DROP",
+		"WINDOW (1e309, 0, 0, 0)",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; not panicking is the property
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form of %q does not reparse: %q: %v", src, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("print/parse fixpoint broken for %q: %q -> %q", src, s1, s2)
+		}
+	})
+}

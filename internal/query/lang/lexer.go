@@ -1,0 +1,85 @@
+package lang
+
+// lexer scans a CCAM-QL source string into tokens. It is
+// deliberately byte-oriented: the language's alphabet is ASCII, and
+// any other byte is a lex error with its position.
+type lexer struct {
+	src string
+	pos int
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentCont(b byte) bool { return isIdentStart(b) || isDigit(b) }
+
+// next returns the next token, advancing the lexer. Invalid input
+// returns a *ParseError.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	b := l.src[l.pos]
+	switch {
+	case b == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case b == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case b == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case isIdentStart(b):
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case b == '-' || b == '.' || isDigit(b):
+		return l.number(start)
+	default:
+		return token{}, errorf(start, "unexpected character %q", b)
+	}
+}
+
+// number scans a numeric literal: '-'? digits ['.' digits] [('e'|'E')
+// ('+'|'-')? digits]. The scanner is permissive about shape (e.g.
+// "1.2.3" is consumed whole); strconv in the parser is the validator,
+// so malformed literals fail with a position instead of splitting into
+// surprising token pairs.
+func (l *lexer) number(start int) (token, error) {
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || !(isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			return token{}, errorf(start, "'-' must start a number")
+		}
+	}
+	sawExp := false
+	for l.pos < len(l.src) {
+		b := l.src[l.pos]
+		switch {
+		case isDigit(b) || b == '.':
+			l.pos++
+		case (b == 'e' || b == 'E') && !sawExp:
+			sawExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}

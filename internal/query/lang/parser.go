@@ -1,0 +1,311 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+)
+
+// ErrParse is the sentinel every parse failure wraps, so callers (and
+// the wire layer's sentinel↔code table) can classify syntax errors
+// with errors.Is without depending on the concrete *ParseError.
+var ErrParse = errors.New("ccamql: parse error")
+
+// ParseError is a syntax error with its byte position in the source.
+// It unwraps to ErrParse.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ccamql: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Unwrap makes errors.Is(err, ErrParse) hold.
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+func errorf(pos int, format string, args ...interface{}) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxSourceLen bounds the accepted source size; a statement is a few
+// hundred bytes, and the bound keeps a hostile client from feeding the
+// parser megabytes through the wire.
+const maxSourceLen = 1 << 20
+
+// maxRouteNodes bounds the node list of a ROUTE statement.
+const maxRouteNodes = 1 << 16
+
+// Parse parses one CCAM-QL statement, optionally prefixed with
+// EXPLAIN. Every failure unwraps to ErrParse.
+func Parse(src string) (*Query, error) {
+	if len(src) > maxSourceLen {
+		return nil, errorf(maxSourceLen, "source exceeds %d bytes", maxSourceLen)
+	}
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.tok.kind == tokIdent && keywordEq(p.tok.text, "EXPLAIN") {
+		q.Explain = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errorf(p.tok.pos, "unexpected %s %q after statement", p.tok.kind, p.tok.text)
+	}
+	q.Stmt = stmt
+	return q, nil
+}
+
+// parser is the one-token-lookahead recursive-descent parser.
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// keywordEq compares an identifier to a keyword, case-insensitively.
+// Keywords are pure ASCII, so strings.EqualFold is exact.
+func keywordEq(text, kw string) bool { return strings.EqualFold(text, kw) }
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || !keywordEq(p.tok.text, kw) {
+		return errorf(p.tok.pos, "expected %s, got %s %q", kw, p.tok.kind, p.tok.text)
+	}
+	return p.advance()
+}
+
+// expect consumes a token of the given kind, returning it.
+func (p *parser) expect(kind tokKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, errorf(p.tok.pos, "expected %s, got %s %q", kind, p.tok.kind, p.tok.text)
+	}
+	tok := p.tok
+	return tok, p.advance()
+}
+
+func (p *parser) statement() (Stmt, error) {
+	if p.tok.kind != tokIdent {
+		return nil, errorf(p.tok.pos, "expected a statement keyword (FIND, WINDOW, NEIGHBORS, ROUTE, PATH), got %s %q", p.tok.kind, p.tok.text)
+	}
+	kw := p.tok.text
+	switch {
+	case keywordEq(kw, "FIND"):
+		return p.findStmt()
+	case keywordEq(kw, "WINDOW"):
+		return p.windowStmt()
+	case keywordEq(kw, "NEIGHBORS"):
+		return p.neighborsStmt()
+	case keywordEq(kw, "ROUTE"):
+		return p.routeStmt()
+	case keywordEq(kw, "PATH"):
+		return p.pathStmt()
+	default:
+		return nil, errorf(p.tok.pos, "unknown statement %q (want FIND, WINDOW, NEIGHBORS, ROUTE or PATH)", kw)
+	}
+}
+
+func (p *parser) findStmt() (Stmt, error) {
+	if err := p.advance(); err != nil { // FIND
+		return nil, err
+	}
+	id, err := p.nodeID()
+	if err != nil {
+		return nil, err
+	}
+	return &Find{ID: id}, nil
+}
+
+func (p *parser) windowStmt() (Stmt, error) {
+	if err := p.advance(); err != nil { // WINDOW
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var c [4]float64
+	for i := range c {
+		if i > 0 {
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		c[i] = v
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	rect := geom.NewRect(geom.Point{X: c[0], Y: c[1]}, geom.Point{X: c[2], Y: c[3]})
+	return &Window{Rect: rect}, nil
+}
+
+func (p *parser) neighborsStmt() (Stmt, error) {
+	if err := p.advance(); err != nil { // NEIGHBORS
+		return nil, err
+	}
+	id, err := p.nodeID()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("DEPTH"); err != nil {
+		return nil, err
+	}
+	tok, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	depth, err := strconv.Atoi(tok.text)
+	if err != nil || depth < 1 {
+		return nil, errorf(tok.pos, "DEPTH must be a positive integer, got %q", tok.text)
+	}
+	agg, err := p.optionalAgg()
+	if err != nil {
+		return nil, err
+	}
+	return &Neighbors{ID: id, Depth: depth, Agg: agg}, nil
+}
+
+func (p *parser) routeStmt() (Stmt, error) {
+	if err := p.advance(); err != nil { // ROUTE
+		return nil, err
+	}
+	var ids []graph.NodeID
+	for {
+		id, err := p.nodeID()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+		if len(ids) > maxRouteNodes {
+			return nil, errorf(p.tok.pos, "ROUTE exceeds %d nodes", maxRouteNodes)
+		}
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if len(ids) < 2 {
+		return nil, errorf(p.tok.pos, "ROUTE needs at least 2 nodes, got %d", len(ids))
+	}
+	agg, err := p.optionalAgg()
+	if err != nil {
+		return nil, err
+	}
+	return &RouteEval{IDs: ids, Agg: agg}, nil
+}
+
+func (p *parser) pathStmt() (Stmt, error) {
+	if err := p.advance(); err != nil { // PATH
+		return nil, err
+	}
+	src, err := p.nodeID()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	dst, err := p.nodeID()
+	if err != nil {
+		return nil, err
+	}
+	return &ShortestPath{Src: src, Dst: dst}, nil
+}
+
+// optionalAgg parses a trailing AGG clause when present.
+func (p *parser) optionalAgg() (*Agg, error) {
+	if p.tok.kind != tokIdent || !keywordEq(p.tok.text, "AGG") {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	fnTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var fn AggFn
+	switch {
+	case keywordEq(fnTok.text, "SUM"):
+		fn = AggSum
+	case keywordEq(fnTok.text, "MIN"):
+		fn = AggMin
+	case keywordEq(fnTok.text, "COUNT"):
+		fn = AggCount
+	default:
+		return nil, errorf(fnTok.pos, "unknown aggregate %q (want SUM, MIN or COUNT)", fnTok.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	attrTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	// The attribute is stored lower-cased: attribute names are not
+	// user-defined identifiers but members of a small fixed vocabulary
+	// ("cost", "nodes"), and canonicalizing here keeps the printed form
+	// stable. Validation against the statement kind happens in the
+	// planner, which reports plan.ErrUnsupported with the statement
+	// context in hand.
+	return &Agg{Fn: fn, Attr: strings.ToLower(attrTok.text)}, nil
+}
+
+// nodeID parses a node id: a bare non-negative integer fitting
+// graph.NodeID.
+func (p *parser) nodeID() (graph.NodeID, error) {
+	tok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, perr := strconv.ParseUint(tok.text, 10, 32)
+	if perr != nil {
+		return 0, errorf(tok.pos, "node id must be an unsigned 32-bit integer, got %q", tok.text)
+	}
+	return graph.NodeID(v), nil
+}
+
+// coord parses one window coordinate. Literals that overflow float64
+// are rejected so the canonical printed form always re-parses.
+func (p *parser) coord() (float64, error) {
+	tok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, perr := strconv.ParseFloat(tok.text, 64)
+	if perr != nil {
+		return 0, errorf(tok.pos, "bad coordinate %q", tok.text)
+	}
+	return v, nil
+}

@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"FIND 7", "FIND 7"},
+		{"find   0007", "FIND 7"},
+		{"explain find 1", "EXPLAIN FIND 1"},
+		{"WINDOW (0, 0, 10, 5)", "WINDOW (0, 0, 10, 5)"},
+		{"window(10,5,0,0)", "WINDOW (0, 0, 10, 5)"}, // corners normalize
+		{"WINDOW (-1.5, 2e3, 4.25, -0.5)", "WINDOW (-1.5, -0.5, 4.25, 2000)"},
+		{"NEIGHBORS 17 DEPTH 2", "NEIGHBORS 17 DEPTH 2"},
+		{"neighbors 17 depth 2 agg sum(COST)", "NEIGHBORS 17 DEPTH 2 AGG SUM(cost)"},
+		{"NEIGHBORS 3 DEPTH 1 AGG COUNT(nodes)", "NEIGHBORS 3 DEPTH 1 AGG COUNT(nodes)"},
+		{"ROUTE 1, 2, 3", "ROUTE 1, 2, 3"},
+		{"route 1,2", "ROUTE 1, 2"},
+		{"ROUTE 9, 8, 7 AGG MIN(cost)", "ROUTE 9, 8, 7 AGG MIN(cost)"},
+		{"PATH 4 TO 40", "PATH 4 TO 40"},
+		{"path 4 to 40", "PATH 4 TO 40"},
+		{"EXPLAIN WINDOW (1, 2, 3, 4)", "EXPLAIN WINDOW (1, 2, 3, 4)"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := q.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+		// Canonical form is a fixpoint.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", q.String(), err)
+			continue
+		}
+		if got := q2.String(); got != c.want {
+			t.Errorf("reparse fixpoint broken: %q -> %q", c.want, got)
+		}
+	}
+}
+
+func TestParseAST(t *testing.T) {
+	q, err := Parse("EXPLAIN NEIGHBORS 17 DEPTH 2 AGG SUM(cost)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain {
+		t.Error("Explain not set")
+	}
+	n, ok := q.Stmt.(*Neighbors)
+	if !ok {
+		t.Fatalf("statement is %T, want *Neighbors", q.Stmt)
+	}
+	if n.ID != 17 || n.Depth != 2 {
+		t.Errorf("got id=%d depth=%d", n.ID, n.Depth)
+	}
+	if n.Agg == nil || n.Agg.Fn != AggSum || n.Agg.Attr != "cost" {
+		t.Errorf("agg = %+v", n.Agg)
+	}
+
+	q, err = Parse("WINDOW (3, 4, 1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Stmt.(*Window)
+	want := geom.Rect{Min: geom.Point{X: 1, Y: 2}, Max: geom.Point{X: 3, Y: 4}}
+	if w.Rect != want {
+		t.Errorf("rect = %+v, want %+v", w.Rect, want)
+	}
+
+	q, err = Parse("ROUTE 5, 6, 7, 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.Stmt.(*RouteEval)
+	if len(r.IDs) != 4 || r.IDs[0] != 5 || r.IDs[3] != 8 {
+		t.Errorf("route ids = %v", r.IDs)
+	}
+
+	q, err = Parse("PATH 1 TO 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := q.Stmt.(*ShortestPath)
+	if sp.Src != 1 || sp.Dst != 2 {
+		t.Errorf("path = %+v", sp)
+	}
+
+	q, err = Parse("FIND 4294967295") // max uint32
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stmt.(*Find).ID != graph.NodeID(4294967295) {
+		t.Errorf("id = %d", q.Stmt.(*Find).ID)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"", "expected a statement"},
+		{"SELECT 1", "unknown statement"},
+		{"FIND", "expected number"},
+		{"FIND x", "expected number"},
+		{"FIND -1", "unsigned 32-bit"},
+		{"FIND 1.5", "unsigned 32-bit"},
+		{"FIND 4294967296", "unsigned 32-bit"},
+		{"FIND 1 2", "after statement"},
+		{"WINDOW 1, 2, 3, 4", "expected '('"},
+		{"WINDOW (1, 2, 3)", "expected ','"},
+		{"WINDOW (1, 2, 3, 1e999)", "bad coordinate"},
+		{"WINDOW (1, 2, 3, 4", "expected ')'"},
+		{"NEIGHBORS 1 DEPTH 0", "positive integer"},
+		{"NEIGHBORS 1 DEPTH -3", "positive integer"},
+		{"NEIGHBORS 1 DEPTH x", "expected number"},
+		{"NEIGHBORS 1", "expected DEPTH"},
+		{"ROUTE 1", "at least 2 nodes"},
+		{"ROUTE 1, 2 AGG AVG(cost)", "unknown aggregate"},
+		{"ROUTE 1, 2 AGG SUM cost", "expected '('"},
+		{"ROUTE 1, 2 AGG SUM(cost", "expected ')'"},
+		{"PATH 1 2", "expected TO"},
+		{"FIND 1; FIND 2", "unexpected character"},
+		{"FIND --1", "'-' must start a number"},
+		{"EXPLAIN", "expected a statement"},
+		{"EXPLAIN EXPLAIN FIND 1", "unknown statement"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, want error", c.src, q)
+			continue
+		}
+		if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) error %v does not unwrap to ErrParse", c.src, err)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T is not *ParseError", c.src, err)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseSourceTooLong(t *testing.T) {
+	src := "FIND " + strings.Repeat(" ", maxSourceLen)
+	if _, err := Parse(src + "1"); !errors.Is(err, ErrParse) {
+		t.Errorf("oversized source: got %v, want ErrParse", err)
+	}
+}

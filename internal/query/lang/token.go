@@ -1,0 +1,57 @@
+// Package lang implements CCAM-QL, the small declarative statement
+// language over a stored network:
+//
+//	FIND <id>
+//	WINDOW (x1, y1, x2, y2)
+//	NEIGHBORS <id> DEPTH <k> [AGG SUM|MIN|COUNT(<attr>)]
+//	ROUTE <id>, <id>, ... [AGG SUM|MIN|COUNT(<attr>)]
+//	PATH <src> TO <dst>
+//
+// each optionally prefixed with EXPLAIN. The package is the front end
+// only — a lexer, a recursive-descent parser and a typed AST whose
+// String methods print the canonical form (parse → print → parse is a
+// fixpoint, fuzz-asserted). Planning and execution live in the sibling
+// plan and exec packages.
+package lang
+
+// tokKind classifies a lexical token.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	// tokIdent is a bare word: keywords and aggregate attribute names.
+	tokIdent
+	// tokNumber is a numeric literal (integer or float, optional
+	// leading minus, optional exponent). The parser decides whether an
+	// integer is required.
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is one lexical token with its byte position in the source.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}

@@ -1,0 +1,137 @@
+// Package plan turns a parsed CCAM-QL statement (internal/query/lang)
+// into an executable access plan. The planner enumerates the access
+// paths the file supports — B+-tree point lookup, spatial-index window
+// (Z-range with BIGMIN jumps or R-tree), PAG-ordered sequential page
+// scan, and successor expansion — and picks the cheapest by predicted
+// data-page accesses.
+//
+// Predictions come in two strengths, both reported by EXPLAIN. The
+// paper's §3 formulas (internal/costmodel), fed with the live CRR/γ/λ
+// statistics, give the model cost of the traversal operators. On top
+// of that, every structure the prediction needs — node index,
+// placement, spatial index, adjacency — is memory resident (the
+// paper's assumption), so the planner also resolves the chosen path's
+// page set exactly: the headline "predicted data pages" is the number
+// of distinct data pages a cold buffer pool would read, which
+// execution then validates against the measured ReqStats deltas.
+package plan
+
+import (
+	"fmt"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/netfile"
+	"ccam/internal/storage"
+)
+
+// catalogEdge is one directed edge of the catalog's adjacency mirror.
+// The cost stays float32 — the stored precision — so the planner's
+// Dijkstra mirror accumulates distances exactly like the executor.
+type catalogEdge struct {
+	to   graph.NodeID
+	cost float32
+}
+
+// Stats is the statistics block of a catalog: the paper's cost-model
+// parameters plus the file's shape. It appears verbatim in every plan.
+type Stats struct {
+	// Alpha is α, the CRR: Pr[Page(i) == Page(j)] for an edge (i, j).
+	Alpha float64 `json:"alpha"`
+	// AvgA is |A|, the mean successor-list length.
+	AvgA float64 `json:"avg_a"`
+	// Lambda is λ, the mean neighbor-list length (succs + preds).
+	Lambda float64 `json:"lambda"`
+	// Gamma is γ, the blocking factor (records per data page).
+	Gamma float64 `json:"gamma"`
+	// Nodes and Pages are the file's record and data-page counts.
+	Nodes int `json:"nodes"`
+	Pages int `json:"pages"`
+	// Spatial names the secondary spatial index ("zorder", "rtree").
+	Spatial string `json:"spatial"`
+}
+
+// Catalog is the planner's view of a stored file: cost-model
+// statistics plus mirrors of the memory-resident structures (placement
+// and adjacency) and a probe into the spatial index. Building one
+// costs a sequential scan of the data file; the root facade caches it
+// per store and invalidates on mutation.
+type Catalog struct {
+	Stats Stats
+
+	pageOf map[graph.NodeID]storage.PageID
+	succs  map[graph.NodeID][]catalogEdge
+	// probe visits the spatial index's candidate ids for a window, with
+	// zero data-page I/O (netfile.(*File).SpatialCandidates).
+	probe func(rect geom.Rect, fn func(graph.NodeID) bool) error
+}
+
+// NewCatalog builds a catalog from the file with one sequential scan
+// (the scan's page reads are the build cost; they happen here, not
+// inside any planned query). The statistics match the store's live
+// gauges: Alpha is the unweighted CRR of the current placement.
+func NewCatalog(f *netfile.File) (*Catalog, error) {
+	place := f.Placement()
+	c := &Catalog{
+		pageOf: place,
+		succs:  make(map[graph.NodeID][]catalogEdge, len(place)),
+		probe:  f.SpatialCandidates,
+	}
+	var edges, samePage, neighborLen int64
+	err := f.Scan(func(rec *netfile.Record) bool {
+		es := make([]catalogEdge, len(rec.Succs))
+		myPage := place[rec.ID]
+		for i, s := range rec.Succs {
+			es[i] = catalogEdge{to: s.To, cost: s.Cost}
+			edges++
+			if pt, ok := place[s.To]; ok && pt == myPage {
+				samePage++
+			}
+		}
+		c.succs[rec.ID] = es
+		neighborLen += int64(len(rec.Succs) + len(rec.Preds))
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("plan: catalog scan: %w", err)
+	}
+	n := len(place)
+	c.Stats = Stats{
+		Nodes:   n,
+		Pages:   f.NumPages(),
+		Spatial: f.SpatialIndexKind().String(),
+	}
+	if edges > 0 {
+		c.Stats.Alpha = float64(samePage) / float64(edges)
+	}
+	if n > 0 {
+		c.Stats.AvgA = float64(edges) / float64(n)
+		c.Stats.Lambda = float64(neighborLen) / float64(n)
+	}
+	if c.Stats.Pages > 0 {
+		c.Stats.Gamma = float64(n) / float64(c.Stats.Pages)
+	}
+	return c, nil
+}
+
+// SetAlpha overrides the catalog's CRR with a live gauge value (the
+// store's ccam_crr, refreshed after every mutation), so plans quote
+// the same α the operator sees on /metrics.
+func (c *Catalog) SetAlpha(alpha float64) { c.Stats.Alpha = alpha }
+
+// Has reports whether the catalog knows node id.
+func (c *Catalog) Has(id graph.NodeID) bool {
+	_, ok := c.pageOf[id]
+	return ok
+}
+
+// pagesOf counts the distinct data pages of a node set.
+func (c *Catalog) pagesOf(ids map[graph.NodeID]bool) int {
+	pages := make(map[storage.PageID]bool, len(ids))
+	for id := range ids {
+		if pid, ok := c.pageOf[id]; ok {
+			pages[pid] = true
+		}
+	}
+	return len(pages)
+}

@@ -227,6 +227,19 @@ func (s *Server) dispatchBinary(ctx context.Context, op wire.Op, body []byte) ([
 			return nil, err
 		}
 		return wire.EncodeUint32Body(uint32(b.Len())), nil
+	case wire.OpQuery:
+		src, explain, err := wire.DecodeQueryBody(body)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			src = ccam.ExplainStatement(src)
+		}
+		res, err := s.st.Query(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeResultBody(res)
 	}
 	return nil, wire.RemoteError(wire.CodeBadRequest, "unknown op "+op.String())
 }

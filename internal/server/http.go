@@ -153,7 +153,7 @@ func (s *Server) Handler() http.Handler {
 		if err := decodeJSON(body, &req); err != nil {
 			return nil, err
 		}
-		recs, err := s.st.RangeQuery(ctx, req.Rect.Rect())
+		recs, err := s.st.RangeQuery(ctx, req.Rect)
 		if err != nil {
 			return nil, err
 		}
@@ -184,6 +184,21 @@ func (s *Server) Handler() http.Handler {
 			out[i] = wire.AggregateToJSON(a)
 		}
 		return &wire.RoutesResponse{Aggregates: out}, nil
+	})
+	handle("/v1/query", "query", func(ctx context.Context, body []byte) (any, error) {
+		var req wire.QueryRequest
+		if err := decodeJSON(body, &req); err != nil {
+			return nil, err
+		}
+		src := req.Query
+		if req.Explain {
+			src = ccam.ExplainStatement(src)
+		}
+		res, err := s.st.Query(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.QueryResponse{Result: res}, nil
 	})
 	handle("/v1/apply", "apply", func(ctx context.Context, body []byte) (any, error) {
 		var req wire.ApplyRequest

@@ -108,7 +108,7 @@ type opInstruments struct {
 // ops, which the JSON endpoints map onto one-to-one.
 var opNames = []string{
 	"ping", "find", "has", "get-successors", "evaluate-route",
-	"range-query", "find-batch", "evaluate-routes", "apply",
+	"range-query", "find-batch", "evaluate-routes", "apply", "query",
 }
 
 // logLimiter is a crude token bucket: at most burst events per second,

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -76,6 +77,9 @@ const (
 	OpEvaluateRoutes Op = 7
 	// OpApply commits one transactional batch: op list -> applied count.
 	OpApply Op = 8
+	// OpQuery runs one CCAM-QL statement: flags byte + statement ->
+	// JSON-encoded result.
+	OpQuery Op = 9
 )
 
 // String names the op for errors and traces.
@@ -99,6 +103,8 @@ func (o Op) String() string {
 		return "evaluate-routes"
 	case OpApply:
 		return "apply"
+	case OpQuery:
+		return "query"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -111,7 +117,7 @@ const MaxFrame = 16 << 20
 const reqHeaderSize = 9
 
 // opExtFlag on the op byte marks an extended (v7) request header. Op
-// codes are small (0–8 today, appended slowly), so the high bit is
+// codes are small (0–9 today, appended slowly), so the high bit is
 // free to carry framing.
 const opExtFlag = 0x80
 
@@ -694,6 +700,45 @@ func DecodeAggsBody(b []byte) ([]ccam.RouteAggregate, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after aggregates", ErrBadRequest, len(b))
 	}
 	return aggs, nil
+}
+
+// queryFlagExplain in the query body's flags byte asks for the plan
+// without executing, equivalent to an EXPLAIN prefix in the statement.
+const queryFlagExplain = 1 << 0
+
+// EncodeQueryBody encodes a CCAM-QL statement (OpQuery request): one
+// flags byte, then the statement's UTF-8 bytes.
+func EncodeQueryBody(src string, explain bool) []byte {
+	buf := make([]byte, 1, 1+len(src))
+	if explain {
+		buf[0] |= queryFlagExplain
+	}
+	return append(buf, src...)
+}
+
+// DecodeQueryBody decodes a CCAM-QL statement.
+func DecodeQueryBody(b []byte) (src string, explain bool, err error) {
+	if len(b) < 1 {
+		return "", false, fmt.Errorf("%w: empty query body", ErrBadRequest)
+	}
+	return string(b[1:]), b[0]&queryFlagExplain != 0, nil
+}
+
+// EncodeResultBody encodes a query result (OpQuery response). Unlike
+// the fixed-layout bodies above the result is an evolving composite
+// (plan, rows, aggregate, actuals), so it travels as its JSON
+// encoding inside the binary frame.
+func EncodeResultBody(res *ccam.Result) ([]byte, error) {
+	return json.Marshal(res)
+}
+
+// DecodeResultBody decodes a query result.
+func DecodeResultBody(b []byte) (*ccam.Result, error) {
+	res := new(ccam.Result)
+	if err := json.Unmarshal(b, res); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return res, nil
 }
 
 // EncodeUint32Body encodes a counter (OpApply response: ops applied).

@@ -225,6 +225,24 @@ func (c *Client) EvaluateRoutes(ctx context.Context, routes []ccam.Route) ([]cca
 	return DecodeAggsBody(body)
 }
 
+// Query runs one CCAM-QL statement on the server.
+func (c *Client) Query(ctx context.Context, src string) (*ccam.Result, error) {
+	body, err := c.call(ctx, OpQuery, EncodeQueryBody(src, false))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResultBody(body)
+}
+
+// Explain plans one CCAM-QL statement without executing it.
+func (c *Client) Explain(ctx context.Context, src string) (*ccam.Result, error) {
+	body, err := c.call(ctx, OpQuery, EncodeQueryBody(src, true))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResultBody(body)
+}
+
 // Apply commits one transactional batch and returns the op count.
 func (c *Client) Apply(ctx context.Context, ops []ApplyOp) (int, error) {
 	reqBody, err := EncodeApplyBody(ops)
@@ -353,7 +371,7 @@ func (c *HTTPClient) EvaluateRoute(ctx context.Context, route ccam.Route) (ccam.
 // RangeQuery fetches all records positioned inside the window.
 func (c *HTTPClient) RangeQuery(ctx context.Context, rect ccam.Rect) ([]*ccam.Record, error) {
 	var out RecordsResponse
-	if err := c.do(ctx, "/v1/range", RangeRequest{Rect: RectToJSON(rect)}, &out); err != nil {
+	if err := c.do(ctx, "/v1/range", RangeRequest{Rect: rect}, &out); err != nil {
 		return nil, err
 	}
 	return jsonRecords(out.Records), nil
@@ -383,6 +401,24 @@ func (c *HTTPClient) EvaluateRoutes(ctx context.Context, routes []ccam.Route) ([
 		aggs[i] = a.Aggregate()
 	}
 	return aggs, nil
+}
+
+// Query runs one CCAM-QL statement on the server.
+func (c *HTTPClient) Query(ctx context.Context, src string) (*ccam.Result, error) {
+	var out QueryResponse
+	if err := c.do(ctx, "/v1/query", QueryRequest{Query: src}, &out); err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// Explain plans one CCAM-QL statement without executing it.
+func (c *HTTPClient) Explain(ctx context.Context, src string) (*ccam.Result, error) {
+	var out QueryResponse
+	if err := c.do(ctx, "/v1/query", QueryRequest{Query: src, Explain: true}, &out); err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // Apply commits one transactional batch and returns the op count.

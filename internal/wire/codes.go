@@ -68,6 +68,15 @@ const (
 	CodeBadRequest Code = 12
 	// CodeInternal: any other server-side failure.
 	CodeInternal Code = 13
+	// CodeInvalidTour: a tour evaluation got a malformed tour
+	// (ccam.ErrInvalidTour).
+	CodeInvalidTour Code = 14
+	// CodeParse: a CCAM-QL statement the parser rejected
+	// (ccam.ErrQueryParse).
+	CodeParse Code = 15
+	// CodeUnsupported: a CCAM-QL statement that parses but that the
+	// planner cannot build a plan for (ccam.ErrQueryUnsupported).
+	CodeUnsupported Code = 16
 )
 
 // ErrBadRequest is the sentinel behind CodeBadRequest: the request was
@@ -105,6 +114,9 @@ var codeTable = []codeEntry{
 	{CodeNoPath, "no_path", http.StatusUnprocessableEntity, ccam.ErrNoPath},
 	{CodeChecksum, "checksum", http.StatusInternalServerError, ccam.ErrChecksum},
 	{CodeCorrupted, "corrupted", http.StatusInternalServerError, ccam.ErrCorruptedPage},
+	{CodeInvalidTour, "invalid_tour", http.StatusUnprocessableEntity, ccam.ErrInvalidTour},
+	{CodeParse, "parse_error", http.StatusBadRequest, ccam.ErrQueryParse},
+	{CodeUnsupported, "unsupported_query", http.StatusBadRequest, ccam.ErrQueryUnsupported},
 	{CodeBadRequest, "bad_request", http.StatusBadRequest, ErrBadRequest},
 	{CodeInternal, "internal", http.StatusInternalServerError, ErrInternal},
 }

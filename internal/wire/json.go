@@ -18,6 +18,7 @@ import (
 //	POST /v1/find-batch  FindBatchRequest   -> RecordsResponse
 //	POST /v1/routes      RoutesRequest      -> RoutesResponse
 //	POST /v1/apply       ApplyRequest       -> ApplyResponse
+//	POST /v1/query       QueryRequest       -> QueryResponse
 //	GET  /v1/info                           -> InfoResponse
 //
 // A non-2xx response carries ErrorResponse; its "code" field is the
@@ -97,25 +98,10 @@ func (a AggregateJSON) Aggregate() ccam.RouteAggregate {
 	return ccam.RouteAggregate{Nodes: a.Nodes, TotalCost: a.TotalCost, MinCost: a.MinCost, MaxCost: a.MaxCost}
 }
 
-// RectJSON is the JSON form of a query window.
-type RectJSON struct {
-	MinX float64 `json:"min_x"`
-	MinY float64 `json:"min_y"`
-	MaxX float64 `json:"max_x"`
-	MaxY float64 `json:"max_y"`
-}
-
-// Rect converts the wire form to a ccam.Rect (corner order agnostic).
-func (r RectJSON) Rect() ccam.Rect {
-	return ccam.NewRect(ccam.Point{X: r.MinX, Y: r.MinY}, ccam.Point{X: r.MaxX, Y: r.MaxY})
-}
-
-// RectToJSON converts a query window to its wire form.
-func RectToJSON(r ccam.Rect) RectJSON {
-	return RectJSON{MinX: r.Min.X, MinY: r.Min.Y, MaxX: r.Max.X, MaxY: r.Max.Y}
-}
-
-// Request bodies.
+// Request bodies. Query windows travel as ccam.Rect directly — the
+// type marshals itself as {"min_x":…,"min_y":…,"max_x":…,"max_y":…}
+// and normalizes corner order on decode, so the wire, the CCAM-QL
+// WINDOW clause and RangeQuery all share one window encoding.
 type (
 	// FindRequest asks for one node's record.
 	FindRequest struct {
@@ -135,7 +121,7 @@ type (
 	}
 	// RangeRequest asks for all records inside a window.
 	RangeRequest struct {
-		Rect RectJSON `json:"rect"`
+		Rect ccam.Rect `json:"rect"`
 	}
 	// FindBatchRequest asks for many records (positional results).
 	FindBatchRequest struct {
@@ -149,6 +135,13 @@ type (
 	// none do.
 	ApplyRequest struct {
 		Ops []ApplyOp `json:"ops"`
+	}
+	// QueryRequest carries one CCAM-QL statement. Explain asks for the
+	// plan without executing, equivalent to an EXPLAIN prefix in the
+	// statement itself.
+	QueryRequest struct {
+		Query   string `json:"query"`
+		Explain bool   `json:"explain,omitempty"`
 	}
 )
 
@@ -278,6 +271,12 @@ type (
 	// ApplyResponse acknowledges a committed batch.
 	ApplyResponse struct {
 		Applied int `json:"applied"`
+		StatsField
+	}
+	// QueryResponse carries a CCAM-QL result: the chosen plan, the
+	// rows/aggregate, and (for executed statements) the measured I/O.
+	QueryResponse struct {
+		Result *ccam.Result `json:"result"`
 		StatsField
 	}
 	// InfoResponse describes the served store.

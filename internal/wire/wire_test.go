@@ -33,6 +33,9 @@ var sentinelCases = []struct {
 	{"checksum", ccam.ErrChecksum, CodeChecksum},
 	{"corrupted", ccam.ErrCorruptedPage, CodeCorrupted},
 	{"no_path", ccam.ErrNoPath, CodeNoPath},
+	{"invalid_tour", ccam.ErrInvalidTour, CodeInvalidTour},
+	{"parse_error", ccam.ErrQueryParse, CodeParse},
+	{"unsupported_query", ccam.ErrQueryUnsupported, CodeUnsupported},
 	{"bad_request", ErrBadRequest, CodeBadRequest},
 	{"internal", ErrInternal, CodeInternal},
 }
@@ -299,5 +302,62 @@ func TestRecordJSONRoundTrip(t *testing.T) {
 	}
 	if got := rj.Record(); !reflect.DeepEqual(got, rec) {
 		t.Fatalf("json record round trip: got %+v want %+v", got, rec)
+	}
+}
+
+func TestQueryBodyRoundTrip(t *testing.T) {
+	for _, explain := range []bool{false, true} {
+		body := EncodeQueryBody("FIND 7", explain)
+		src, exp, err := DecodeQueryBody(body)
+		if err != nil || src != "FIND 7" || exp != explain {
+			t.Fatalf("query body (explain=%v): %q %v %v", explain, src, exp, err)
+		}
+	}
+	if _, _, err := DecodeQueryBody(nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty query body: %v", err)
+	}
+}
+
+func TestResultBodyRoundTrip(t *testing.T) {
+	res := &ccam.Result{
+		Stmt:  "FIND 7",
+		Kind:  "find",
+		Count: 1,
+		Nodes: []ccam.NodeResult{{ID: 7, X: 1.5, Y: -2.25}},
+	}
+	body, err := EncodeResultBody(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResultBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("result round trip:\n got %+v\nwant %+v", got, res)
+	}
+	if _, err := DecodeResultBody([]byte("{")); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("malformed result body: %v", err)
+	}
+}
+
+// The window type is shared: a RangeRequest's rect travels in the same
+// {"min_x":...} shape the CCAM-QL layer and geom package use.
+func TestRangeRequestRectJSON(t *testing.T) {
+	req := RangeRequest{Rect: ccam.NewRect(ccam.Point{X: 1, Y: 2}, ccam.Point{X: 3, Y: 4})}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"rect":{"min_x":1,"min_y":2,"max_x":3,"max_y":4}}`
+	if string(raw) != want {
+		t.Fatalf("RangeRequest JSON = %s, want %s", raw, want)
+	}
+	var back RangeRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rect != req.Rect {
+		t.Fatalf("rect round trip = %+v, want %+v", back.Rect, req.Rect)
 	}
 }

@@ -105,7 +105,7 @@ type observability struct {
 	shortestPath, evaluateTour            *opMetrics
 	locationAllocation, evaluateRouteUnit *opMetrics
 	scan, findBatch, evaluateRoutes       *opMetrics
-	build, apply                          *opMetrics
+	build, apply, query                   *opMetrics
 }
 
 func newObservability(reg *metrics.Registry, tr *metrics.Tracer) *observability {
@@ -139,6 +139,7 @@ func newObservability(reg *metrics.Registry, tr *metrics.Tracer) *observability 
 		evaluateRoutes:     newOpMetrics(reg, "evaluate_routes"),
 		build:              newOpMetrics(reg, "build"),
 		apply:              newOpMetrics(reg, "apply"),
+		query:              newOpMetrics(reg, "query"),
 	}
 }
 

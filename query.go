@@ -1,0 +1,170 @@
+package ccam
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"ccam/internal/netfile"
+	"ccam/internal/query"
+	"ccam/internal/query/exec"
+	"ccam/internal/query/lang"
+	"ccam/internal/query/plan"
+)
+
+// Result is the outcome of one CCAM-QL statement: the plan the
+// cost-model-driven planner chose, the statement's rows / aggregate /
+// path payload, and (after execution) the measured per-request I/O.
+// EXPLAIN statements return the plan and its rendering only.
+type Result = exec.Result
+
+// QueryPlan is the planner's output: the chosen access path with its
+// predicted data-page accesses, the costed alternatives, and the
+// statistics snapshot (α, |A|, λ, γ) the choice was made against.
+type QueryPlan = plan.Plan
+
+// NodeResult is one row of a Result: a matched node with its position
+// and successor ids.
+type NodeResult = exec.NodeResult
+
+// AggValue is a Result's computed aggregate.
+type AggValue = exec.AggValue
+
+// QueryActuals is a Result's measured per-request I/O account.
+type QueryActuals = exec.Actuals
+
+// Query-language sentinel errors.
+var (
+	// ErrQueryParse reports a CCAM-QL statement the parser rejected.
+	// The concrete error is a *lang.ParseError carrying the byte
+	// offset; errors.Is(err, ErrQueryParse) classifies it.
+	ErrQueryParse = lang.ErrParse
+	// ErrQueryUnsupported reports a statement that parses but that the
+	// planner cannot execute (e.g. an aggregate attribute the
+	// statement kind does not define).
+	ErrQueryUnsupported = plan.ErrUnsupported
+	// ErrInvalidTour reports a malformed tour passed to EvaluateTour.
+	ErrInvalidTour = query.ErrInvalidTour
+)
+
+// Query parses, plans and executes one CCAM-QL statement:
+//
+//	FIND <id>
+//	WINDOW (<x1>, <y1>, <x2>, <y2>)
+//	NEIGHBORS <id> DEPTH <k> [AGG SUM|MIN|COUNT(<attr>)]
+//	ROUTE <id>, <id>, ... [AGG SUM|MIN|COUNT(<attr>)]
+//	PATH <src> TO <dst>
+//
+// optionally prefixed with EXPLAIN, which returns the chosen plan —
+// access path and predicted data-page accesses from the paper's §3
+// cost model fed with the file's live statistics — without executing.
+// Executed statements additionally report the measured I/O deltas in
+// Result.Actual, so predictions can be validated request by request.
+//
+// The planner consults a catalog built from the file on first use and
+// rebuilt after any mutation; its statistics therefore always describe
+// the current placement.
+func (s *Store) Query(ctx context.Context, src string) (*Result, error) {
+	q, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := s.file()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := s.catalog(f)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan.Build(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Explain {
+		return exec.Explain(pl), nil
+	}
+	// Snapshot the physical counters around the execution so the
+	// result carries its measured I/O even on stores without Metrics.
+	io0 := f.DataIO()
+	pool0 := f.Pool().Stats()
+	idx0 := f.IndexVisits()
+	var res *Result
+	if s.obs != nil {
+		sn := s.obs.beginOpCtx(ctx, s.obs.query, f)
+		res, err = exec.Run(ctx, f, pl, q)
+		sn.end(err)
+	} else {
+		res, err = exec.Run(ctx, f, pl, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	io := f.DataIO().Sub(io0)
+	ps := f.Pool().Stats().Sub(pool0)
+	res.Actual = &exec.Actuals{
+		DataReads:    io.Reads,
+		IndexPages:   f.IndexVisits() - idx0,
+		BufferHits:   ps.Hits,
+		BufferMisses: ps.Misses,
+	}
+	return res, nil
+}
+
+// Query is the ctx-less convenience form of Store.Query.
+func (p Plain) Query(src string) (*Result, error) {
+	return p.q.Query(context.Background(), src)
+}
+
+// catalog returns the store's cached planner catalog, building it with
+// one sequential scan on first use. Callers hold at least the read
+// lock; the dedicated mutex lets concurrent readers share one build.
+func (s *Store) catalog(f *netfile.File) (*plan.Catalog, error) {
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if s.cat != nil {
+		return s.cat, nil
+	}
+	cat, err := plan.NewCatalog(f)
+	if err != nil {
+		return nil, err
+	}
+	s.cat = cat
+	return cat, nil
+}
+
+// invalidateCatalog drops the cached planner catalog; the next Query
+// rebuilds it against the mutated placement. Called wherever the
+// file's contents or placement change (Build, Apply).
+func (s *Store) invalidateCatalog() {
+	s.catMu.Lock()
+	s.cat = nil
+	s.catMu.Unlock()
+}
+
+// IsQueryError reports whether err belongs to the query-language error
+// family (parse failure, unsupported statement, no path, invalid
+// tour/route) as opposed to a storage-layer failure. The serving layer
+// uses it to map such failures to client-error responses.
+func IsQueryError(err error) bool {
+	return errors.Is(err, ErrQueryParse) ||
+		errors.Is(err, ErrQueryUnsupported) ||
+		errors.Is(err, ErrNoPath) ||
+		errors.Is(err, ErrInvalidTour)
+}
+
+// ExplainStatement returns src with an EXPLAIN prefix, unless one is
+// already present (case-insensitively). The serving layer uses it to
+// honor a request's explain flag without double prefixing.
+func ExplainStatement(src string) string {
+	trimmed := strings.TrimLeft(src, " \t\r\n")
+	if len(trimmed) >= len("EXPLAIN") && strings.EqualFold(trimmed[:len("EXPLAIN")], "EXPLAIN") {
+		rest := trimmed[len("EXPLAIN"):]
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == '\r' || rest[0] == '\n' {
+			return src
+		}
+	}
+	return "EXPLAIN " + src
+}
