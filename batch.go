@@ -85,16 +85,15 @@ func forEachLimit(ctx context.Context, n, workers int, fn func(i int) error) err
 // of ids[i]. The first lookup error, or a context cancellation, stops
 // the remaining work and is returned; partial results are discarded.
 func (s *Store) FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
+	defer v.release()
 	run := func() ([]*Record, error) {
 		out := make([]*Record, len(ids))
 		err := forEachLimit(ctx, len(ids), s.parallelism, func(i int) error {
-			rec, err := f.Find(ids[i])
+			rec, err := v.find(ids[i])
 			if err != nil {
 				return err
 			}
@@ -107,7 +106,7 @@ func (s *Store) FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error) 
 		return out, nil
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.findBatch, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.findBatch, v.f)
 		out, err := run()
 		sn.end(err)
 		return out, err
@@ -121,16 +120,15 @@ func (s *Store) FindBatch(ctx context.Context, ids []NodeID) ([]*Record, error) 
 // aggregate of routes[i]. The first evaluation error, or a context
 // cancellation, stops the remaining work and is returned.
 func (s *Store) EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggregate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
+	defer v.release()
 	run := func() ([]RouteAggregate, error) {
 		out := make([]RouteAggregate, len(routes))
 		err := forEachLimit(ctx, len(routes), s.parallelism, func(i int) error {
-			agg, err := f.EvaluateRoute(routes[i])
+			agg, err := v.evaluateRoute(routes[i])
 			if err != nil {
 				return err
 			}
@@ -143,7 +141,7 @@ func (s *Store) EvaluateRoutes(ctx context.Context, routes []Route) ([]RouteAggr
 		return out, nil
 	}
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.evaluateRoutes, f)
+		sn := s.obs.beginOpCtx(ctx, s.obs.evaluateRoutes, v.f)
 		out, err := run()
 		sn.end(err)
 		return out, err
@@ -237,6 +235,15 @@ func (op *batchOp) mutation() *netfile.Mutation {
 // may observe a committed-in-memory batch shortly before its commit
 // record is durable (read uncommitted durability, the standard group
 // commit trade).
+//
+// Apply takes only the store's writer lock, which snapshot queries do
+// not share: a reader that pinned its snapshot before the commit keeps
+// resolving the pre-batch page versions and placements for as long as
+// it runs, and a reader arriving mid-batch pins the previous commit —
+// neither waits on the batch's page I/O, its in-lock checkpoint or its
+// group-commit fsync. The batch's pre-images are captured into the
+// buffer pool's version chains (BeginVersionBatch) and published
+// atomically at the commit LSN (PublishVersionBatch).
 func (s *Store) Apply(ctx context.Context, b *Batch) error {
 	if b.Len() == 0 {
 		return ctx.Err()
@@ -246,8 +253,7 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if s.failed != nil {
-		err := s.failed
+	if err := s.failedErr(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
@@ -281,7 +287,12 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 			return err
 		}
 	}
+	// From here on the batch mutates pages: capture pre-images and
+	// placement changes so snapshot readers keep the pre-batch view
+	// until the commit publishes.
+	f.BeginVersionBatch()
 	var applyErr error
+	catOps := make([]catDelta, 0, len(b.ops))
 	for i := range b.ops {
 		op := &b.ops[i]
 		if s.applyFaultHook != nil {
@@ -303,12 +314,25 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 			applyErr = fmt.Errorf("ccam: apply op %d: %w", i, err)
 			break
 		}
+		// Drain the op's placement events: the CRR/WCRR gauges update
+		// incrementally here, and the planner-catalog delta is buffered
+		// until the commit LSN is known.
+		evs := f.TakePlacementEvents()
+		if s.obs != nil {
+			s.obs.applyPlaceEvents(evs)
+		}
+		catOps = append(catOps, catDelta{op: op, evs: evs})
 	}
 	if applyErr != nil {
 		if w != nil {
 			w.Append(storage.WALRecAbort, nil) // best effort; recovery ignores unterminated batches too
 		}
-		s.failed = fmt.Errorf("%w: mid-batch apply failure, reopen to recover: %v", ErrClosed, applyErr)
+		// The aborted batch's pre-images stay pending in the version
+		// chains, so any still-pinned reader keeps a committed view of
+		// the half-mutated pages; the poison below makes the torn live
+		// state unreachable until reopen.
+		f.AbortVersionBatch()
+		s.poison(fmt.Errorf("%w: mid-batch apply failure, reopen to recover: %v", ErrClosed, applyErr))
 		if s.obs != nil {
 			applySnap.end(applyErr)
 		}
@@ -319,7 +343,8 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 	if w != nil {
 		lsn, err := w.Append(storage.WALRecCommit, nil)
 		if err != nil {
-			s.failed = fmt.Errorf("%w: wal commit append failed, reopen to recover: %v", ErrClosed, err)
+			f.AbortVersionBatch()
+			s.poison(fmt.Errorf("%w: wal commit append failed, reopen to recover: %v", ErrClosed, err))
 			if s.obs != nil {
 				applySnap.end(err)
 			}
@@ -327,23 +352,28 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 			return err
 		}
 		commitLSN = lsn
-		if s.checkpointBytes > 0 && w.Size() > s.checkpointBytes {
-			if err := f.Checkpoint(); err != nil {
-				s.failed = fmt.Errorf("%w: checkpoint failed, reopen to recover: %v", ErrClosed, err)
-				if s.obs != nil {
-					applySnap.end(err)
-				}
-				s.mu.Unlock()
-				return err
+	}
+	// Publish before the checkpoint: the checkpoint executes deferred
+	// page frees, which must find the freed pages' committed images
+	// already stamped in the version chains.
+	lsn := f.PublishVersionBatch(commitLSN)
+	if w != nil && s.checkpointBytes > 0 && w.Size() > s.checkpointBytes {
+		if err := f.Checkpoint(); err != nil {
+			s.poison(fmt.Errorf("%w: checkpoint failed, reopen to recover: %v", ErrClosed, err))
+			if s.obs != nil {
+				applySnap.end(err)
 			}
+			s.mu.Unlock()
+			return err
 		}
 	}
-	// The batch changed contents (and possibly placement, through
-	// reorganization): the planner's catalog is stale.
-	s.invalidateCatalog()
+	// Fold the batch into the planner's catalog (if one is built) and
+	// publish the refreshed gauges; both are O(batch), not a rescan.
+	s.applyCatalogDeltas(f, lsn, catOps)
 	if s.obs != nil {
 		applySnap.end(nil)
-		s.obs.refreshGauges(f)
+		s.obs.setGauges()
+		s.obs.setSnapshotGauges(f)
 	}
 	s.mu.Unlock()
 	if w != nil {
@@ -366,11 +396,7 @@ func (s *Store) Apply(ctx context.Context, b *Batch) error {
 			}
 		}
 		if err != nil {
-			s.mu.Lock()
-			if s.failed == nil {
-				s.failed = fmt.Errorf("%w: wal commit failed, reopen to recover: %v", ErrClosed, err)
-			}
-			s.mu.Unlock()
+			s.poison(fmt.Errorf("%w: wal commit failed, reopen to recover: %v", ErrClosed, err))
 			return err
 		}
 	}
@@ -440,6 +466,71 @@ func (s *Store) applyOp(f *netfile.File, op *batchOp) error {
 		}
 	}
 	return err
+}
+
+// catDelta is one applied batch op together with the placement events
+// it produced, buffered so the planner catalog can be updated after
+// the commit LSN is known (the catalog may also not exist yet — it is
+// built lazily by Query — in which case the buffered deltas are simply
+// dropped; a catalog built later, from a snapshot at a newer LSN,
+// already includes them).
+type catDelta struct {
+	op  *batchOp
+	evs []netfile.PlaceEvent
+}
+
+// applyCatalogDeltas folds a committed batch into the planner catalog:
+// placement moves first (so edge sameness recomputes against the new
+// pages), then the op's logical change. The catLSN guard skips batches
+// the catalog's build snapshot already contained.
+func (s *Store) applyCatalogDeltas(f *netfile.File, lsn uint64, ds []catDelta) {
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if s.cat == nil || lsn <= s.catLSN {
+		return
+	}
+	for i := range ds {
+		d := &ds[i]
+		if d.op.kind == netfile.MutDeleteNode {
+			// Delete first, while the node's placement is still mirrored,
+			// so the incident edges unwind exactly; the tombstone event
+			// below is then a no-op.
+			s.cat.DeleteNode(d.op.id)
+		}
+		// A record relocated by the op (page split, shrink compaction)
+		// surfaces as a tombstone followed by a fresh placement, so
+		// only each node's final event is real: acting on the interim
+		// tombstone would drop the node's mirrored adjacency for good.
+		final := make(map[NodeID]storage.PageID, len(d.evs))
+		order := make([]NodeID, 0, len(d.evs))
+		for _, ev := range d.evs {
+			if _, ok := final[ev.ID]; !ok {
+				order = append(order, ev.ID)
+			}
+			final[ev.ID] = ev.Page
+		}
+		for _, id := range order {
+			if pid := final[id]; pid == storage.InvalidPageID {
+				if s.cat.Has(id) {
+					s.cat.DeleteNode(id)
+				}
+			} else {
+				s.cat.MoveNode(id, pid)
+			}
+		}
+		switch d.op.kind {
+		case netfile.MutInsertNode:
+			s.cat.InsertNode(d.op.insert)
+		case netfile.MutInsertEdge:
+			s.cat.AddEdge(d.op.from, d.op.to, d.op.cost)
+		case netfile.MutDeleteEdge:
+			s.cat.RemoveEdge(d.op.from, d.op.to)
+		case netfile.MutSetEdgeCost:
+			s.cat.SetEdgeCost(d.op.from, d.op.to, d.op.cost)
+		}
+	}
+	s.cat.RefreshStats(f.NumPages())
+	s.catLSN = lsn
 }
 
 // batchValidator checks a batch against the stored contents plus the

@@ -42,6 +42,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccam/internal/buffer"
@@ -217,6 +218,14 @@ type Options struct {
 	// throughput experiments (page-access counts are unaffected).
 	// Ignored when Path is set.
 	ReadLatency time.Duration
+	// SyncLatency, when positive, charges that much additional
+	// simulated wall-clock time per stable-storage sync — every WAL
+	// fsync and every data-file sync — the durable-path counterpart
+	// of ReadLatency: it reproduces the paper's disk-resident regime
+	// on hardware whose local fsync costs only tens of microseconds.
+	// Fsync counts, group-commit accounting and page-access counts
+	// are unaffected. Ignored without Path.
+	SyncLatency time.Duration
 	// Metrics enables the observability registry: per-operation
 	// counters and latency histograms, per-class page-access counters
 	// (B+-tree index vs CCAM data pages), buffer hit/miss latencies and
@@ -246,6 +255,31 @@ type Options struct {
 	// before acknowledging. Zero selects the 4 MiB default; the log
 	// always retains at least its last complete checkpoint.
 	CheckpointBytes int64
+	// ExclusiveReads restores the pre-MVCC concurrency regime: every
+	// query takes the store's reader-writer lock and therefore waits
+	// behind a running Apply (including its in-lock checkpoints). The
+	// default — snapshot reads — serves queries from an LSN-pinned
+	// consistent view that a concurrent Apply never blocks. Exclusive
+	// mode exists for A/B measurement (cmd/ccam-bench -exp mixed) and
+	// as an escape hatch; results are identical either way, only
+	// tail latency under write load differs.
+	ExclusiveReads bool
+	// BackgroundReorg starts the incremental reorganizer: a goroutine
+	// that watches the CRR gauge decay under updates and re-clusters
+	// the worst PAG neighborhoods a few pages at a time, through the
+	// WAL and the version layer, so readers keep their snapshots and
+	// never observe a stop-the-world rebuild. Requires Metrics (the
+	// trigger reads the live CRR gauge); only the CCAM access methods
+	// support it.
+	BackgroundReorg bool
+	// ReorgInterval is the reorganizer's polling period (default 2s).
+	ReorgInterval time.Duration
+	// ReorgMaxPages bounds the pages one reorganization round may
+	// re-cluster (default 16); small rounds keep the write lock short.
+	ReorgMaxPages int
+	// ReorgTriggerDrop is the CRR decay (from its high-water mark)
+	// that triggers a round (default 0.02).
+	ReorgTriggerDrop float64
 	// applyFaultHook, when non-nil, is called before each batch op is
 	// applied (with the op's index) and aborts the batch when it
 	// returns an error. Test-only: it simulates a mid-batch failure.
@@ -287,22 +321,38 @@ const (
 )
 
 // Store is a CCAM file: the paper's access method behind a convenience
-// facade. All methods are safe for concurrent use under a
-// reader-writer lock: the query operations (Find, GetASuccessor,
-// GetSuccessors, EvaluateRoute, RangeQuery, Nearest, the graph
-// searches, Scan and the read-only accessors) take a shared lock and
-// run in parallel with each other, while Build, Insert, Delete,
-// InsertEdge, DeleteEdge, SetEdgeCost, ResetIO, Flush and Close are
-// exclusive. This departs from the paper's one-query-at-a-time cost
-// model on purpose — route-evaluation workloads are read-dominated —
-// without changing any per-operation page-access count. FindBatch and
-// EvaluateRoutes additionally fan one call's work across a bounded
-// worker pool (see Options.Parallelism).
+// facade. All methods are safe for concurrent use. Queries (Find,
+// GetASuccessor, GetSuccessors, EvaluateRoute, RangeQuery, Has,
+// FindBatch, EvaluateRoutes and Query) run against an LSN-pinned
+// snapshot: each pins the newest committed mutation batch and reads
+// page versions and placements as of that batch, so a running Apply —
+// including its WAL group-commit fsync and in-lock checkpoints — never
+// blocks them and never leaks a half-applied batch into their view.
+// The remaining operations (Nearest, the graph searches, Scan,
+// EvaluateRouteUnit and the read-only accessors) share a reader-writer
+// lock with the mutators: they run in parallel with each other and
+// with snapshot queries, while Build, Insert, Delete, InsertEdge,
+// DeleteEdge, SetEdgeCost, Apply, ResetIO, Flush and Close are
+// exclusive among themselves. This departs from the paper's
+// one-query-at-a-time cost model on purpose — route-evaluation
+// workloads are read-dominated — without changing any per-operation
+// page-access count. Options.ExclusiveReads restores the old
+// everything-behind-one-lock regime for comparison runs.
 type Store struct {
+	// mu serializes mutators (Build, Apply, Flush, Close, ResetIO) and
+	// the non-snapshot read operations. structMu guards structural
+	// changes — Build replacing the file wholesale, Close, ResetIO —
+	// against snapshot readers: snapshot reads hold structMu.RLock
+	// only, so Apply (which takes only mu) never blocks them. Lock
+	// order: structMu before mu.
+	structMu    sync.RWMutex
 	mu          sync.RWMutex
 	m           netfile.AccessMethod
 	fs          *storage.FileStore
 	parallelism int
+	// exclusiveReads routes every query through mu instead of a
+	// snapshot (Options.ExclusiveReads).
+	exclusiveReads bool
 	// obs is non-nil only when Options.Metrics was set; every operation
 	// branches on it before paying any instrumentation cost.
 	obs    *observability
@@ -310,6 +360,8 @@ type Store struct {
 	// lastIO preserves the final I/O snapshot across Close, so IO()
 	// keeps answering on a closed store.
 	lastIO IOStats
+	// closed is written under both structMu and mu, so holding either
+	// read lock is enough to observe it.
 	closed bool
 	// wal is the store's write-ahead log (nil without Options.WAL).
 	// It is attached to the data file after Build/OpenPath, switching
@@ -320,20 +372,42 @@ type Store struct {
 	// failed poisons the store after a mid-batch apply failure: the
 	// in-memory state no longer matches any committed WAL prefix, so
 	// every subsequent operation fails with this error until the store
-	// is reopened (recovery restores the last committed state).
-	failed error
+	// is reopened (recovery restores the last committed state). It is
+	// an atomic pointer because snapshot readers check it without
+	// holding mu while Apply sets it under mu.
+	failed atomic.Pointer[error]
 	// replayedBatches/replayedMutations count what OpenPath recovered
 	// from the WAL tail.
 	replayedBatches   int
 	replayedMutations int
 	applyFaultHook    func(int) error
+	// reorg is the background incremental reorganizer (nil without
+	// Options.BackgroundReorg). Close halts it before locking.
+	reorg *reorganizer
 	// cat caches the CCAM-QL planner's catalog (statistics, placement
-	// and adjacency mirrors); it is built lazily by the first Query and
-	// dropped by any mutation. catMu guards it independently of mu so
-	// concurrent readers share one build.
-	catMu sync.Mutex
-	cat   *plan.Catalog
+	// and adjacency mirrors); it is built lazily by the first Query
+	// from a pinned snapshot and then kept current incrementally:
+	// every committed batch applies its op and placement deltas under
+	// catMu, guarded by catLSN (the commit LSN the catalog reflects)
+	// so a batch that committed before the catalog was built is never
+	// applied twice. Build drops it. catMu guards cat and catLSN
+	// independently of mu so a lazy build never blocks, and is never
+	// torn by, a concurrent Apply; lock order is mu before catMu.
+	catMu  sync.Mutex
+	cat    *plan.Catalog
+	catLSN uint64
 }
+
+// failedErr returns the poison error, or nil on a healthy store.
+func (s *Store) failedErr() error {
+	if p := s.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// poison marks the store failed; the first error wins.
+func (s *Store) poison(err error) { s.failed.CompareAndSwap(nil, &err) }
 
 // Name identifies the underlying access method ("ccam-s", "ccam-d",
 // "dfs-am", "bfs-am", "wdfs-am", "grid-file").
@@ -346,6 +420,9 @@ func Open(opts Options) (*Store, error) {
 	}
 	if opts.WAL && opts.Path == "" {
 		return nil, errors.New("ccam: Options.WAL requires Options.Path")
+	}
+	if opts.BackgroundReorg && !opts.Metrics {
+		return nil, errors.New("ccam: Options.BackgroundReorg requires Options.Metrics (the trigger reads the CRR gauge)")
 	}
 	cfg := iccam.Config{
 		PageSize:        opts.PageSize,
@@ -374,6 +451,9 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		fs = inner
+		if opts.SyncLatency > 0 {
+			fs.SetSyncLatency(opts.SyncLatency)
+		}
 		cfg.Store = cs
 		cfg.PageSize = cs.PageSize()
 	}
@@ -397,6 +477,7 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer,
 		checkpointBytes: opts.CheckpointBytes, applyFaultHook: opts.applyFaultHook,
+		exclusiveReads: opts.ExclusiveReads,
 	}
 	if s.checkpointBytes == 0 {
 		s.checkpointBytes = defaultCheckpointBytes
@@ -408,8 +489,17 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.wal = wal
+		if opts.SyncLatency > 0 {
+			wal.SetSyncLatency(opts.SyncLatency)
+		}
 		if obs != nil {
 			wal.Instrument(obs.walInstrumentation())
+		}
+	}
+	if opts.BackgroundReorg {
+		if err := s.startReorganizer(opts); err != nil {
+			s.Close()
+			return nil, err
 		}
 	}
 	return s, nil
@@ -422,13 +512,23 @@ func Open(opts Options) (*Store, error) {
 // contents recoverable), but once Build returns the loaded network is
 // durable and every later Apply is.
 func (s *Store) Build(g *Network) error {
+	// Build replaces the file wholesale and resets the version layer,
+	// so it excludes snapshot readers too (structMu), not just the
+	// lock-sharing operations (mu). Any Store.Snapshot the caller
+	// still holds must be closed first.
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if s.failed != nil {
-		return s.failed
+	if err := s.failedErr(); err != nil {
+		return err
+	}
+	if s.reorg != nil {
+		// The new contents start a fresh CRR high-water mark.
+		s.reorg.resetLocked()
 	}
 	if s.obs == nil {
 		err := s.buildLocked(g)
@@ -478,8 +578,8 @@ func (s *Store) file() (*netfile.File, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	if s.failed != nil {
-		return nil, s.failed
+	if err := s.failedErr(); err != nil {
+		return nil, err
 	}
 	f := s.m.File()
 	if f == nil {
@@ -488,23 +588,148 @@ func (s *Store) file() (*netfile.File, error) {
 	return f, nil
 }
 
-// Find retrieves the record of a node. The context is checked before
-// the record fetch, so canceling it (or exceeding its deadline) stops
-// the operation early.
-func (s *Store) Find(ctx context.Context, id NodeID) (*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// readView is one query's pinned read path: the file (for metrics
+// attribution, counters and the exclusive-reads mode) plus the
+// LSN-pinned view — unpinned under Options.ExclusiveReads, where the
+// query instead holds the store's reader-writer lock. It is a plain
+// value over netfile's value-form View, so opening, dispatching
+// through and releasing a read path allocates nothing.
+type readView struct {
+	s      *Store
+	f      *netfile.File
+	view   netfile.View
+	pinned bool
+}
+
+// readView opens the read path for one query. In the default snapshot
+// mode it pins the newest committed LSN under structMu.RLock — which a
+// running Apply does not hold, so the reader starts immediately. With
+// Options.ExclusiveReads it degenerates to the shared lock and an
+// unpinned view. release must be called exactly once.
+func (s *Store) readView() (readView, error) {
+	if s.exclusiveReads {
+		s.mu.RLock()
+		f, err := s.file()
+		if err != nil {
+			s.mu.RUnlock()
+			return readView{}, err
+		}
+		return readView{s: s, f: f}, nil
+	}
+	s.structMu.RLock()
+	f, err := s.file()
+	if err != nil {
+		s.structMu.RUnlock()
+		return readView{}, err
+	}
+	return readView{s: s, f: f, view: f.PinView(), pinned: true}, nil
+}
+
+func (v readView) release() {
+	if v.pinned {
+		v.view.Unpin()
+		v.s.structMu.RUnlock()
+		return
+	}
+	v.s.mu.RUnlock()
+}
+
+// The dispatch methods below branch per call instead of binding a
+// method value once: a method value allocates its receiver binding,
+// and the read path is kept allocation-free beyond the underlying
+// operation.
+
+func (v readView) findCtx(ctx context.Context, id NodeID) (*Record, error) {
+	if v.pinned {
+		return v.view.FindCtx(ctx, id)
+	}
+	return v.f.FindCtx(ctx, id)
+}
+
+func (v readView) find(id NodeID) (*Record, error) {
+	if v.pinned {
+		return v.view.Find(id)
+	}
+	return v.f.Find(id)
+}
+
+func (v readView) getASuccessor(cur *Record, succ NodeID) (*Record, error) {
+	if v.pinned {
+		return v.view.GetASuccessor(cur, succ)
+	}
+	return v.f.GetASuccessor(cur, succ)
+}
+
+func (v readView) getSuccessorsCtx(ctx context.Context, id NodeID) ([]*Record, error) {
+	if v.pinned {
+		return v.view.GetSuccessorsCtx(ctx, id)
+	}
+	return v.f.GetSuccessorsCtx(ctx, id)
+}
+
+func (v readView) evaluateRouteCtx(ctx context.Context, route Route) (RouteAggregate, error) {
+	if v.pinned {
+		return v.view.EvaluateRouteCtx(ctx, route)
+	}
+	return v.f.EvaluateRouteCtx(ctx, route)
+}
+
+func (v readView) evaluateRoute(route Route) (RouteAggregate, error) {
+	if v.pinned {
+		return v.view.EvaluateRoute(route)
+	}
+	return v.f.EvaluateRoute(route)
+}
+
+func (v readView) rangeQueryCtx(ctx context.Context, rect Rect) ([]*Record, error) {
+	if v.pinned {
+		return v.view.RangeQueryCtx(ctx, rect)
+	}
+	return v.f.RangeQueryCtx(ctx, rect)
+}
+
+// Snapshot pins the newest committed mutation batch and returns a
+// read-only view of the store as of that batch: a reader holding it
+// sees neither later Apply commits nor background reorganization, no
+// matter how long it lives, and never waits on them. Close must be
+// called exactly once to release the pinned page versions. The
+// snapshot must be closed before Build, ResetIO or Close; it fails
+// once the store is poisoned, closed or rebuilt. Returns an error on
+// an unbuilt or closed store, or with Options.ExclusiveReads (which
+// disables the version layer's read path).
+func (s *Store) Snapshot() (*Snapshot, error) {
+	if s.exclusiveReads {
+		return nil, errors.New("ccam: snapshots are disabled under Options.ExclusiveReads")
+	}
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
 	f, err := s.file()
 	if err != nil {
 		return nil, err
 	}
+	return f.Snapshot(), nil
+}
+
+// Snapshot is an LSN-consistent read-only view of a store, pinned by
+// Store.Snapshot. See netfile.Snapshot for the read operations.
+type Snapshot = netfile.Snapshot
+
+// Find retrieves the record of a node. The context is checked before
+// the record fetch, so canceling it (or exceeding its deadline) stops
+// the operation early.
+func (s *Store) Find(ctx context.Context, id NodeID) (*Record, error) {
+	v, err := s.readView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.find, f)
-		rec, err := f.FindCtx(ctx, id)
+		sn := s.obs.beginOpCtx(ctx, s.obs.find, v.f)
+		rec, err := v.findCtx(ctx, id)
 		sn.end(err)
 		return rec, err
 	}
-	return f.FindCtx(ctx, id)
+	return v.findCtx(ctx, id)
 }
 
 // GetASuccessor retrieves the record of succ, a successor of cur; the
@@ -514,38 +739,36 @@ func (s *Store) GetASuccessor(ctx context.Context, cur *Record, succ NodeID) (*R
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
+	defer v.release()
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.getASuccessor, f)
-		rec, err := f.GetASuccessor(cur, succ)
+		sn := s.obs.beginOpCtx(ctx, s.obs.getASuccessor, v.f)
+		rec, err := v.getASuccessor(cur, succ)
 		sn.end(err)
 		return rec, err
 	}
-	return f.GetASuccessor(cur, succ)
+	return v.getASuccessor(cur, succ)
 }
 
 // GetSuccessors retrieves the records of all successors of a node.
 // The context is checked before the node's own fetch and before each
 // successor fetch.
 func (s *Store) GetSuccessors(ctx context.Context, id NodeID) ([]*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
+	defer v.release()
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.getSuccessors, f)
-		recs, err := f.GetSuccessorsCtx(ctx, id)
+		sn := s.obs.beginOpCtx(ctx, s.obs.getSuccessors, v.f)
+		recs, err := v.getSuccessorsCtx(ctx, id)
 		sn.end(err)
 		return recs, err
 	}
-	return f.GetSuccessorsCtx(ctx, id)
+	return v.getSuccessorsCtx(ctx, id)
 }
 
 // EvaluateRoute computes the aggregate property of a route as a Find
@@ -553,19 +776,18 @@ func (s *Store) GetSuccessors(ctx context.Context, id NodeID) ([]*Record, error)
 // before each hop's record fetch, so canceling it stops a long route
 // without paying for the remaining page reads.
 func (s *Store) EvaluateRoute(ctx context.Context, route Route) (RouteAggregate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return RouteAggregate{}, err
 	}
+	defer v.release()
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.evaluateRoute, f)
-		agg, err := f.EvaluateRouteCtx(ctx, route)
+		sn := s.obs.beginOpCtx(ctx, s.obs.evaluateRoute, v.f)
+		agg, err := v.evaluateRouteCtx(ctx, route)
 		sn.end(err)
 		return agg, err
 	}
-	return f.EvaluateRouteCtx(ctx, route)
+	return v.evaluateRouteCtx(ctx, route)
 }
 
 // RangeQuery returns all records whose positions lie inside rect, via
@@ -573,19 +795,18 @@ func (s *Store) EvaluateRoute(ctx context.Context, route Route) (RouteAggregate,
 // candidate record fetch, so canceling it stops the index scan without
 // paying for the remaining page reads.
 func (s *Store) RangeQuery(ctx context.Context, rect Rect) ([]*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
+	defer v.release()
 	if s.obs != nil {
-		sn := s.obs.beginOpCtx(ctx, s.obs.rangeQuery, f)
-		recs, err := f.RangeQueryCtx(ctx, rect)
+		sn := s.obs.beginOpCtx(ctx, s.obs.rangeQuery, v.f)
+		recs, err := v.rangeQueryCtx(ctx, rect)
 		sn.end(err)
 		return recs, err
 	}
-	return f.RangeQueryCtx(ctx, rect)
+	return v.rangeQueryCtx(ctx, rect)
 }
 
 // Insert adds a new node with its edges under the given policy. It is
@@ -620,13 +841,15 @@ func (s *Store) Has(ctx context.Context, id NodeID) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return false, err
 	}
-	return f.HasRecord(id)
+	defer v.release()
+	if v.pinned {
+		return v.view.Has(id), nil
+	}
+	return v.f.HasRecord(id)
 }
 
 // Contains reports whether a node is stored. It is a convenience
@@ -697,6 +920,10 @@ func (s *Store) IO() IOStats {
 // ResetIO empties the buffer pool and zeroes the I/O counters, so the
 // next operation is measured cold.
 func (s *Store) ResetIO() error {
+	// Emptying the pool drops version chains too, so snapshot readers
+	// are excluded for the duration (structMu), like Build.
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f, err := s.file()
@@ -740,13 +967,20 @@ func (s *Store) Checkpoint() error { return s.Flush() }
 // without flushing: its memory state is not trustworthy, and the next
 // OpenPath recovers the last committed state from the log.
 func (s *Store) Close() error {
+	// Halt the background reorganizer before locking: its rounds take
+	// mu, so halting under the lock would deadlock.
+	if s.reorg != nil {
+		s.reorg.halt()
+	}
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
 	if f := s.m.File(); f != nil {
-		if s.failed == nil {
+		if s.failedErr() == nil {
 			if f.WAL() != nil {
 				if err := f.Checkpoint(); err != nil {
 					return err
@@ -800,6 +1034,9 @@ func NewBaseline(kind BaselineKind, opts Options) (*Store, error) {
 	if opts.WAL {
 		return nil, fmt.Errorf("ccam: baseline %q does not support a WAL", kind)
 	}
+	if opts.BackgroundReorg {
+		return nil, fmt.Errorf("ccam: baseline %q does not support background reorganization", kind)
+	}
 	var (
 		m   netfile.AccessMethod
 		err error
@@ -819,7 +1056,7 @@ func NewBaseline(kind BaselineKind, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{m: m, parallelism: opts.Parallelism}, nil
+	return &Store{m: m, parallelism: opts.Parallelism, exclusiveReads: opts.ExclusiveReads}, nil
 }
 
 // RoadMapOpts configures the synthetic road-network generator.
@@ -1011,6 +1248,9 @@ func OpenPath(path string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.SyncLatency > 0 {
+		fs.SetSyncLatency(opts.SyncLatency)
+	}
 	wantWAL := opts.WAL || haveWALDir || fs.Flags()&storage.FlagWAL != 0
 	f, err := netfile.OpenFromStoreOpts(st, netfile.Options{
 		PoolPages:       opts.PoolPages,
@@ -1060,6 +1300,9 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		if err != nil {
 			fs.Close()
 			return nil, err
+		}
+		if opts.SyncLatency > 0 {
+			wal.SetSyncLatency(opts.SyncLatency)
 		}
 		if fs.Flags()&storage.FlagWAL == 0 {
 			if err := fs.SetFlag(storage.FlagWAL); err != nil {
@@ -1117,9 +1360,20 @@ func OpenPath(path string, opts Options) (*Store, error) {
 		m: m, fs: fs, parallelism: opts.Parallelism, obs: obs, tracer: tracer,
 		wal: wal, checkpointBytes: opts.CheckpointBytes, applyFaultHook: opts.applyFaultHook,
 		replayedBatches: replayedBatches, replayedMutations: replayedMutations,
+		exclusiveReads: opts.ExclusiveReads,
 	}
 	if s.checkpointBytes == 0 {
 		s.checkpointBytes = defaultCheckpointBytes
+	}
+	if opts.BackgroundReorg {
+		if !opts.Metrics {
+			s.Close()
+			return nil, errors.New("ccam: Options.BackgroundReorg requires Options.Metrics (the trigger reads the CRR gauge)")
+		}
+		if err := s.startReorganizer(opts); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }

@@ -64,7 +64,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, query, build-scale, pool-scale, serve (the last seven are not part of all)")
+	exp := flag.String("exp", "all", "experiment: all, fig5, table5, fig6, fig7, ablation-partitioner, ablation-buffer, ablation-scale, ablation-search, ablation-lazy, ablation-topology, ablation-mixed, ablation-spatial, throughput, mutation, metrics, query, mixed, build-scale, pool-scale, serve (the last eight are not part of all)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	mapSeed := flag.Int64("mapseed", 169, "road map generator seed")
 	rows := flag.Int("rows", 0, "override road map lattice rows")
@@ -72,12 +72,12 @@ func main() {
 	parallel := flag.Int("parallel", 8, "largest worker-pool size the throughput experiment sweeps")
 	httpAddr := flag.String("http", "", "with -exp metrics: keep serving /metrics, /metrics.json, /traces and /debug/pprof on this address after the run")
 	sizes := flag.String("sizes", "", "with -exp build-scale: comma-separated node counts to sweep (default 4096,16384,65536,262144); with -exp pool-scale: worker counts (default 1,2,4,8,16)")
-	jsonPath := flag.String("json", "", "with -exp build-scale, pool-scale or serve: also write the result as JSON to this path")
-	check := flag.Bool("check", false, "with -exp build-scale, pool-scale, serve or query: fail unless the experiment's regression gates hold")
+	jsonPath := flag.String("json", "", "with -exp build-scale, pool-scale, serve or mixed: also write the result as JSON to this path")
+	check := flag.Bool("check", false, "with -exp build-scale, pool-scale, serve, query or mixed: fail unless the experiment's regression gates hold")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "with -exp pool-scale -check: required sharded-prefetch over single-latch throughput ratio at peak workers")
 	workers := flag.Int("workers", 0, "with -exp build-scale: clustering worker pool for the parallel variants (0 = GOMAXPROCS)")
 	conns := flag.Int("conns", 10000, "with -exp serve: concurrent binary-protocol connections")
-	duration := flag.Duration("duration", 10e9, "with -exp serve: measured load window; with -exp pool-scale: window per (variant, workers) point")
+	duration := flag.Duration("duration", 10e9, "with -exp serve: measured load window; with -exp pool-scale: window per (variant, workers) point; with -exp mixed: window per latching mode")
 	rate := flag.Int("rate", 0, "with -exp serve: open-loop target req/s across all connections (0 = closed loop)")
 	addr := flag.String("addr", "", "with -exp serve: load an external ccam-serve binary port instead of an in-process server")
 	serveBin := flag.String("serve-bin", "", "with -exp serve: run this ccam-serve binary as a child process instead of serving in-process (doubles the per-process fd budget and exercises the real SIGTERM drain)")
@@ -107,6 +107,8 @@ func main() {
 		Addr: *addr, ServeBin: *serveBin, MaxInFlight: *inflight,
 		TraceSample: *traceSample, SlowQuery: *slowQuery,
 		JSONPath: *jsonPath, Check: *check, Seed: *seed,
+	}, mixedConfig{
+		Duration: *duration, JSONPath: *jsonPath, Check: *check,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ccam-bench:", err)
 		os.Exit(1)
@@ -121,7 +123,7 @@ type buildScaleOpts struct {
 	check    bool
 }
 
-func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts, ps poolScaleOpts, sc serveConfig) error {
+func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr string, bs buildScaleOpts, ps poolScaleOpts, sc serveConfig, mx mixedConfig) error {
 	// The build-scale, pool-scale and serve experiments generate their
 	// own (much larger) networks, so skip building the default map.
 	if exp == "build-scale" {
@@ -254,6 +256,17 @@ func run(w io.Writer, exp string, setup bench.Setup, parallel int, httpAddr stri
 			MaxWorkers: parallel,
 			Seed:       setup.Seed,
 		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ran = true
+	}
+	// The mixed experiment compares reader latency under the two
+	// latching modes while durable writers churn, then exercises the
+	// background reorganizer; wall-clock, so it runs only by name.
+	if exp == "mixed" {
+		mx.Seed = setup.Seed
+		if err := runMixed(w, g, mx); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

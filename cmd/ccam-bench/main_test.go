@@ -33,7 +33,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for exp, marker := range cases {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, exp, tinySetup(), 2, "", buildScaleOpts{}, poolScaleOpts{}, serveConfig{}); err != nil {
+			if err := run(&buf, exp, tinySetup(), 2, "", buildScaleOpts{}, poolScaleOpts{}, serveConfig{}, mixedConfig{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 			out := buf.String()
@@ -62,7 +62,7 @@ func TestRunScaleExperiment(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", tinySetup(), 2, "", buildScaleOpts{}, poolScaleOpts{}, serveConfig{}); err == nil {
+	if err := run(&buf, "nope", tinySetup(), 2, "", buildScaleOpts{}, poolScaleOpts{}, serveConfig{}, mixedConfig{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -190,6 +191,21 @@ type Pool struct {
 	// inst holds the optional latency instrumentation; an atomic
 	// pointer so enabling it never races with in-flight fetches.
 	inst atomic.Pointer[PoolInstrumentation]
+
+	// MVCC page-version state (see version.go). verMu guards the
+	// version chains and the batch bookkeeping; committed is the LSN of
+	// the newest published batch; snapMu guards the snapshot refcounts.
+	verMu       sync.RWMutex
+	versions    map[storage.PageID]*pageVersion
+	pendingVers []storage.PageID
+	verBatch    bool
+	committed   atomic.Uint64
+	snapMu      sync.Mutex
+	snapRefs    map[uint64]int
+	gcFloor     uint64
+	verEntries  atomic.Int64
+	verBytes    atomic.Int64
+	snapBufs    sync.Pool
 }
 
 // PoolInstrumentation carries the optional instrumentation of a pool.
@@ -235,7 +251,10 @@ func NewPoolShards(store storage.Store, capacity, shards int) *Pool {
 		store:    store,
 		capacity: capacity,
 		shards:   make([]*shard, shards),
+		versions: make(map[storage.PageID]*pageVersion),
+		snapRefs: make(map[uint64]int),
 	}
+	p.snapBufs.New = func() any { return make([]byte, store.PageSize()) }
 	base, extra := capacity/shards, capacity%shards
 	for i := range p.shards {
 		c := base

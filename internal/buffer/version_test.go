@@ -1,0 +1,252 @@
+package buffer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"ccam/internal/storage"
+)
+
+// mutatePage runs one version-batch mutation of page id: the committed
+// image is saved to the chain, the frame is overwritten with fill, and
+// the batch publishes at commitLSN (0 auto-assigns). Returns the LSN.
+func mutatePage(t *testing.T, p *Pool, id storage.PageID, fill byte, commitLSN uint64) uint64 {
+	t.Helper()
+	p.BeginVersionBatch()
+	data, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SaveVersion(id, data)
+	for i := range data {
+		data[i] = fill
+	}
+	p.Unpin(id, true)
+	return p.PublishVersions(commitLSN)
+}
+
+func readAt(t *testing.T, p *Pool, id storage.PageID, lsn uint64) []byte {
+	t.Helper()
+	data, release, err := p.ReadAt(id, lsn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp
+}
+
+// TestVersionSnapshotSeesPreBatchImage pins a snapshot, commits a
+// batch over it, and checks both sides: the pinned reader keeps the
+// old image, a fresh reader sees the new one.
+func TestVersionSnapshotSeesPreBatchImage(t *testing.T) {
+	p, ids := newPoolWithPages(t, 4, 2)
+	defer p.Close()
+	id := ids[0]
+
+	lsn0 := p.AcquireSnapshot()
+	if lsn0 != 0 {
+		t.Fatalf("initial committed LSN = %d, want 0", lsn0)
+	}
+	commit := mutatePage(t, p, id, 0xAA, 0)
+	if commit != 1 {
+		t.Fatalf("auto-assigned LSN = %d, want 1", commit)
+	}
+
+	if got := readAt(t, p, id, lsn0); got[0] != 1 {
+		t.Fatalf("pinned reader sees %#x, want pre-batch image", got[0])
+	}
+	if got := readAt(t, p, id, commit); got[0] != 0xAA {
+		t.Fatalf("new reader sees %#x, want committed image", got[0])
+	}
+	if n := p.ActiveSnapshots(); n != 1 {
+		t.Fatalf("ActiveSnapshots = %d, want 1", n)
+	}
+	if entries, _ := p.VersionStats(); entries != 1 {
+		t.Fatalf("retained entries = %d, want 1", entries)
+	}
+
+	// Releasing the pin advances the floor and collects the chain.
+	p.ReleaseSnapshot(lsn0)
+	if entries, b := p.VersionStats(); entries != 0 || b != 0 {
+		t.Fatalf("after release: entries=%d bytes=%d, want 0,0", entries, b)
+	}
+	if f := p.VersionFloor(); f != commit {
+		t.Fatalf("floor = %d, want %d", f, commit)
+	}
+}
+
+// TestVersionChainMiddleReader pins between two batches and must see
+// exactly the first batch's image — the chain entry whose validity
+// interval covers it — not the base or the newest bytes.
+func TestVersionChainMiddleReader(t *testing.T) {
+	p, ids := newPoolWithPages(t, 4, 1)
+	defer p.Close()
+	id := ids[0]
+
+	pin0 := p.AcquireSnapshot() // 0: base image
+	lsn1 := mutatePage(t, p, id, 0x11, 0)
+	pin1 := p.AcquireSnapshot() // 1: first batch's image
+	lsn2 := mutatePage(t, p, id, 0x22, 0)
+
+	if got := readAt(t, p, id, pin0); got[0] != 1 {
+		t.Fatalf("reader@%d sees %#x, want base image", pin0, got[0])
+	}
+	if got := readAt(t, p, id, pin1); got[0] != 0x11 {
+		t.Fatalf("reader@%d sees %#x, want batch-1 image", pin1, got[0])
+	}
+	if got := readAt(t, p, id, lsn2); got[0] != 0x22 {
+		t.Fatalf("reader@%d sees %#x, want live image", lsn2, got[0])
+	}
+	if lsn1 != 1 || lsn2 != 2 {
+		t.Fatalf("LSNs = %d,%d, want 1,2", lsn1, lsn2)
+	}
+
+	// Release out of order: dropping the old pin first lets GC cut the
+	// base entry but must keep the batch-1 entry for pin1.
+	p.ReleaseSnapshot(pin0)
+	if got := readAt(t, p, id, pin1); got[0] != 0x11 {
+		t.Fatalf("after partial GC reader@%d sees %#x, want batch-1 image", pin1, got[0])
+	}
+	p.ReleaseSnapshot(pin1)
+	if entries, _ := p.VersionStats(); entries != 0 {
+		t.Fatalf("retained entries = %d, want 0", entries)
+	}
+}
+
+// TestVersionAbortKeepsCommittedImages aborts a half-applied batch and
+// checks that both a previously pinned reader and a fresh pin resolve
+// the mutated page to its committed bytes — the frame's torn bytes are
+// unreachable at any pinnable LSN.
+func TestVersionAbortKeepsCommittedImages(t *testing.T) {
+	p, ids := newPoolWithPages(t, 4, 1)
+	defer p.Close()
+	id := ids[0]
+
+	pin := p.AcquireSnapshot()
+	p.BeginVersionBatch()
+	data, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SaveVersion(id, data)
+	for i := range data {
+		data[i] = 0xEE // torn bytes that must never be served
+	}
+	p.Unpin(id, true)
+	p.AbortVersionBatch()
+
+	if got := readAt(t, p, id, pin); got[0] != 1 {
+		t.Fatalf("pinned reader sees %#x after abort, want committed image", got[0])
+	}
+	fresh := p.AcquireSnapshot()
+	if got := readAt(t, p, id, fresh); got[0] != 1 {
+		t.Fatalf("fresh reader sees %#x after abort, want committed image", got[0])
+	}
+	p.ReleaseSnapshot(pin)
+	p.ReleaseSnapshot(fresh)
+}
+
+// TestVersionReadersNeverSeeTornPages hammers one page with version
+// batches while readers continuously pin, read and verify that every
+// image they observe is internally consistent (a single repeated fill
+// byte) and matches their pinned LSN's expected value.
+func TestVersionReadersNeverSeeTornPages(t *testing.T) {
+	p, ids := newPoolWithPages(t, 4, 1)
+	defer p.Close()
+	id := ids[0]
+
+	// Fill the page so image k (committed at LSN k) is all-k bytes.
+	base, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		base[i] = 0
+	}
+	p.Unpin(id, true)
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lsn := p.AcquireSnapshot()
+				data, release, err := p.ReadAt(id, lsn, nil)
+				if err != nil {
+					t.Error(err)
+					p.ReleaseSnapshot(lsn)
+					return
+				}
+				want := byte(lsn % 251)
+				ok := true
+				for _, b := range data {
+					if b != want {
+						ok = false
+						break
+					}
+				}
+				release()
+				p.ReleaseSnapshot(lsn)
+				if !ok {
+					t.Errorf("reader@%d saw torn or wrong image (want fill %#x)", lsn, want)
+					return
+				}
+			}
+		}()
+	}
+	for k := uint64(1); k <= rounds; k++ {
+		mutatePage(t, p, id, byte(k%251), k)
+	}
+	close(stop)
+	wg.Wait()
+	if entries, b := p.VersionStats(); entries != 0 || b != 0 {
+		t.Fatalf("after drain: entries=%d bytes=%d, want 0,0", entries, b)
+	}
+}
+
+// TestVersionSaveIsIdempotentPerBatch saves the same page twice in one
+// batch and checks only the first (committed) image is retained — the
+// second save must not capture the batch's own half-applied bytes.
+func TestVersionSaveIsIdempotentPerBatch(t *testing.T) {
+	p, ids := newPoolWithPages(t, 4, 1)
+	defer p.Close()
+	id := ids[0]
+
+	pin := p.AcquireSnapshot()
+	p.BeginVersionBatch()
+	data, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SaveVersion(id, data)
+	for i := range data {
+		data[i] = 0x33
+	}
+	p.SaveVersion(id, data) // no-op: the batch already saved this page
+	for i := range data {
+		data[i] = 0x44
+	}
+	p.Unpin(id, true)
+	p.PublishVersions(0)
+
+	if entries, _ := p.VersionStats(); entries != 1 {
+		t.Fatalf("retained entries = %d, want 1", entries)
+	}
+	got := readAt(t, p, id, pin)
+	want := bytes.Repeat([]byte{1}, 1)
+	if got[0] != want[0] {
+		t.Fatalf("pinned reader sees %#x, want first committed image", got[0])
+	}
+	p.ReleaseSnapshot(pin)
+}

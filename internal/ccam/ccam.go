@@ -472,6 +472,22 @@ func (m *Method) NbrPages(pid storage.PageID) ([]storage.PageID, error) {
 	return out, nil
 }
 
+// ReclusterPages re-clusters the records of the given pages with
+// cluster-nodes-into-pages, logging the reorganization to the WAL as a
+// merge record (replay skips it — reorganization is a clustering
+// optimization, not a content change). It is the entry point of the
+// facade's background incremental reorganizer: one bounded
+// neighborhood per call, never the whole file.
+func (m *Method) ReclusterPages(pids []storage.PageID) error {
+	if len(pids) == 0 {
+		return nil
+	}
+	if err := m.f.LogReorg(netfile.MutMergePages, pids); err != nil {
+		return err
+	}
+	return m.reorganizePages(pids, false)
+}
+
 // reorganizePages re-clusters the records of the given pages with
 // cluster-nodes-into-pages and rewrites the pages. When forceSplit is
 // set (overflow handling) the target is two pages even if the records

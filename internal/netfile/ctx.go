@@ -40,13 +40,21 @@ func (f *File) GetSuccessorsCtx(ctx context.Context, id graph.NodeID) ([]*Record
 }
 
 func (f *File) getSuccessorsCtx(ctx context.Context, id graph.NodeID, at *metrics.ActiveTrace) ([]*Record, error) {
-	rec, err := f.findCtx(ctx, id, at)
+	return getSuccessorsVia(ctx, id, at, f.findCtx)
+}
+
+// recordFinder abstracts "fetch one record" so the traversal loops are
+// shared between the live file and LSN-pinned snapshots.
+type recordFinder func(ctx context.Context, id graph.NodeID, at *metrics.ActiveTrace) (*Record, error)
+
+func getSuccessorsVia(ctx context.Context, id graph.NodeID, at *metrics.ActiveTrace, find recordFinder) ([]*Record, error) {
+	rec, err := find(ctx, id, at)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Record, 0, len(rec.Succs))
 	for _, s := range rec.Succs {
-		sr, err := f.findCtx(ctx, s.To, at)
+		sr, err := find(ctx, s.To, at)
 		if err != nil {
 			return nil, fmt.Errorf("netfile: get-successors of %d: %w", id, err)
 		}
@@ -65,10 +73,14 @@ func (f *File) EvaluateRouteCtx(ctx context.Context, route graph.Route) (RouteAg
 }
 
 func (f *File) evaluateRouteCtx(ctx context.Context, route graph.Route, at *metrics.ActiveTrace) (RouteAggregate, error) {
+	return evaluateRouteVia(ctx, route, at, f.findCtx)
+}
+
+func evaluateRouteVia(ctx context.Context, route graph.Route, at *metrics.ActiveTrace, find recordFinder) (RouteAggregate, error) {
 	if len(route) == 0 {
 		return RouteAggregate{}, fmt.Errorf("%w: empty route", graph.ErrInvalidRoute)
 	}
-	rec, err := f.findCtx(ctx, route[0], at)
+	rec, err := find(ctx, route[0], at)
 	if err != nil {
 		return RouteAggregate{}, err
 	}
@@ -88,7 +100,7 @@ func (f *File) evaluateRouteCtx(ctx context.Context, route graph.Route, at *metr
 		}
 		// The successor constraint was just verified, so this hop is a
 		// Get-A-successor: read succ's record through the pool.
-		rec, err = f.findCtx(ctx, route[i], at)
+		rec, err = find(ctx, route[i], at)
 		if err != nil {
 			return RouteAggregate{}, err
 		}

@@ -112,6 +112,20 @@ type File struct {
 	wal         *storage.WAL
 	fstore      *storage.FileStore
 	pendingFree []storage.PageID
+
+	// Snapshot-read state (see snapshot.go). overlay is the versioned
+	// node→page map snapshot readers resolve placements through without
+	// touching the B+-tree index; curDelta/verActive/events are
+	// writer-side batch bookkeeping. spatMu lets lock-free snapshot
+	// range queries share the live spatial index with the serialized
+	// writer; hintMu does the same for the PAG hint and live-page maps,
+	// which the pool's prefetch callback reads from reader goroutines.
+	overlay   atomic.Pointer[overlayState]
+	curDelta  *overlayDelta
+	verActive bool
+	events    []PlaceEvent
+	spatMu    sync.RWMutex
+	hintMu    sync.RWMutex
 }
 
 // Create opens a fresh, empty data file.
@@ -158,6 +172,7 @@ func Create(opts Options) (*File, error) {
 		pagHints:  make(map[storage.PageID][]storage.PageID),
 		idxStore:  idxStore,
 	}
+	f.overlay.Store(&overlayState{base: make(map[graph.NodeID]storage.PageID)})
 	if opts.Prefetch {
 		f.pool.SetAdjacency(f.PrefetchHints)
 		f.pool.EnablePrefetch(opts.PrefetchWorkers, 0)
@@ -238,8 +253,14 @@ func (f *File) Pool() *buffer.Pool { return f.pool }
 // NumNodes returns the number of stored records.
 func (f *File) NumNodes() int { return f.index.Len() }
 
-// NumPages returns the number of live data pages.
-func (f *File) NumPages() int { return len(f.pages) }
+// NumPages returns the number of live data pages. Safe for concurrent
+// use (snapshot readers consult it for planner statistics while
+// mutations allocate and free pages).
+func (f *File) NumPages() int {
+	f.hintMu.RLock()
+	defer f.hintMu.RUnlock()
+	return len(f.pages)
+}
 
 // Quantizer returns the Z-order quantizer of the spatial index.
 func (f *File) Quantizer() geom.Quantizer { return f.quant }
@@ -305,7 +326,9 @@ func (f *File) AllocatePage() (storage.PageID, error) {
 	if err := f.pool.Unpin(pid, true); err != nil {
 		return storage.InvalidPageID, err
 	}
+	f.hintMu.Lock()
 	f.pages[pid] = true
+	f.hintMu.Unlock()
 	return pid, nil
 }
 
@@ -317,7 +340,18 @@ func (f *File) FreePage(pid storage.PageID) error {
 	if !f.pages[pid] {
 		return fmt.Errorf("netfile: free of unknown page %d", pid)
 	}
+	// Preserve the committed image for pinned snapshots before the
+	// frame is discarded: the page id may be recycled (and its bytes
+	// overwritten) while an old reader can still resolve nodes to it.
+	if f.pool.VersionBatchActive() {
+		if b, err := f.pool.Fetch(pid); err == nil {
+			f.pool.SaveVersion(pid, b)
+			f.pool.Unpin(pid, false)
+		}
+	}
+	f.hintMu.Lock()
 	delete(f.pages, pid)
+	f.hintMu.Unlock()
 	delete(f.free, pid)
 	f.invalidatePAGHints(pid)
 	f.pool.Discard(pid)
@@ -333,10 +367,12 @@ func (f *File) FreePage(pid storage.PageID) error {
 
 // Pages returns the live data page ids in ascending order.
 func (f *File) Pages() []storage.PageID {
+	f.hintMu.RLock()
 	out := make([]storage.PageID, 0, len(f.pages))
 	for pid := range f.pages {
 		out = append(out, pid)
 	}
+	f.hintMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -366,6 +402,28 @@ func (f *File) withPageTraced(pid storage.PageID, at *metrics.ActiveTrace, fn fu
 	return err
 }
 
+// withPageWrite is withPage for mutators: before the slotted view is
+// handed to fn, the page's current (committed) bytes are captured into
+// the pool's version chain when a version batch is open, so pinned
+// snapshot readers keep an LSN-consistent image of the page.
+func (f *File) withPageWrite(pid storage.PageID, fn func(sp *storage.SlottedPage) (dirty bool, err error)) error {
+	b, err := f.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	f.pool.SaveVersion(pid, b)
+	sp, err := storage.LoadSlottedPage(b)
+	if err != nil {
+		f.pool.Unpin(pid, false)
+		return err
+	}
+	dirty, err := fn(sp)
+	if uerr := f.pool.Unpin(pid, dirty); uerr != nil && err == nil {
+		err = uerr
+	}
+	return err
+}
+
 // InsertRecordAt stores rec on page pid and indexes it. It fails with
 // storage.ErrPageFull when the record does not fit, leaving the file
 // unchanged.
@@ -377,7 +435,7 @@ func (f *File) InsertRecordAt(rec *Record, pid storage.PageID) error {
 		return fmt.Errorf("netfile: insert into unknown page %d", pid)
 	}
 	enc := EncodeRecord(rec)
-	err := f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+	err := f.withPageWrite(pid, func(sp *storage.SlottedPage) (bool, error) {
 		if _, err := sp.Insert(enc); err != nil {
 			return false, err
 		}
@@ -391,9 +449,13 @@ func (f *File) InsertRecordAt(rec *Record, pid storage.PageID) error {
 	if err := f.index.Insert(uint64(rec.ID), uint64(pid)); err != nil {
 		return fmt.Errorf("netfile: index insert %d: %w", rec.ID, err)
 	}
-	if err := f.spatial.put(rec.Pos, rec.ID); err != nil {
+	f.spatMu.Lock()
+	err = f.spatial.put(rec.Pos, rec.ID)
+	f.spatMu.Unlock()
+	if err != nil {
 		return fmt.Errorf("netfile: spatial insert %d: %w", rec.ID, err)
 	}
+	f.notePlacement(rec.ID, pid)
 	return nil
 }
 
@@ -463,7 +525,7 @@ func (f *File) UpdateRecord(rec *Record) error {
 	}
 	enc := EncodeRecord(rec)
 	f.invalidatePAGHints(pid)
-	return f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+	return f.withPageWrite(pid, func(sp *storage.SlottedPage) (bool, error) {
 		for _, slot := range sp.Slots() {
 			raw, err := sp.Get(slot)
 			if err != nil {
@@ -493,7 +555,7 @@ func (f *File) DeleteRecord(id graph.NodeID) (*Record, error) {
 		return nil, err
 	}
 	var rec *Record
-	err = f.withPage(pid, func(sp *storage.SlottedPage) (bool, error) {
+	err = f.withPageWrite(pid, func(sp *storage.SlottedPage) (bool, error) {
 		for _, slot := range sp.Slots() {
 			raw, err := sp.Get(slot)
 			if err != nil {
@@ -526,9 +588,19 @@ func (f *File) DeleteRecord(id graph.NodeID) (*Record, error) {
 	if err := f.index.Delete(uint64(id)); err != nil {
 		return nil, fmt.Errorf("netfile: index delete %d: %w", id, err)
 	}
-	if err := f.spatial.remove(rec.Pos, id); err != nil {
+	f.spatMu.Lock()
+	err = f.spatial.remove(rec.Pos, id)
+	if err == nil && f.verActive {
+		// Keep the spatial entry reachable for pinned snapshots: range
+		// queries at an older LSN union these with the live index.
+		d := f.batchDelta()
+		d.removed = append(d.removed, spatialEntry{pos: rec.Pos, id: id})
+	}
+	f.spatMu.Unlock()
+	if err != nil {
 		return nil, fmt.Errorf("netfile: spatial delete %d: %w", id, err)
 	}
+	f.notePlacement(id, storage.InvalidPageID)
 	return rec, nil
 }
 
@@ -699,7 +771,9 @@ func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
 		if err := f.pool.Unpin(pid, true); err != nil {
 			return err
 		}
+		f.hintMu.Lock()
 		f.pages[pid] = true
+		f.hintMu.Unlock()
 		f.free[pid] = img.free
 		pids[gi] = pid
 		total += len(img.recs)
@@ -738,6 +812,13 @@ func (f *File) BulkLoad(g *graph.Network, groups [][]graph.NodeID) error {
 	if err := f.spatial.bulkLoad(spatialEntries); err != nil {
 		return fmt.Errorf("netfile: bulk load spatial index: %w", err)
 	}
+	base := make(map[graph.NodeID]storage.PageID, total)
+	for gi, img := range images {
+		for _, rec := range img.recs {
+			base[rec.ID] = pids[gi]
+		}
+	}
+	f.ResetVersions(base)
 	return f.pool.FlushAll()
 }
 
@@ -791,6 +872,7 @@ func (f *File) ReplacePageContents(pid storage.PageID, recs []*Record) error {
 	if err != nil {
 		return err
 	}
+	f.pool.SaveVersion(pid, b)
 	sp := storage.NewSlottedPage(b)
 	for _, rec := range recs {
 		if _, err := sp.Insert(EncodeRecord(rec)); err != nil {
@@ -807,9 +889,13 @@ func (f *File) ReplacePageContents(pid storage.PageID, recs []*Record) error {
 		if err := f.index.Put(uint64(rec.ID), uint64(pid)); err != nil {
 			return fmt.Errorf("netfile: reindex %d: %w", rec.ID, err)
 		}
-		if err := f.spatial.put(rec.Pos, rec.ID); err != nil {
+		f.spatMu.Lock()
+		err = f.spatial.put(rec.Pos, rec.ID)
+		f.spatMu.Unlock()
+		if err != nil {
 			return fmt.Errorf("netfile: spatial reindex %d: %w", rec.ID, err)
 		}
+		f.notePlacement(rec.ID, pid)
 	}
 	return nil
 }
@@ -893,6 +979,7 @@ func OpenFromStoreOpts(st storage.Store, opts Options) (*File, error) {
 		return nil, err
 	}
 	// Second pass: rebuild the memory-resident structures.
+	base := make(map[graph.NodeID]storage.PageID)
 	for _, pg := range pages {
 		f.pages[pg.pid] = true
 		f.free[pg.pid] = pg.free
@@ -903,8 +990,10 @@ func OpenFromStoreOpts(st storage.Store, opts Options) (*File, error) {
 			if err := f.spatial.put(rec.Pos, rec.ID); err != nil {
 				return nil, fmt.Errorf("netfile: open: spatial reindex %d: %w", rec.ID, err)
 			}
+			base[rec.ID] = pg.pid
 		}
 	}
+	f.ResetVersions(base)
 	recsByPage := make(map[storage.PageID][]*Record, len(pages))
 	for _, pg := range pages {
 		recsByPage[pg.pid] = pg.recs

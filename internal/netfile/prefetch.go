@@ -64,7 +64,9 @@ func (f *File) rebuildPAGHints(recsByPage map[storage.PageID][]*Record) {
 		}
 		hints[pid] = nbrs
 	}
+	f.hintMu.Lock()
 	f.pagHints = hints
+	f.hintMu.Unlock()
 }
 
 // PrefetchHints returns a two-level PAG frontier around pid, best
@@ -75,12 +77,14 @@ func (f *File) rebuildPAGHints(recsByPage map[storage.PageID][]*Record) {
 // distance-1 hints issued when a page is first used are always one
 // disk read behind the walker — the distance-2 ring overlaps that
 // read with the next one. It is the pool's adjacency callback: it
-// runs on the fetching goroutine, under the same shared lock as the
-// query that missed, so reading the hint and page maps is safe
-// against the exclusively locked mutations that rewrite them. Pages
-// mutated since the last build have no hints (mutations invalidate
-// them) — a cold answer, never a wrong one.
+// runs on the fetching goroutine — including lock-free snapshot
+// readers — so the hint and page maps are read under hintMu against
+// the serialized mutations that rewrite them. Pages mutated since the
+// last build have no hints (mutations invalidate them) — a cold
+// answer, never a wrong one.
 func (f *File) PrefetchHints(pid storage.PageID) []storage.PageID {
+	f.hintMu.RLock()
+	defer f.hintMu.RUnlock()
 	hs := f.pagHints[pid]
 	if len(hs) == 0 {
 		return nil
@@ -111,7 +115,75 @@ func (f *File) PrefetchHints(pid storage.PageID) []storage.PageID {
 // (PrefetchHints filters freed ones), and mutations must stay O(1) in
 // the hint structure.
 func (f *File) invalidatePAGHints(pid storage.PageID) {
+	f.hintMu.Lock()
 	if f.pagHints != nil {
 		delete(f.pagHints, pid)
 	}
+	f.hintMu.Unlock()
+}
+
+// RefreshPAGHints recomputes the prefetch digest for exactly the given
+// pages against the current placement, restoring hints that mutations
+// dropped — the background reorganizer calls it for each neighborhood
+// it re-clusters, so incremental reorganization also repairs prefetch
+// coverage without a full rebuild. Unknown or freed pages are skipped.
+func (f *File) RefreshPAGHints(pids []storage.PageID) error {
+	recsByPage := make(map[storage.PageID][]*Record, len(pids))
+	for _, pid := range pids {
+		f.hintMu.RLock()
+		live := f.pages[pid]
+		f.hintMu.RUnlock()
+		if !live {
+			continue
+		}
+		recs, err := f.RecordsOnPage(pid)
+		if err != nil {
+			return err
+		}
+		recsByPage[pid] = recs
+	}
+	if len(recsByPage) == 0 {
+		return nil
+	}
+	// Rank each page's cross-page neighbors exactly as rebuildPAGHints
+	// does, but resolve placements through the node index (the full
+	// placement map is not at hand for an incremental refresh).
+	counts := make(map[storage.PageID]int)
+	for pid, recs := range recsByPage {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, r := range recs {
+			for _, s := range r.Succs {
+				if q, err := f.PageOf(s.To); err == nil && q != pid {
+					counts[q]++
+				}
+			}
+			for _, p := range r.Preds {
+				if q, err := f.PageOf(p); err == nil && q != pid {
+					counts[q]++
+				}
+			}
+		}
+		if len(counts) == 0 {
+			continue
+		}
+		nbrs := make([]storage.PageID, 0, len(counts))
+		for q := range counts {
+			nbrs = append(nbrs, q)
+		}
+		sort.Slice(nbrs, func(i, j int) bool {
+			if counts[nbrs[i]] != counts[nbrs[j]] {
+				return counts[nbrs[i]] > counts[nbrs[j]]
+			}
+			return nbrs[i] < nbrs[j]
+		})
+		if len(nbrs) > pagHintFanout {
+			nbrs = nbrs[:pagHintFanout]
+		}
+		f.hintMu.Lock()
+		f.pagHints[pid] = nbrs
+		f.hintMu.Unlock()
+	}
+	return nil
 }

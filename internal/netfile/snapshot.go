@@ -1,0 +1,548 @@
+package netfile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+	"ccam/internal/metrics"
+	"ccam/internal/storage"
+)
+
+// This file is the netfile half of snapshot reads. The buffer pool
+// keeps LSN-tagged version chains of page bytes (buffer/version.go);
+// what the pool cannot know is *which page a node lives on* at a given
+// LSN — placements move under inserts, deletes and reorganization. The
+// overlay below is a versioned node→page map maintained alongside the
+// B+-tree index: an immutable base plus one delta per mutation batch,
+// each stamped with its commit LSN. A snapshot reader resolves a node
+// through the overlay at its pinned LSN, then reads the page image at
+// that LSN through the pool — never touching the B+-tree, the live
+// frame latches of in-progress writes, or any file-wide lock.
+//
+// Writer protocol (serialized by the owner, e.g. the facade's write
+// lock): BeginVersionBatch opens a pool version batch and installs a
+// pending overlay delta; every placement mutation records itself into
+// the delta (and as a PlaceEvent for the owner's incremental gauges and
+// planner catalog); PublishVersionBatch stamps the delta and the page
+// versions with the commit LSN — readers pinned below it keep their
+// view, readers arriving after it see the new one, atomically.
+
+// PlaceEvent records one placement change of a mutation batch: node ID
+// now lives on Page (InvalidPageID = the record was deleted). The owner
+// drains them per operation via TakePlacementEvents to maintain
+// derived structures (CRR gauges, planner catalog) incrementally.
+type PlaceEvent struct {
+	ID   graph.NodeID
+	Page storage.PageID
+}
+
+// pendingOverlayLSN tags a delta whose batch has not committed yet; it
+// compares above every real LSN, so readers skip it.
+const pendingOverlayLSN = ^uint64(0)
+
+// overlayDelta is one batch's placement changes. lsn is the commit LSN
+// (pendingOverlayLSN until the batch publishes — the atomic store of
+// the real LSN is also the release barrier that makes the maps safe to
+// read). removed keeps the spatial entries the batch deleted, so range
+// queries at an older LSN can still surface those nodes; it is guarded
+// by the file's spatMu while pending.
+type overlayDelta struct {
+	lsn     atomic.Uint64
+	entries map[graph.NodeID]storage.PageID // InvalidPageID = deleted
+	removed []spatialEntry
+}
+
+// overlayState is an immutable snapshot of the versioned placement
+// map: deltas newest-first over a base that folds every batch at or
+// below baseLSN. Readers load it atomically and never see it change.
+type overlayState struct {
+	base    map[graph.NodeID]storage.PageID
+	baseLSN uint64
+	deltas  []*overlayDelta
+}
+
+// lookup resolves node id at snapshot lsn: the newest delta at or
+// below lsn that mentions the node wins, else the base.
+func (st *overlayState) lookup(id graph.NodeID, lsn uint64) (storage.PageID, bool) {
+	for _, d := range st.deltas {
+		if d.lsn.Load() > lsn {
+			continue
+		}
+		if pid, ok := d.entries[id]; ok {
+			if pid == storage.InvalidPageID {
+				return storage.InvalidPageID, false
+			}
+			return pid, true
+		}
+	}
+	pid, ok := st.base[id]
+	return pid, ok
+}
+
+// placements materializes the full node→page map as of lsn (the
+// snapshot analogue of File.Placement, used by snapshot scans).
+func (st *overlayState) placements(lsn uint64) map[graph.NodeID]storage.PageID {
+	out := make(map[graph.NodeID]storage.PageID, len(st.base))
+	for id, pid := range st.base {
+		out[id] = pid
+	}
+	for i := len(st.deltas) - 1; i >= 0; i-- { // oldest first
+		d := st.deltas[i]
+		if d.lsn.Load() > lsn {
+			continue
+		}
+		for id, pid := range d.entries {
+			if pid == storage.InvalidPageID {
+				delete(out, id)
+			} else {
+				out[id] = pid
+			}
+		}
+	}
+	return out
+}
+
+// notePlacement records a placement change at the mutation sites.
+// Inside a version batch it goes to the pending delta and the event
+// stream; outside one (direct File use, serialized by the owner) the
+// current base is updated in place.
+func (f *File) notePlacement(id graph.NodeID, pid storage.PageID) {
+	if f.verActive {
+		f.batchDelta().entries[id] = pid
+		f.events = append(f.events, PlaceEvent{ID: id, Page: pid})
+		return
+	}
+	st := f.overlay.Load()
+	if pid == storage.InvalidPageID {
+		delete(st.base, id)
+	} else {
+		st.base[id] = pid
+	}
+}
+
+// batchDelta returns the open batch's pending overlay delta, creating
+// and installing it on first use. The lazy install keeps batches that
+// never move a placement (edge-cost updates, most edge inserts) off
+// the overlay entirely — no allocation, no delta-list growth, and
+// nothing for readers to skip — which keeps the facade's latched
+// commit section short.
+func (f *File) batchDelta() *overlayDelta {
+	if f.curDelta != nil {
+		return f.curDelta
+	}
+	d := &overlayDelta{entries: make(map[graph.NodeID]storage.PageID)}
+	d.lsn.Store(pendingOverlayLSN)
+	old := f.overlay.Load()
+	deltas := make([]*overlayDelta, 0, len(old.deltas)+1)
+	deltas = append(deltas, d)
+	deltas = append(deltas, old.deltas...)
+	f.overlay.Store(&overlayState{base: old.base, baseLSN: old.baseLSN, deltas: deltas})
+	f.curDelta = d
+	return d
+}
+
+// BeginVersionBatch opens a mutation batch for snapshot isolation: the
+// pool starts capturing pre-images of mutated pages and a pending
+// overlay delta collects placement changes (installed lazily by the
+// first placement change). Callers must serialize batches (the facade
+// holds its write lock across one).
+func (f *File) BeginVersionBatch() {
+	f.pool.BeginVersionBatch()
+	f.curDelta = nil
+	f.verActive = true
+	f.events = f.events[:0]
+}
+
+// PublishVersionBatch commits the open batch at commitLSN (0 auto-
+// assigns the next LSN for stores without a WAL): the overlay delta is
+// stamped first, then the pool publishes the page versions and
+// advances the committed LSN — so a reader pinning the new LSN finds
+// both the new placements and the new page images, and a reader pinned
+// below it finds neither. Returns the LSN used.
+func (f *File) PublishVersionBatch(commitLSN uint64) uint64 {
+	if commitLSN == 0 {
+		commitLSN = f.pool.CommittedLSN() + 1
+	}
+	if f.curDelta != nil {
+		f.curDelta.lsn.Store(commitLSN)
+		f.curDelta = nil
+	}
+	f.verActive = false
+	f.pool.PublishVersions(commitLSN)
+	f.compactOverlay()
+	return commitLSN
+}
+
+// AbortVersionBatch closes the open batch without committing. The
+// pending delta stays in the overlay, permanently tagged pending, so
+// readers keep skipping it — mirroring the pool, which keeps the
+// aborted batch's pre-images pending so readers keep resolving the
+// half-mutated pages to their committed bytes. The owner poisons the
+// store after an abort; everything is reclaimed on reopen.
+func (f *File) AbortVersionBatch() {
+	f.pool.AbortVersionBatch()
+	f.curDelta = nil
+	f.verActive = false
+	f.events = nil
+}
+
+// TakePlacementEvents drains the placement events recorded since the
+// batch began (or since the previous drain), in mutation order.
+func (f *File) TakePlacementEvents() []PlaceEvent {
+	evs := f.events
+	f.events = nil
+	return evs
+}
+
+// ResetVersions discards all version state and installs base as the
+// overlay's new foundation (build and open call it once the on-disk
+// placement is rebuilt). Callers must have drained every snapshot.
+func (f *File) ResetVersions(base map[graph.NodeID]storage.PageID) {
+	f.pool.DropVersions()
+	if base == nil {
+		base = make(map[graph.NodeID]storage.PageID)
+	}
+	f.overlay.Store(&overlayState{base: base})
+	f.curDelta = nil
+	f.verActive = false
+	f.events = nil
+}
+
+// overlayCompactThreshold bounds the delta list a reader must walk per
+// lookup; past it, publish folds every delta below the version floor
+// into a fresh base.
+const overlayCompactThreshold = 64
+
+func (f *File) compactOverlay() {
+	st := f.overlay.Load()
+	if len(st.deltas) < overlayCompactThreshold {
+		return
+	}
+	floor := f.pool.VersionFloor()
+	// deltas are newest-first; the foldable ones form a suffix. A
+	// permanently pending delta (aborted batch) blocks folding past it,
+	// which is fine: the store is poisoned after an abort.
+	idx := len(st.deltas)
+	for idx > 0 {
+		l := st.deltas[idx-1].lsn.Load()
+		if l == pendingOverlayLSN || l > floor {
+			break
+		}
+		idx--
+	}
+	if idx == len(st.deltas) {
+		return
+	}
+	base := make(map[graph.NodeID]storage.PageID, len(st.base))
+	for id, pid := range st.base {
+		base[id] = pid
+	}
+	for i := len(st.deltas) - 1; i >= idx; i-- { // oldest first
+		for id, pid := range st.deltas[i].entries {
+			if pid == storage.InvalidPageID {
+				delete(base, id)
+			} else {
+				base[id] = pid
+			}
+		}
+	}
+	f.overlay.Store(&overlayState{
+		base:    base,
+		baseLSN: floor,
+		deltas:  append([]*overlayDelta(nil), st.deltas[:idx]...),
+	})
+}
+
+// OverlayDepth reports the current overlay delta count (observability).
+func (f *File) OverlayDepth() int { return len(f.overlay.Load().deltas) }
+
+// View is an LSN-consistent read-only view of the file, held by
+// value: every read resolves placements through the overlay and page
+// bytes through the pool's version chains as of the pinned LSN,
+// without taking any file-wide lock — concurrent mutation batches,
+// checkpoints and reorganization never block it and never leak into
+// its view. A View is a borrow: the creator must pair PinView with
+// exactly one Unpin, and the value form exists so a per-query
+// pin/read/unpin cycle allocates nothing (the facade's read path).
+// Long-lived, independently closeable views are Snapshot.
+type View struct {
+	f   *File
+	lsn uint64
+}
+
+// PinView pins the current committed LSN and returns a value view at
+// it. The caller owns the pin and must call Unpin exactly once.
+func (f *File) PinView() View {
+	return View{f: f, lsn: f.pool.AcquireSnapshot()}
+}
+
+// Unpin releases the view's pin (not idempotent — the single owner
+// releases it once).
+func (s View) Unpin() { s.f.pool.ReleaseSnapshot(s.lsn) }
+
+// LSN returns the pinned commit LSN.
+func (s View) LSN() uint64 { return s.lsn }
+
+// Snapshot is the long-lived form of View for callers outside the
+// store's own query path: a heap handle whose Close is idempotent, so
+// it can be handed to application code and defer-closed safely. All
+// read operations come from the embedded View.
+type Snapshot struct {
+	View
+	released atomic.Bool
+}
+
+// Snapshot pins the current committed LSN and returns a read view at
+// it.
+func (f *File) Snapshot() *Snapshot {
+	return &Snapshot{View: f.PinView()}
+}
+
+// Close unpins the snapshot; idempotent.
+func (s *Snapshot) Close() {
+	if s.released.CompareAndSwap(false, true) {
+		s.f.pool.ReleaseSnapshot(s.lsn)
+	}
+}
+
+// readRecordTraced is the snapshot analogue of File.readRecordTraced:
+// an overlay lookup (charged as one index visit — the overlay replaces
+// the B+-tree descent) followed by a versioned page read.
+func (s View) readRecordTraced(id graph.NodeID, at *metrics.ActiveTrace) (*Record, error) {
+	tok := at.BeginSpan("index.descent")
+	pid, ok := s.f.overlay.Load().lookup(id, s.lsn)
+	s.f.idxVisits.Add(1)
+	tok.End()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	data, release, err := s.f.pool.ReadAt(pid, s.lsn, at)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sp, err := storage.LoadSlottedPage(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, slot := range sp.Slots() {
+		raw, err := sp.Get(slot)
+		if err != nil {
+			return nil, err
+		}
+		rid, err := RecordID(raw)
+		if err != nil {
+			return nil, err
+		}
+		if rid == id {
+			return DecodeRecord(raw)
+		}
+	}
+	return nil, fmt.Errorf("netfile: snapshot@%d maps %d to page %d but record is absent: %w", s.lsn, id, pid, ErrCorruptRecord)
+}
+
+// Find retrieves the record of node id as of the snapshot.
+func (s View) Find(id graph.NodeID) (*Record, error) {
+	return s.FindCtx(context.Background(), id)
+}
+
+// FindCtx is Find with cooperative cancellation.
+func (s View) FindCtx(ctx context.Context, id graph.NodeID) (*Record, error) {
+	at := s.f.tracer.StartCtx(ctx, "find")
+	rec, err := s.findCtx(ctx, id, at)
+	at.Finish(err)
+	return rec, err
+}
+
+func (s View) findCtx(ctx context.Context, id graph.NodeID, at *metrics.ActiveTrace) (*Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.readRecordTraced(id, at)
+}
+
+// Has reports whether node id exists as of the snapshot.
+func (s View) Has(id graph.NodeID) bool {
+	_, ok := s.f.overlay.Load().lookup(id, s.lsn)
+	return ok
+}
+
+// GetASuccessor retrieves the record of succ, a successor of cur, as
+// of the snapshot (paper §2.3; cur may be nil to skip the check).
+func (s View) GetASuccessor(cur *Record, succ graph.NodeID) (*Record, error) {
+	if cur != nil && !cur.HasSucc(succ) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNotSuccessor, succ, cur.ID)
+	}
+	at := s.f.tracer.Start("get-a-successor")
+	rec, err := s.readRecordTraced(succ, at)
+	at.Finish(err)
+	return rec, err
+}
+
+// GetSuccessorsCtx retrieves the records of all successors of node id
+// as of the snapshot.
+func (s View) GetSuccessorsCtx(ctx context.Context, id graph.NodeID) ([]*Record, error) {
+	at := s.f.tracer.StartCtx(ctx, "get-successors")
+	out, err := getSuccessorsVia(ctx, id, at, s.findCtx)
+	at.Finish(err)
+	return out, err
+}
+
+// EvaluateRouteCtx computes the aggregate property of a route as of
+// the snapshot (paper §2.3, "Route Evaluation").
+func (s View) EvaluateRouteCtx(ctx context.Context, route graph.Route) (RouteAggregate, error) {
+	at := s.f.tracer.StartCtx(ctx, "evaluate-route")
+	agg, err := evaluateRouteVia(ctx, route, at, s.findCtx)
+	at.Finish(err)
+	return agg, err
+}
+
+// EvaluateRoute is EvaluateRouteCtx with context.Background().
+func (s View) EvaluateRoute(route graph.Route) (RouteAggregate, error) {
+	return s.EvaluateRouteCtx(context.Background(), route)
+}
+
+// GetSuccessors is GetSuccessorsCtx with context.Background().
+func (s View) GetSuccessors(id graph.NodeID) ([]*Record, error) {
+	return s.GetSuccessorsCtx(context.Background(), id)
+}
+
+// Placement materializes the node → data-page assignment as of the
+// snapshot (the versioned analogue of File.Placement).
+func (s View) Placement() graph.Placement {
+	return s.f.overlay.Load().placements(s.lsn)
+}
+
+// NumPages reports the live data-page count. It is read from the
+// current file, not the pinned LSN — callers use it for planner
+// statistics, where the live shape is the better estimate.
+func (s View) NumPages() int { return s.f.NumPages() }
+
+// SpatialIndexKind reports the file's spatial index structure.
+func (s View) SpatialIndexKind() SpatialKind { return s.f.SpatialIndexKind() }
+
+// SpatialCandidates probes the live spatial index for rect's candidate
+// ids (planner page-set resolution; approximate against the pinned LSN
+// exactly as the planner's statistics are).
+func (s View) SpatialCandidates(rect geom.Rect, fn func(id graph.NodeID) bool) error {
+	return s.f.SpatialCandidates(rect, fn)
+}
+
+// RangeQueryCtx returns the records of every node whose position lies
+// in rect as of the snapshot. Candidates come from the live spatial
+// index unioned with the spatial entries removed by batches committed
+// after the pinned LSN; each candidate is then resolved at the
+// snapshot LSN, so nodes inserted after it drop out and nodes deleted
+// after it reappear.
+func (s View) RangeQueryCtx(ctx context.Context, rect geom.Rect) ([]*Record, error) {
+	at := s.f.tracer.StartCtx(ctx, "range-query")
+	out, err := s.rangeQueryCtx(ctx, rect, at)
+	at.Finish(err)
+	return out, err
+}
+
+func (s View) rangeQueryCtx(ctx context.Context, rect geom.Rect, at *metrics.ActiveTrace) ([]*Record, error) {
+	st := s.f.overlay.Load()
+	var cand []graph.NodeID
+	s.f.spatMu.RLock()
+	err := s.f.spatial.search(rect, func(id graph.NodeID) bool {
+		cand = append(cand, id)
+		return true
+	})
+	if err == nil {
+		for _, d := range st.deltas {
+			if d.lsn.Load() <= s.lsn {
+				continue
+			}
+			for _, e := range d.removed {
+				if rect.Contains(e.pos) {
+					cand = append(cand, e.id)
+				}
+			}
+		}
+	}
+	s.f.spatMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[graph.NodeID]bool, len(cand))
+	var out []*Record
+	for _, id := range cand {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		rec, err := s.readRecordTraced(id, at)
+		if errors.Is(err, ErrNotFound) {
+			continue // inserted after the snapshot
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rect.Contains(rec.Pos) {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// Scan visits every record as of the snapshot, page by page in page-id
+// order (one versioned page read per page). fn returning false stops
+// early.
+func (s View) Scan(fn func(rec *Record) bool) error {
+	place := s.f.overlay.Load().placements(s.lsn)
+	pageSet := make(map[storage.PageID]bool, len(place))
+	for _, pid := range place {
+		pageSet[pid] = true
+	}
+	pids := make([]storage.PageID, 0, len(pageSet))
+	for pid := range pageSet {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		recs, err := s.recordsOnPage(pid)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if !fn(rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func (s View) recordsOnPage(pid storage.PageID) ([]*Record, error) {
+	data, release, err := s.f.pool.ReadAt(pid, s.lsn, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sp, err := storage.LoadSlottedPage(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Record
+	for _, slot := range sp.Slots() {
+		raw, err := sp.Get(slot)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := DecodeRecord(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

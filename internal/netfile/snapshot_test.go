@@ -1,0 +1,238 @@
+package netfile
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ccam/internal/geom"
+	"ccam/internal/graph"
+)
+
+func succCost(t *testing.T, rec *Record, to graph.NodeID) float32 {
+	t.Helper()
+	for _, s := range rec.Succs {
+		if s.To == to {
+			return s.Cost
+		}
+	}
+	t.Fatalf("node %d has no successor %d", rec.ID, to)
+	return 0
+}
+
+// runBatch brackets fn in a version batch and publishes it (auto LSN).
+func runBatch(t *testing.T, f *File, fn func()) uint64 {
+	t.Helper()
+	f.BeginVersionBatch()
+	fn()
+	f.TakePlacementEvents()
+	return f.PublishVersionBatch(0)
+}
+
+// TestSnapshotPinsEdgeCost pins a snapshot across an edge-cost batch:
+// the pinned reader keeps the old cost while live reads and a fresh
+// snapshot see the new one.
+func TestSnapshotPinsEdgeCost(t *testing.T) {
+	g := testNetwork(t)
+	f := buildFile(t, g, 1024, 16)
+	var e graph.Edge
+	for _, cand := range g.Edges() {
+		e = cand
+		break
+	}
+
+	snap := f.Snapshot()
+	defer snap.Close()
+	old, err := snap.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCost := succCost(t, old, e.To)
+
+	runBatch(t, f, func() {
+		if err := f.SetEdgeCost(e.From, e.To, oldCost+42); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	pinned, err := snap.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := succCost(t, pinned, e.To); c != oldCost {
+		t.Fatalf("pinned snapshot sees cost %v, want %v", c, oldCost)
+	}
+	live, err := f.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := succCost(t, live, e.To); c != oldCost+42 {
+		t.Fatalf("live read sees cost %v, want %v", c, oldCost+42)
+	}
+	fresh := f.Snapshot()
+	defer fresh.Close()
+	rec, err := fresh.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := succCost(t, rec, e.To); c != oldCost+42 {
+		t.Fatalf("fresh snapshot sees cost %v, want %v", c, oldCost+42)
+	}
+	if snap.LSN() >= fresh.LSN() {
+		t.Fatalf("LSNs not ordered: pinned %d, fresh %d", snap.LSN(), fresh.LSN())
+	}
+}
+
+// TestSnapshotSurvivesDelete pins a snapshot, deletes a node in a
+// batch, and checks the pinned view still resolves it — including
+// through the range query's removed-entry union — while the live file
+// and a fresh snapshot do not.
+func TestSnapshotSurvivesDelete(t *testing.T) {
+	g := testNetwork(t)
+	f := buildFile(t, g, 1024, 16)
+	id := g.NodeIDs()[3]
+	node, err := g.Node(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := node.Pos
+
+	snap := f.Snapshot()
+	defer snap.Close()
+
+	runBatch(t, f, func() {
+		rec, err := f.DeleteRecord(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.RemoveNeighborLinks(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if !snap.Has(id) {
+		t.Fatal("pinned snapshot lost the deleted node")
+	}
+	rec, err := snap.Find(id)
+	if err != nil {
+		t.Fatalf("pinned Find after delete: %v", err)
+	}
+	if rec.ID != id {
+		t.Fatalf("pinned Find returned %d, want %d", rec.ID, id)
+	}
+	if _, err := f.Find(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("live Find after delete = %v, want ErrNotFound", err)
+	}
+	fresh := f.Snapshot()
+	defer fresh.Close()
+	if fresh.Has(id) {
+		t.Fatal("fresh snapshot still sees the deleted node")
+	}
+
+	// The live spatial index no longer lists the node; the pinned range
+	// query must resurface it via the batch's removed entries.
+	rect := geom.Rect{Min: geom.Point{X: pos.X - 1e-6, Y: pos.Y - 1e-6}, Max: geom.Point{X: pos.X + 1e-6, Y: pos.Y + 1e-6}}
+	got, err := snap.RangeQueryCtx(context.Background(), rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range got {
+		if r.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pinned range query missed the deleted node (got %d records)", len(got))
+	}
+	gotFresh, err := fresh.RangeQueryCtx(context.Background(), rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gotFresh {
+		if r.ID == id {
+			t.Fatal("fresh range query resurrected the deleted node")
+		}
+	}
+}
+
+// TestSnapshotAbortedBatchInvisible aborts a batch mid-flight: any
+// pinnable LSN must keep resolving to the committed images.
+func TestSnapshotAbortedBatchInvisible(t *testing.T) {
+	g := testNetwork(t)
+	f := buildFile(t, g, 1024, 16)
+	var e graph.Edge
+	for _, cand := range g.Edges() {
+		e = cand
+		break
+	}
+	before, err := f.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCost := succCost(t, before, e.To)
+
+	snap := f.Snapshot()
+	defer snap.Close()
+	f.BeginVersionBatch()
+	if err := f.SetEdgeCost(e.From, e.To, oldCost+7); err != nil {
+		t.Fatal(err)
+	}
+	f.AbortVersionBatch()
+
+	pinned, err := snap.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := succCost(t, pinned, e.To); c != oldCost {
+		t.Fatalf("pinned snapshot sees aborted cost %v, want %v", c, oldCost)
+	}
+	fresh := f.Snapshot()
+	defer fresh.Close()
+	rec, err := fresh.Find(e.From)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := succCost(t, rec, e.To); c != oldCost {
+		t.Fatalf("fresh snapshot sees aborted cost %v, want %v", c, oldCost)
+	}
+}
+
+// TestOverlayCompaction folds committed deltas into the base once the
+// list passes the threshold, so reader lookups stay bounded.
+func TestOverlayCompaction(t *testing.T) {
+	g := testNetwork(t)
+	f := buildFile(t, g, 1024, 16)
+	ids := g.NodeIDs()
+	// Delete-and-reinsert moves a placement, so every batch installs an
+	// overlay delta and the list must eventually fold.
+	for i := 0; i < overlayCompactThreshold+8; i++ {
+		id := ids[i%16]
+		runBatch(t, f, func() {
+			rec, err := f.DeleteRecord(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pid, ok := f.FindPageWithSpace(rec.EncodedSize())
+			if !ok {
+				var err error
+				pid, err = f.AllocatePage()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.InsertRecordAt(rec, pid); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if d := f.OverlayDepth(); d >= overlayCompactThreshold {
+		t.Fatalf("overlay depth %d never compacted (threshold %d)", d, overlayCompactThreshold)
+	}
+	// The folded base must still resolve every node.
+	for _, id := range ids[:16] {
+		if _, err := f.Find(id); err != nil {
+			t.Fatalf("Find(%d) after compaction: %v", id, err)
+		}
+	}
+}

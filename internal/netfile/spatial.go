@@ -100,6 +100,8 @@ func (f *File) SpatialIndexKind() SpatialKind {
 // window query's data-page cost is the page count of the candidates,
 // not of the true matches. fn returning false stops the probe early.
 func (f *File) SpatialCandidates(rect geom.Rect, fn func(id graph.NodeID) bool) error {
+	f.spatMu.RLock()
+	defer f.spatMu.RUnlock()
 	return f.spatial.search(rect, fn)
 }
 

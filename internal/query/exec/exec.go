@@ -10,11 +10,31 @@ import (
 	"fmt"
 	"sort"
 
+	"ccam/internal/geom"
 	"ccam/internal/graph"
 	"ccam/internal/netfile"
 	"ccam/internal/query"
 	"ccam/internal/query/lang"
 	"ccam/internal/query/plan"
+)
+
+// Source is the read surface a plan executes against: the traversal
+// Reader plus the context-aware point, scan, window and route reads
+// the access paths use. Both the live *netfile.File and an LSN-pinned
+// *netfile.Snapshot implement it — the facade executes statements
+// against a snapshot, so a running query never blocks a mutation
+// batch and never sees a half-applied one.
+type Source interface {
+	query.Reader
+	FindCtx(ctx context.Context, id graph.NodeID) (*netfile.Record, error)
+	Scan(fn func(rec *netfile.Record) bool) error
+	RangeQueryCtx(ctx context.Context, rect geom.Rect) ([]*netfile.Record, error)
+	EvaluateRouteCtx(ctx context.Context, route graph.Route) (netfile.RouteAggregate, error)
+}
+
+var (
+	_ Source = (*netfile.File)(nil)
+	_ Source = (*netfile.Snapshot)(nil)
 )
 
 // MaxResultNodes caps the node rows a result carries; Count still
@@ -91,7 +111,7 @@ func Explain(pl *plan.Plan) *Result {
 }
 
 // Run executes the statement along the plan's chosen access path.
-func Run(ctx context.Context, f *netfile.File, pl *plan.Plan, q *lang.Query) (*Result, error) {
+func Run(ctx context.Context, f Source, pl *plan.Plan, q *lang.Query) (*Result, error) {
 	res := &Result{Stmt: pl.Stmt, Kind: pl.Kind, Plan: pl}
 	var err error
 	switch s := q.Stmt.(type) {
@@ -129,7 +149,7 @@ func (r *Result) fillNodes(rows []NodeResult) {
 	r.Nodes = rows
 }
 
-func runFind(ctx context.Context, f *netfile.File, s *lang.Find, res *Result) error {
+func runFind(ctx context.Context, f Source, s *lang.Find, res *Result) error {
 	rec, err := f.FindCtx(ctx, s.ID)
 	if err != nil {
 		return err
@@ -138,7 +158,7 @@ func runFind(ctx context.Context, f *netfile.File, s *lang.Find, res *Result) er
 	return nil
 }
 
-func runWindow(ctx context.Context, f *netfile.File, pl *plan.Plan, s *lang.Window, res *Result) error {
+func runWindow(ctx context.Context, f Source, pl *plan.Plan, s *lang.Window, res *Result) error {
 	var rows []NodeResult
 	if pl.Chosen.Path == plan.PathPAGScan {
 		// Sequential PAG-ordered scan, filtering in memory.
@@ -172,7 +192,7 @@ func runWindow(ctx context.Context, f *netfile.File, pl *plan.Plan, s *lang.Wind
 	return nil
 }
 
-func runNeighbors(ctx context.Context, f *netfile.File, pl *plan.Plan, s *lang.Neighbors, res *Result) error {
+func runNeighbors(ctx context.Context, f Source, pl *plan.Plan, s *lang.Neighbors, res *Result) error {
 	var ball []*netfile.Record
 	var interior []*netfile.Record
 	if pl.Chosen.Path == plan.PathPAGScan {
@@ -294,7 +314,7 @@ func neighborsAgg(a *lang.Agg, ball, interior []*netfile.Record) *AggValue {
 	return out
 }
 
-func runRoute(ctx context.Context, f *netfile.File, s *lang.RouteEval, res *Result) error {
+func runRoute(ctx context.Context, f Source, s *lang.RouteEval, res *Result) error {
 	agg, err := f.EvaluateRouteCtx(ctx, graph.Route(s.IDs))
 	if err != nil {
 		return err
@@ -323,7 +343,7 @@ func runRoute(ctx context.Context, f *netfile.File, s *lang.RouteEval, res *Resu
 	return nil
 }
 
-func runPath(ctx context.Context, f *netfile.File, s *lang.ShortestPath, res *Result) error {
+func runPath(ctx context.Context, f Source, s *lang.ShortestPath, res *Result) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}

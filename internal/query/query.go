@@ -25,6 +25,24 @@ var (
 	ErrNoFacilities = errors.New("query: no facilities")
 )
 
+// Reader is the record-access surface the aggregate computations
+// traverse: the paper's Find / Get-A-successor operations plus route
+// evaluation. Both the live *netfile.File and an LSN-pinned
+// *netfile.Snapshot implement it, so a search can run either
+// exclusively latched or against a consistent snapshot while mutation
+// batches commit concurrently.
+type Reader interface {
+	Find(id graph.NodeID) (*netfile.Record, error)
+	Has(id graph.NodeID) bool
+	GetASuccessor(cur *netfile.Record, succ graph.NodeID) (*netfile.Record, error)
+	EvaluateRoute(route graph.Route) (netfile.RouteAggregate, error)
+}
+
+var (
+	_ Reader = (*netfile.File)(nil)
+	_ Reader = (*netfile.Snapshot)(nil)
+)
+
 // Path is a shortest-path result.
 type Path struct {
 	Nodes graph.Route
@@ -56,7 +74,7 @@ func (q *pq) Pop() interface{} {
 
 // Dijkstra computes a cheapest path from src to dst over the stored
 // network, expanding nodes with Get-successors.
-func Dijkstra(f *netfile.File, src, dst graph.NodeID) (Path, error) {
+func Dijkstra(f Reader, src, dst graph.NodeID) (Path, error) {
 	return shortestPath(f, src, dst, nil)
 }
 
@@ -64,7 +82,7 @@ func Dijkstra(f *netfile.File, src, dst graph.NodeID) (Path, error) {
 // Euclidean-distance heuristic scaled by minCostPerUnit: a lower bound
 // on the edge cost per unit of straight-line distance. Pass 0 to fall
 // back to Dijkstra.
-func AStar(f *netfile.File, src, dst graph.NodeID, minCostPerUnit float64) (Path, error) {
+func AStar(f Reader, src, dst graph.NodeID, minCostPerUnit float64) (Path, error) {
 	if minCostPerUnit <= 0 {
 		return shortestPath(f, src, dst, nil)
 	}
@@ -78,7 +96,7 @@ func AStar(f *netfile.File, src, dst graph.NodeID, minCostPerUnit float64) (Path
 	return shortestPath(f, src, dst, h)
 }
 
-func shortestPath(f *netfile.File, src, dst graph.NodeID, h func(geom.Point) float64) (Path, error) {
+func shortestPath(f Reader, src, dst graph.NodeID, h func(geom.Point) float64) (Path, error) {
 	srcRec, err := f.Find(src)
 	if err != nil {
 		return Path{}, err
@@ -162,7 +180,7 @@ type TourAggregate struct {
 // EvaluateTour evaluates a closed tour n1, n2, ..., nk, n1 (tour
 // evaluation, named in the paper's future work). The input lists each
 // node once; the closing edge nk -> n1 must exist.
-func EvaluateTour(f *netfile.File, tour graph.Route) (TourAggregate, error) {
+func EvaluateTour(f Reader, tour graph.Route) (TourAggregate, error) {
 	if len(tour) < 3 {
 		return TourAggregate{}, fmt.Errorf("%w: need at least 3 nodes, got %d", ErrInvalidTour, len(tour))
 	}
@@ -190,7 +208,7 @@ type Allocation struct {
 // by network distance (a multi-source Dijkstra over the stored file).
 // It returns the allocations in unspecified order together with the
 // total and maximum assignment costs.
-func LocationAllocation(f *netfile.File, facilities []graph.NodeID) ([]Allocation, float64, float64, error) {
+func LocationAllocation(f Reader, facilities []graph.NodeID) ([]Allocation, float64, float64, error) {
 	if len(facilities) == 0 {
 		return nil, 0, 0, ErrNoFacilities
 	}

@@ -68,13 +68,19 @@ type model map[ccam.NodeID]map[ccam.NodeID]float32
 // fingerprint hashes a store's logical contents in a canonical order,
 // so two stores agree iff their node/successor/cost contents agree.
 func fingerprint(s *ccam.Store) (uint64, error) {
+	return fingerprintScan(s.Scan)
+}
+
+// fingerprintScan is fingerprint over any scannable read view — the
+// live store or an LSN-pinned snapshot.
+func fingerprintScan(scan func(func(*ccam.Record) bool) error) (uint64, error) {
 	type succ struct {
 		to   ccam.NodeID
 		cost float32
 	}
 	lines := make(map[ccam.NodeID][]succ)
 	ids := make([]ccam.NodeID, 0, 128)
-	err := s.Scan(func(rec *ccam.Record) bool {
+	err := scan(func(rec *ccam.Record) bool {
 		ss := make([]succ, len(rec.Succs))
 		for i, sc := range rec.Succs {
 			ss[i] = succ{sc.To, sc.Cost}
@@ -362,6 +368,26 @@ func Run(dir string, cfg Config) (Result, error) {
 		if want := prints[commitsAt[survivors]]; got != want {
 			r.Close()
 			return fmt.Errorf("%s: recovered state diverges from the %d-batch committed prefix",
+				label, commitsAt[survivors])
+		}
+		// The recovered MVCC read path must agree too: a snapshot
+		// pinned right after recovery resolves to exactly the same
+		// committed prefix — redo never installs page versions above
+		// the recovered commit LSN.
+		snap, err := r.Snapshot()
+		if err != nil {
+			r.Close()
+			return fmt.Errorf("%s: snapshot after recovery: %w", label, err)
+		}
+		sgot, err := fingerprintScan(snap.Scan)
+		snap.Close()
+		if err != nil {
+			r.Close()
+			return fmt.Errorf("%s: snapshot scan: %w", label, err)
+		}
+		if sgot != prints[commitsAt[survivors]] {
+			r.Close()
+			return fmt.Errorf("%s: recovered snapshot diverges from the %d-batch committed prefix",
 				label, commitsAt[survivors])
 		}
 		if err := r.Close(); err != nil {

@@ -97,6 +97,35 @@ func WithCheckpointBytes(n int64) Option {
 	return func(o *Options) { o.CheckpointBytes = n }
 }
 
+// WithExclusiveReads restores the pre-MVCC concurrency regime: every
+// query waits behind a running Apply on the store's reader-writer lock
+// instead of reading an LSN-pinned snapshot. For A/B measurement
+// (cmd/ccam-bench -exp mixed) and as an escape hatch.
+func WithExclusiveReads() Option { return func(o *Options) { o.ExclusiveReads = true } }
+
+// WithBackgroundReorg starts the background incremental reorganizer:
+// when the CRR gauge decays from its high-water mark, the worst PAG
+// neighborhoods are re-clustered a bounded number of pages per round,
+// through the WAL and the version layer, without blocking snapshot
+// readers. interval 0 selects the 2s default. Requires WithMetrics.
+func WithBackgroundReorg(interval time.Duration) Option {
+	return func(o *Options) {
+		o.BackgroundReorg = true
+		o.ReorgInterval = interval
+	}
+}
+
+// WithReorgMaxPages bounds the pages one reorganization round may
+// re-cluster (default 16). Ignored without WithBackgroundReorg.
+func WithReorgMaxPages(n int) Option { return func(o *Options) { o.ReorgMaxPages = n } }
+
+// WithReorgTriggerDrop sets the CRR decay from its high-water mark
+// that triggers a reorganization round (default 0.02). Ignored without
+// WithBackgroundReorg.
+func WithReorgTriggerDrop(d float64) Option {
+	return func(o *Options) { o.ReorgTriggerDrop = d }
+}
+
 // OpenWith creates a new, empty CCAM store from functional options,
 // applied over the zero Options value (so defaults match Open exactly).
 func OpenWith(opts ...Option) (*Store, error) {

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"strings"
 
-	"ccam/internal/netfile"
 	"ccam/internal/query"
 	"ccam/internal/query/exec"
 	"ccam/internal/query/lang"
@@ -61,21 +60,27 @@ var (
 // Executed statements additionally report the measured I/O deltas in
 // Result.Actual, so predictions can be validated request by request.
 //
-// The planner consults a catalog built from the file on first use and
-// rebuilt after any mutation; its statistics therefore always describe
-// the current placement.
+// The planner consults a catalog built lazily from a pinned snapshot
+// on first use and kept current incrementally: every committed batch
+// folds its ops and placement moves into the catalog's mirrors and
+// counters, so the statistics always describe the current placement
+// without a per-mutation rescan (only Build drops the catalog).
+//
+// Like the other queries, an executed statement runs against an
+// LSN-pinned snapshot: a concurrent Apply never blocks it and never
+// tears its view (Options.ExclusiveReads restores the shared lock).
 func (s *Store) Query(ctx context.Context, src string) (*Result, error) {
 	q, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := s.file()
+	v, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
-	cat, err := s.catalog(f)
+	defer v.release()
+	f := v.f
+	cat, err := s.catalog(v)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +91,10 @@ func (s *Store) Query(ctx context.Context, src string) (*Result, error) {
 	if q.Explain {
 		return exec.Explain(pl), nil
 	}
+	var es exec.Source = f
+	if v.pinned {
+		es = v.view
+	}
 	// Snapshot the physical counters around the execution so the
 	// result carries its measured I/O even on stores without Metrics.
 	io0 := f.DataIO()
@@ -94,10 +103,10 @@ func (s *Store) Query(ctx context.Context, src string) (*Result, error) {
 	var res *Result
 	if s.obs != nil {
 		sn := s.obs.beginOpCtx(ctx, s.obs.query, f)
-		res, err = exec.Run(ctx, f, pl, q)
+		res, err = exec.Run(ctx, es, pl, q)
 		sn.end(err)
 	} else {
-		res, err = exec.Run(ctx, f, pl, q)
+		res, err = exec.Run(ctx, es, pl, q)
 	}
 	if err != nil {
 		return nil, err
@@ -118,29 +127,42 @@ func (p Plain) Query(src string) (*Result, error) {
 	return p.q.Query(context.Background(), src)
 }
 
-// catalog returns the store's cached planner catalog, building it with
-// one sequential scan on first use. Callers hold at least the read
-// lock; the dedicated mutex lets concurrent readers share one build.
-func (s *Store) catalog(f *netfile.File) (*plan.Catalog, error) {
+// catalog returns the store's cached planner catalog, building it on
+// first use with one sequential scan of the given read view — the
+// pinned snapshot when one is open, so the build neither blocks nor is
+// torn by a concurrent Apply. catMu makes concurrent first queries
+// share one build; catLSN records the commit the catalog reflects, so
+// Apply's incremental deltas know where to resume (lock order: mu, if
+// held, always before catMu).
+func (s *Store) catalog(v readView) (*plan.Catalog, error) {
 	s.catMu.Lock()
 	defer s.catMu.Unlock()
 	if s.cat != nil {
 		return s.cat, nil
 	}
-	cat, err := plan.NewCatalog(f)
+	var src plan.Source = v.f
+	var lsn uint64
+	if v.pinned {
+		src = v.view
+		lsn = v.view.LSN()
+	}
+	cat, err := plan.NewCatalog(src)
 	if err != nil {
 		return nil, err
 	}
 	s.cat = cat
+	s.catLSN = lsn
 	return cat, nil
 }
 
 // invalidateCatalog drops the cached planner catalog; the next Query
-// rebuilds it against the mutated placement. Called wherever the
-// file's contents or placement change (Build, Apply).
+// rebuilds it from scratch. Only Build calls it now — placement there
+// changes wholesale — while Apply and the background reorganizer keep
+// the catalog current incrementally (applyCatalogDeltas).
 func (s *Store) invalidateCatalog() {
 	s.catMu.Lock()
 	s.cat = nil
+	s.catLSN = 0
 	s.catMu.Unlock()
 }
 
